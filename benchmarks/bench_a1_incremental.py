@@ -1,0 +1,33 @@
+"""A1 — monitoring strategies ablation."""
+
+import pytest
+
+from repro.core.monitor import IntegrityMonitor
+from repro.database.history import History
+from repro.workloads.orders import (
+    ORDER_VOCABULARY,
+    OrderWorkloadConfig,
+    generate_orders,
+    submit_once,
+)
+
+TRACE = generate_orders(
+    OrderWorkloadConfig(length=40, arrival_probability=0.5, seed=1)
+).states()
+
+
+@pytest.mark.parametrize("strategy", ["scratch", "incremental", "spare"])
+def test_a1_strategy(benchmark, strategy):
+    def kernel():
+        monitor = IntegrityMonitor(
+            {"once": submit_once()},
+            History.empty(ORDER_VOCABULARY),
+            strategy=strategy,
+            spare=80,
+        )
+        for state in TRACE:
+            monitor.append_state(state)
+        return monitor
+
+    monitor = benchmark.pedantic(kernel, rounds=1, iterations=1)
+    assert monitor.violations() == {}

@@ -1,0 +1,37 @@
+"""A2 — GPVW/Büchi vs atom tableau satisfiability."""
+
+import pytest
+
+from repro.ptl.buchi import is_satisfiable_buchi
+from repro.ptl.tableau import is_satisfiable_tableau
+from repro.workloads.formulas import PTLConfig, random_ptl
+
+FORMULAS = {
+    size: [
+        random_ptl(PTLConfig(size=size, propositions=3, seed=seed))
+        for seed in range(4)
+    ]
+    for size in (4, 8)
+}
+
+
+@pytest.mark.parametrize("size", [4, 8])
+def test_a2_buchi(benchmark, size):
+    formulas = FORMULAS[size]
+    benchmark(lambda: [is_satisfiable_buchi(f) for f in formulas])
+
+
+@pytest.mark.parametrize("size", [4, 8])
+def test_a2_tableau(benchmark, size):
+    formulas = FORMULAS[size]
+
+    def kernel():
+        results = []
+        for f in formulas:
+            try:
+                results.append(is_satisfiable_tableau(f, max_base=18))
+            except ValueError:
+                results.append(None)
+        return results
+
+    benchmark(kernel)

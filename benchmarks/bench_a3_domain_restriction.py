@@ -1,0 +1,21 @@
+"""A3 — grounding scope: the paper's literal R_D vs the constraint-visible
+restriction (both licensed by Lemma 4.1-style arguments)."""
+
+import pytest
+
+from repro.core.checker import check_extension
+from repro.experiments.a3_domain_restriction import CONSTRAINT, _history
+
+HISTORY = _history(padding=3)
+
+
+@pytest.mark.parametrize("scope", ["full", "constraint"])
+def test_a3_grounding_scope(benchmark, scope):
+    result = benchmark.pedantic(
+        lambda: check_extension(
+            CONSTRAINT, HISTORY, quick=False, scope=scope
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.potentially_satisfied

@@ -1,0 +1,16 @@
+"""E1 — checking time vs history length (Theorem 4.2: linear in t)."""
+
+import pytest
+
+from repro.core.checker import check_extension
+from repro.experiments.e1_history_length import _history
+from repro.workloads.orders import submit_once
+
+CONSTRAINT = submit_once()
+
+
+@pytest.mark.parametrize("length", [25, 100, 400])
+def test_e1_check_vs_history_length(benchmark, length):
+    history = _history(length)
+    result = benchmark(lambda: check_extension(CONSTRAINT, history))
+    assert result.potentially_satisfied

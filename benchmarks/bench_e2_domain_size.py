@@ -1,0 +1,26 @@
+"""E2 — checking time vs relevant-domain size (exponential, exponent k)."""
+
+import pytest
+
+from repro.core.checker import check_extension
+from repro.experiments.e2_domain_size import K1, K2, _history
+
+
+@pytest.mark.parametrize("size", [1, 2, 4])
+def test_e2_k1_constraint(benchmark, size):
+    history = _history(size)
+    result = benchmark(
+        lambda: check_extension(K1, history, quick=False)
+    )
+    assert result.potentially_satisfied
+
+
+@pytest.mark.parametrize("size", [1, 2])
+def test_e2_k2_constraint(benchmark, size):
+    # k=2 hits the exponential wall at |R_D|=3 already (see experiment E2);
+    # the benchmark stays below it.
+    history = _history(size)
+    result = benchmark(
+        lambda: check_extension(K2, history, quick=False)
+    )
+    assert result.potentially_satisfied

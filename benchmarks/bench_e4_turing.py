@@ -1,0 +1,31 @@
+"""E4 — Section 3 machinery: encoding runs and bounded searches."""
+
+import pytest
+
+from repro.turing.check import check_encoding
+from repro.turing.encoding import MachineEncoding
+from repro.turing.repeating import bounded_extension_search
+from repro.turing.zoo import parity
+
+ENCODING = MachineEncoding.for_machine(parity())
+
+
+@pytest.mark.parametrize("steps", [50, 200, 800])
+def test_e4_encode_and_check_run(benchmark, steps):
+    def kernel():
+        history, _ = ENCODING.encode_run("1001", steps=steps)
+        return check_encoding(history, ENCODING)
+
+    report = benchmark(kernel)
+    assert report.ok
+
+
+@pytest.mark.parametrize("target", [10, 100, 1000])
+def test_e4_bounded_extension_search(benchmark, target):
+    history, _ = ENCODING.encode_run("1001", steps=4)
+    outcome = benchmark(
+        lambda: bounded_extension_search(
+            history, ENCODING, target_visits=target, max_steps=100_000
+        )
+    )
+    assert outcome.origin_visits >= target

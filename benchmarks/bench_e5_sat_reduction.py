@@ -1,0 +1,20 @@
+"""E5 — Section 6: SAT as extension checking, exponential in |D0|."""
+
+import pytest
+
+from repro.experiments.e5_sat_reduction import _hard_sat, _unsat
+from repro.turing.sat_reduction import decide_extension
+
+
+@pytest.mark.parametrize("n", [4, 8, 12])
+def test_e5_satisfiable_last_assignment(benchmark, n):
+    cnf = _hard_sat(n)
+    outcome = benchmark(lambda: decide_extension(cnf))
+    assert outcome.satisfiable
+
+
+@pytest.mark.parametrize("n", [4, 8, 12])
+def test_e5_unsatisfiable_full_exhaustion(benchmark, n):
+    cnf = _unsat(n)
+    outcome = benchmark(lambda: decide_extension(cnf))
+    assert not outcome.satisfiable

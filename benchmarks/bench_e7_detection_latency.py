@@ -1,0 +1,43 @@
+"""E7 — exact checker vs weaker-notion baseline on one update round."""
+
+import pytest
+
+from repro.core.monitor import IntegrityMonitor
+from repro.database.history import History
+from repro.database.state import DatabaseState
+from repro.pasteval.baseline import WeakTruncationChecker
+from repro.workloads.orders import ORDER_VOCABULARY, clean_trace, submit_once
+
+TRACE = clean_trace(20, seed=4).states()
+
+
+def _feed(checker):
+    for state in TRACE:
+        checker.append_state(state)
+    return checker
+
+
+def test_e7_exact_monitor(benchmark):
+    monitor = benchmark.pedantic(
+        lambda: _feed(
+            IntegrityMonitor(
+                {"once": submit_once()}, History.empty(ORDER_VOCABULARY)
+            )
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert monitor.violations() == {}
+
+
+def test_e7_weak_baseline(benchmark):
+    checker = benchmark.pedantic(
+        lambda: _feed(
+            WeakTruncationChecker(
+                {"once": submit_once()}, History.empty(ORDER_VOCABULARY)
+            )
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert checker.violations() == {}

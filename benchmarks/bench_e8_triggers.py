@@ -1,0 +1,20 @@
+"""E8 — trigger evaluation cost over a growing history."""
+
+import pytest
+
+from repro.core.triggers import Trigger, firings
+from repro.database.history import History
+from repro.logic.parser import parse
+from repro.workloads.orders import ORDER_VOCABULARY, trace_with_duplicate
+
+TRIGGER = Trigger("resubmitted", parse("F (Sub(x) & X F Sub(x))"))
+
+
+@pytest.mark.parametrize("length", [5, 10])
+def test_e8_trigger_sweep(benchmark, length):
+    trace = trace_with_duplicate(length, violate_at=length - 2, seed=21)
+    history = History(
+        vocabulary=ORDER_VOCABULARY, states=tuple(trace.states())
+    )
+    result = benchmark(lambda: firings(TRIGGER, history))
+    assert isinstance(result, list)

@@ -1,0 +1,26 @@
+"""E9 — evaluating the W-defined order relations on lasso databases."""
+
+import pytest
+
+from repro.experiments.e9_w_ordering import _enumeration_db
+from repro.eval.lasso import evaluate_lasso_db
+from repro.logic.terms import Variable
+from repro.turing.wordering import leq_w
+
+X, Y = Variable("x"), Variable("y")
+
+
+@pytest.mark.parametrize("size", [4, 8, 16])
+def test_e9_leq_w_sweep(benchmark, size):
+    db = _enumeration_db(size)
+    formula = leq_w(X, Y)
+
+    def kernel():
+        return sum(
+            evaluate_lasso_db(formula, db, valuation={X: a, Y: b})
+            for a in range(size)
+            for b in range(size)
+        )
+
+    count = benchmark(kernel)
+    assert count == size * (size + 1) // 2

@@ -1,0 +1,11 @@
+"""Benchmark suite configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each file regenerates one row-family of the corresponding experiment in
+``repro.experiments`` (see DESIGN.md section 4); the experiment runners
+print the full tables, the benchmarks time the kernels under
+pytest-benchmark statistics.
+"""

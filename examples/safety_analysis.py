@@ -1,0 +1,68 @@
+"""Safety, liveness, and why the checker insists on safety formulas.
+
+The paper restricts integrity constraints to *safety* properties: a
+violation must be detectable on some finite prefix.  This example runs the
+library's three analyses — the syntactic recognizer for FOTL, the exact
+semantic decision for propositional TL, and the demonstration that the
+decision procedure really is unsound outside the safety class.
+
+Run with:  python examples/safety_analysis.py
+"""
+
+from repro import NotSafetyError, check_extension, parse, vocabulary
+from repro.database import History
+from repro.logic.safety import is_syntactically_safe, why_not_safe
+from repro.ptl import is_liveness, is_safety, parse_ptl
+
+
+def main() -> None:
+    print("Propositional temporal logic: exact safety/liveness analysis")
+    print("-" * 64)
+    for text in ("G (p -> X q)", "F p", "p U q", "G F p", "p W q", "G p"):
+        formula = parse_ptl(text)
+        print(f"  {text:<14} safety={str(is_safety(formula)):<6} "
+              f"liveness={is_liveness(formula)}")
+    print()
+
+    print("FOTL constraints: the syntactic recognizer")
+    print("-" * 64)
+    for text in (
+        "forall x . G (Sub(x) -> X G !Sub(x))",
+        "forall x . G (Sub(x) -> F Fill(x))",
+    ):
+        formula = parse(text)
+        safe = is_syntactically_safe(formula)
+        print(f"  {text}")
+        print(f"    syntactically safe: {safe}")
+        if not safe:
+            print(f"    reason: {why_not_safe(formula)}")
+    print()
+
+    print("The checker refuses non-safety constraints...")
+    print("-" * 64)
+    schema = vocabulary({"p": 1})
+    live = parse("forall x . F p(x)")
+    history = History.from_facts(schema, [[]])
+    try:
+        check_extension(live, history)
+    except NotSafetyError as error:
+        print(f"  NotSafetyError: {str(error)[:72]}...")
+    print()
+
+    print("... because Lemma 4.1 genuinely fails without safety:")
+    print("-" * 64)
+    # 'forall x . F p(x)' IS potentially satisfied by the empty history —
+    # a model can enumerate the whole universe over infinite time (state t
+    # makes p true of element t).  But the reduction fixes the relevant
+    # domain (Lemma 4.1), making the anonymous-element instance 'F p(z)'
+    # unsatisfiable, so forcing the check would wrongly answer "violated".
+    result = check_extension(live, history, assume_safety=True)
+    print(f"  forced check of 'forall x . F p(x)' on the empty history: "
+          f"{result.potentially_satisfied}")
+    print("  ground truth: True (enumerate the universe over time) — the")
+    print("  forced answer is WRONG, which is exactly why assume_safety")
+    print("  must never be used on genuinely non-safety formulas.")
+
+
+if __name__ == "__main__":
+    main()

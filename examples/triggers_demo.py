@@ -1,0 +1,61 @@
+"""Temporal triggers by duality (Section 2 of the paper).
+
+A Condition-Action trigger ``if C then A`` fires for a ground substitution
+exactly when the *negation* of the instantiated condition is no longer
+potentially satisfiable — i.e. every possible future makes the condition
+true, so firing is unavoidable and happens at the earliest possible moment.
+
+Run with:  python examples/triggers_demo.py
+"""
+
+from repro import History, Trigger, TriggerManager, parse, vocabulary
+from repro.workloads import ORDER_VOCABULARY
+
+
+def main() -> None:
+    # Trigger: flag any order that gets re-submitted.  The condition is
+    # existential-in-spirit ("there is a submission followed by another"),
+    # so its negation is a universal safety sentence — the decidable dual.
+    resubmitted = Trigger(
+        name="resubmitted",
+        condition=parse("F (Sub(x) & X F Sub(x))"),
+        action=lambda history, values: print(
+            f"      action: escalate duplicate order {values['x']}"
+        ),
+    )
+    # Trigger: flag an order filled twice.
+    double_fill = Trigger(
+        name="double_fill",
+        condition=parse("F (Fill(x) & X F Fill(x))"),
+    )
+
+    manager = TriggerManager([resubmitted, double_fill])
+
+    timeline = [
+        [("Sub", (1,))],
+        [("Sub", (2,))],
+        [("Fill", (1,))],
+        [("Sub", (1,))],   # duplicate submission of order 1
+        [("Fill", (2,))],
+        [("Fill", (2,))],  # double fill of order 2
+    ]
+
+    for length in range(1, len(timeline) + 1):
+        history = History.from_facts(ORDER_VOCABULARY, timeline[:length])
+        t = length - 1
+        facts = ", ".join(
+            f"{p}{a}" for p, a in sorted(history.current.facts())
+        )
+        print(f"t={t}: {facts or '(quiet)'}")
+        for firing in manager.check(history):
+            print(f"   -> trigger {firing.trigger!r} fired for "
+                  f"{firing.values()}")
+
+    print()
+    print("firing log:")
+    for firing in manager.log:
+        print(f"  t={firing.instant}: {firing.trigger} {firing.values()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,178 @@
+"""Command-line interface: ``repro-tic`` (temporal integrity checking).
+
+Subcommands:
+
+* ``check``    — decide potential satisfaction of a constraint on a history
+  stored as JSON (see :mod:`repro.database.serialize` for the format).
+* ``classify`` — report a formula's class (biquantified / universal /
+  safety) and which results of the paper apply to it.
+* ``monitor``  — replay a history state by state through the online monitor
+  and report violations with their detection instants.
+* ``experiment`` — run one of the paper-claim experiments (E1..E9, A1..A3)
+  and print its table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .core.checker import check_extension
+from .core.monitor import IntegrityMonitor
+from .database.history import History
+from .database.serialize import load_history
+from .errors import ReproError
+from .logic.classify import classify
+from .logic.parser import parse
+from .logic.safety import is_syntactically_safe, why_not_safe
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    constraint = parse(args.constraint)
+    history = load_history(args.history)
+    result = check_extension(
+        constraint,
+        history,
+        assume_safety=args.assume_safety,
+        method=args.method,
+        want_witness=args.witness,
+    )
+    verdict = (
+        "POTENTIALLY SATISFIED"
+        if result.potentially_satisfied
+        else "VIOLATED (no extension satisfies the constraint)"
+    )
+    print(f"history: {len(history)} state(s), R_D = "
+          f"{sorted(result.reduction.relevant)}")
+    print(f"ground instances: {result.reduction.assignment_count}, "
+          f"phi_D size: {result.reduction.formula_size()}")
+    print(verdict)
+    if args.witness and result.witness is not None:
+        from .database.serialize import lasso_to_dict
+
+        print("witness extension (lasso):")
+        json.dump(lasso_to_dict(result.witness), sys.stdout, indent=2)
+        print()
+    return 0 if result.potentially_satisfied else 1
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    formula = parse(args.constraint)
+    info = classify(formula)
+    print(f"formula: {formula}")
+    print(f"closed sentence:      {formula.is_closed()}")
+    print(f"external universals:  {len(info.external_universals)}")
+    print(f"biquantified:         {info.is_biquantified}")
+    print(f"universal:            {info.is_universal}")
+    print(f"internal quantifiers: {info.internal_quantifiers}")
+    print(f"uses past / future:   {info.has_past} / {info.has_future}")
+    safe = is_syntactically_safe(formula)
+    print(f"syntactically safe:   {safe}")
+    if not safe:
+        print(f"  reason: {why_not_safe(formula)}")
+    if info.is_universal and safe:
+        print("=> decidable: extension checking in exponential time "
+              "(Theorem 4.2)")
+    elif info.is_biquantified and info.internal_quantifiers >= 1:
+        print("=> undecidable fragment: Pi^0_2-hard with internal "
+              "quantifiers (Theorem 3.2)")
+    else:
+        print("=> outside the classes analyzed by the paper")
+    return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    history = load_history(args.history)
+    constraints = {
+        f"c{index}": parse(text) for index, text in enumerate(args.constraint)
+    }
+    initial = History(
+        vocabulary=history.vocabulary,
+        states=history.states[:1],
+        constant_bindings=history.constant_bindings,
+    )
+    monitor = IntegrityMonitor(
+        constraints,
+        initial,
+        assume_safety=args.assume_safety,
+        strategy=args.strategy,
+    )
+    for state in history.states[1:]:
+        report = monitor.append_state(state)
+        for name in report.new_violations:
+            print(f"t={report.instant}: constraint {name!r} violated "
+                  f"({constraints[name]})")
+    violations = monitor.violations()
+    if not violations:
+        print(f"no violations in {len(history)} state(s)")
+        return 0
+    print(f"{len(violations)} constraint(s) violated")
+    return 1
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from . import experiments
+
+    runner = experiments.RUNNERS.get(args.name.lower())
+    if runner is None:
+        print(f"unknown experiment {args.name!r}; available: "
+              + ", ".join(sorted(experiments.RUNNERS)))
+        return 2
+    runner(fast=args.fast)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-tic",
+        description="Temporal integrity constraint checking "
+        "(Chomicki & Niwinski, PODS 1993).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="decide potential satisfaction")
+    check.add_argument("constraint", help="constraint in concrete syntax")
+    check.add_argument("history", help="path to a history JSON file")
+    check.add_argument("--method", choices=("buchi", "tableau"),
+                       default="buchi")
+    check.add_argument("--assume-safety", action="store_true")
+    check.add_argument("--witness", action="store_true",
+                       help="print a witness extension when satisfiable")
+    check.set_defaults(func=_cmd_check)
+
+    cls = sub.add_parser("classify", help="classify a formula")
+    cls.add_argument("constraint")
+    cls.set_defaults(func=_cmd_classify)
+
+    mon = sub.add_parser("monitor", help="replay a history through the "
+                         "online monitor")
+    mon.add_argument("history", help="path to a history JSON file")
+    mon.add_argument("--constraint", action="append", required=True,
+                     help="constraint (repeatable)")
+    mon.add_argument("--strategy",
+                     choices=("scratch", "incremental", "spare"),
+                     default="incremental")
+    mon.add_argument("--assume-safety", action="store_true")
+    mon.set_defaults(func=_cmd_monitor)
+
+    exp = sub.add_parser("experiment", help="run a paper-claim experiment")
+    exp.add_argument("name", help="experiment id, e.g. e1 or a2")
+    exp.add_argument("--fast", action="store_true",
+                     help="smaller parameter sweep")
+    exp.set_defaults(func=_cmd_experiment)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,90 @@
+"""The paper's primary contribution: temporal integrity checking.
+
+Grounding and the Theorem 4.1 reduction, the potential-satisfaction checker
+(with certifiable witnesses), the incremental online monitor, and the dual
+trigger machinery.
+"""
+
+from .analysis import (
+    AnalysisResult,
+    equivalent_universal,
+    implies_universal,
+    redundant_constraints,
+)
+from .checker import (
+    CheckResult,
+    certify,
+    check_extension,
+    potentially_satisfied,
+    validate_constraint,
+)
+from .grounding import (
+    Anon,
+    EqAtom,
+    GroundAtom,
+    GroundContext,
+    GroundElement,
+    RelAtom,
+    build_axioms,
+    decide_equality,
+    eq_prop,
+    ground,
+    rel_prop,
+)
+from .monitor import IntegrityMonitor, MonitorStats, UpdateReport
+from .reduction import (
+    Reduction,
+    constraint_relevant_elements,
+    decode_lasso,
+    decode_state,
+    ground_domain,
+    reduce_universal,
+    state_to_props,
+)
+from .triggers import (
+    Firing,
+    Trigger,
+    TriggerManager,
+    candidate_substitutions,
+    fires,
+    firings,
+)
+
+__all__ = [
+    "AnalysisResult",
+    "Anon",
+    "CheckResult",
+    "EqAtom",
+    "Firing",
+    "GroundAtom",
+    "GroundContext",
+    "GroundElement",
+    "IntegrityMonitor",
+    "MonitorStats",
+    "Reduction",
+    "RelAtom",
+    "Trigger",
+    "TriggerManager",
+    "UpdateReport",
+    "build_axioms",
+    "candidate_substitutions",
+    "certify",
+    "check_extension",
+    "constraint_relevant_elements",
+    "decide_equality",
+    "decode_lasso",
+    "decode_state",
+    "eq_prop",
+    "equivalent_universal",
+    "fires",
+    "firings",
+    "ground",
+    "ground_domain",
+    "implies_universal",
+    "potentially_satisfied",
+    "redundant_constraints",
+    "reduce_universal",
+    "rel_prop",
+    "state_to_props",
+    "validate_constraint",
+]

@@ -1,0 +1,148 @@
+"""Static analysis of universal constraints: implication and equivalence.
+
+Constraint sets accumulate redundancy: one constraint may subsume another,
+or two differently-written constraints may be equivalent.  For universal
+constraints these questions reduce — by the same Theorem 4.1 grounding —
+to propositional TL validity over a chosen ground domain.
+
+The caveat, stated precisely: grounding fixes the number of concrete
+elements, so the verdicts are *for databases whose relevant domain never
+exceeds* ``domain_size``.  Implication over `n` elements does not in
+general imply implication over `n + 1`; callers should pick
+``domain_size`` at least the total number of external quantifiers of the
+two constraints (the default), which by the interchangeability of
+anonymous elements decides all instantiations that can distinguish the
+constraints through their quantifier patterns.  Verdicts are exact for the
+chosen size, and the functions report the size they used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product as cartesian
+
+from ..logic.classify import require_universal
+from ..logic.formulas import Formula
+from ..ptl.formulas import PTLFormula, pand, pnot
+from ..ptl.sat import is_satisfiable
+from .grounding import GroundContext, ground
+
+
+@dataclass(frozen=True)
+class AnalysisResult:
+    """Outcome of a constraint comparison.
+
+    ``holds`` is exact for databases with at most ``domain_size`` relevant
+    elements; ``counterexample_free`` restates it in checker terms.
+    """
+
+    holds: bool
+    domain_size: int
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.holds
+
+
+def _ground_sentence(
+    constraint: Formula,
+    domain,
+    bindings,
+) -> PTLFormula:
+    info = require_universal(constraint)
+    context = GroundContext(constant_bindings=bindings, fold=True)
+    quantifiers = tuple(info.external_universals)
+    instances = []
+    for values in cartesian(domain, repeat=len(quantifiers)):
+        instances.append(
+            ground(info.matrix, dict(zip(quantifiers, values)), context)
+        )
+    return pand(*instances)
+
+
+def _shared_domain(
+    left: Formula, right: Formula, domain_size: int | None
+):
+    k_left = len(require_universal(left).external_universals)
+    k_right = len(require_universal(right).external_universals)
+    if domain_size is None:
+        domain_size = k_left + k_right
+        domain_size = max(domain_size, 1)
+    # Concrete elements 0..n-1 serve as the shared universe; anonymous
+    # padding is unnecessary because the concrete elements are themselves
+    # generic here (no history pins any facts).
+    return tuple(range(domain_size)), domain_size
+
+
+def implies_universal(
+    antecedent: Formula,
+    consequent: Formula,
+    domain_size: int | None = None,
+    constant_bindings: dict[str, int] | None = None,
+) -> AnalysisResult:
+    """Does every database satisfying ``antecedent`` satisfy ``consequent``?
+
+    Exact for databases with at most ``domain_size`` relevant elements
+    (default: the combined quantifier count of the two constraints).
+
+    >>> from ..logic import parse
+    >>> stronger = parse("forall x . G !Sub(x)")
+    >>> weaker = parse("forall x . G (Sub(x) -> X G !Sub(x))")
+    >>> implies_universal(stronger, weaker).holds
+    True
+    >>> implies_universal(weaker, stronger).holds
+    False
+    """
+    domain, size = _shared_domain(antecedent, consequent, domain_size)
+    bindings = constant_bindings or {}
+    left = _ground_sentence(antecedent, domain, bindings)
+    right = _ground_sentence(consequent, domain, bindings)
+    refutable = is_satisfiable(pand(left, pnot(right)))
+    return AnalysisResult(holds=not refutable, domain_size=size)
+
+
+def equivalent_universal(
+    left: Formula,
+    right: Formula,
+    domain_size: int | None = None,
+    constant_bindings: dict[str, int] | None = None,
+) -> AnalysisResult:
+    """Do the two constraints have the same models (up to ``domain_size``)?
+
+    >>> from ..logic import parse
+    >>> a = parse("forall x . G (Sub(x) -> X G !Sub(x))")
+    >>> b = parse("forall x . G !(Sub(x) & X (F Sub(x)))")
+    >>> equivalent_universal(a, b).holds
+    True
+    """
+    forward = implies_universal(
+        left, right, domain_size, constant_bindings
+    )
+    backward = implies_universal(
+        right, left, forward.domain_size, constant_bindings
+    )
+    return AnalysisResult(
+        holds=forward.holds and backward.holds,
+        domain_size=forward.domain_size,
+    )
+
+
+def redundant_constraints(
+    constraints: dict[str, Formula],
+    domain_size: int | None = None,
+) -> list[tuple[str, str]]:
+    """Pairs ``(weaker, stronger)`` where ``stronger`` implies ``weaker``.
+
+    A constraint implied by another in the set is redundant for checking
+    purposes (over the analyzed domain size); the monitor can drop it.
+    """
+    redundant: list[tuple[str, str]] = []
+    names = sorted(constraints)
+    for weaker in names:
+        for stronger in names:
+            if weaker == stronger:
+                continue
+            if implies_universal(
+                constraints[stronger], constraints[weaker], domain_size
+            ).holds:
+                redundant.append((weaker, stronger))
+    return redundant

@@ -1,0 +1,193 @@
+"""Potential constraint satisfaction: the paper's central decision problem.
+
+A constraint ``C`` is *potentially satisfied* at instant ``t`` iff the
+current history ``(D0, ..., Dt)`` belongs to ``Pref(C)`` — it can be
+extended to an infinite model of ``C``.  For universal safety sentences
+this module decides the question exactly, by composing:
+
+1. :func:`repro.logic.classify.require_universal` — fragment enforcement
+   (Section 3: anything beyond universal formulas is undecidable);
+2. :func:`repro.logic.safety.is_syntactically_safe` — safety enforcement
+   (Theorem 4.2 requires a safety sentence; Lemma 4.1 fails otherwise);
+3. :func:`repro.core.reduction.reduce_universal` — Theorem 4.1;
+4. :func:`repro.ptl.extension.check_extension` — Lemma 4.2.
+
+A positive answer can be *certified*: ``want_witness=True`` decodes the
+propositional lasso into a :class:`repro.database.LassoDatabase` extending
+the history, and :func:`certify` re-evaluates the original FOTL constraint
+on it with the independent evaluator in :mod:`repro.eval.lasso`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..database.history import History
+from ..database.lasso import LassoDatabase
+from ..errors import NotSafetyError
+from ..eval.lasso import evaluate_lasso_db
+from ..logic.classify import FormulaInfo, require_universal
+from ..logic.formulas import Formula
+from ..logic.safety import is_syntactically_safe, why_not_safe
+from ..ptl.extension import check_extension as ptl_check_extension
+from ..ptl.formulas import PTLFormula
+from .reduction import Reduction, decode_lasso, reduce_universal
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of a potential-satisfaction check.
+
+    Attributes
+    ----------
+    potentially_satisfied:
+        Whether the history extends to a model of the constraint.
+    reduction:
+        The Theorem 4.1 reduction that was decided.
+    remainder:
+        The progressed PTL obligation after consuming the history.
+    witness:
+        When requested and positive: an infinite-time extension of the
+        history satisfying the constraint, as a lasso database.
+    reduction_seconds / decision_seconds:
+        Wall-clock split between building the reduction and deciding it.
+    """
+
+    potentially_satisfied: bool
+    reduction: Reduction
+    remainder: PTLFormula
+    witness: LassoDatabase | None = None
+    reduction_seconds: float = 0.0
+    decision_seconds: float = 0.0
+
+    @property
+    def violated(self) -> bool:
+        """Convenience inverse: the constraint is (irrecoverably) violated."""
+        return not self.potentially_satisfied
+
+
+def validate_constraint(
+    constraint: Formula, assume_safety: bool = False
+) -> FormulaInfo:
+    """Enforce the decidable fragment: universal *and* safety.
+
+    Raises :class:`repro.errors.NotUniversalError` outside the universal
+    class and :class:`repro.errors.NotSafetyError` when the syntactic safety
+    recognizer rejects the formula (unless ``assume_safety`` is set — the
+    recognizer is sound but incomplete, so callers with out-of-band
+    knowledge may override it).
+    """
+    info = require_universal(constraint)
+    if not assume_safety and not is_syntactically_safe(constraint):
+        reason = why_not_safe(constraint) or "not recognized as safety"
+        raise NotSafetyError(
+            "Theorem 4.2 requires a safety sentence and the constraint "
+            f"failed the syntactic safety check: {reason}. Pass "
+            "assume_safety=True only if you know the property is safety "
+            "(the procedure is unsound for non-safety sentences)."
+        )
+    return info
+
+
+def check_extension(
+    constraint: Formula,
+    history: History,
+    assume_safety: bool = False,
+    method: str = "buchi",
+    want_witness: bool = False,
+    fold: bool = True,
+    quick: bool = True,
+    scope: str = "constraint",
+) -> CheckResult:
+    """Decide whether the history is in ``Pref(constraint)``.
+
+    Parameters
+    ----------
+    constraint:
+        A closed universal safety sentence (``forall* tense(Sigma_0)``).
+    history:
+        The current finite history ``(D0, ..., Dt)``.
+    assume_safety:
+        Skip the syntactic safety check (see :func:`validate_constraint`).
+    method:
+        PTL satisfiability engine: ``"buchi"`` or ``"tableau"``.
+    want_witness:
+        Also produce a concrete infinite extension (lasso database).
+    fold:
+        Use the folded grounding (default) or the literal paper
+        construction with explicit ``Axiom_D`` (ablation A4).
+    quick:
+        Try the all-false candidate extension before the full
+        satisfiability engine (sound fast path; disable when benchmarking
+        the engine itself).
+    scope:
+        Ground over the constraint-visible relevant set (default) or the
+        paper's literal ``R_D`` (``"full"``); see
+        :class:`repro.core.reduction.Reduction`.
+
+    >>> from ..logic import parse
+    >>> from ..database import History, vocabulary
+    >>> v = vocabulary({"Sub": 1})
+    >>> once = parse("forall x . G (Sub(x) -> X G !Sub(x))")
+    >>> ok = History.from_facts(v, [[("Sub", (1,))], []])
+    >>> check_extension(once, ok).potentially_satisfied
+    True
+    >>> bad = History.from_facts(v, [[("Sub", (1,))], [("Sub", (1,))]])
+    >>> check_extension(once, bad).potentially_satisfied
+    False
+    """
+    info = validate_constraint(constraint, assume_safety=assume_safety)
+    start = time.perf_counter()
+    reduction = reduce_universal(history, info, fold=fold, scope=scope)
+    mid = time.perf_counter()
+    result = ptl_check_extension(
+        reduction.prefix,
+        reduction.formula,
+        method=method,
+        want_witness=want_witness,
+        quick=quick,
+    )
+    end = time.perf_counter()
+    witness = None
+    if want_witness and result.witness is not None:
+        witness = decode_lasso(result.witness, reduction)
+    return CheckResult(
+        potentially_satisfied=result.extendable,
+        reduction=reduction,
+        remainder=result.remainder,
+        witness=witness,
+        reduction_seconds=mid - start,
+        decision_seconds=end - mid,
+    )
+
+
+def potentially_satisfied(
+    constraint: Formula,
+    history: History,
+    assume_safety: bool = False,
+    method: str = "buchi",
+) -> bool:
+    """Boolean form of :func:`check_extension`."""
+    return check_extension(
+        constraint, history, assume_safety=assume_safety, method=method
+    ).potentially_satisfied
+
+
+def certify(result: CheckResult, constraint: Formula) -> bool:
+    """Independently verify a positive answer.
+
+    Checks that the witness (1) extends the original history state by state
+    and (2) satisfies the constraint under the exact lasso semantics of
+    :mod:`repro.eval.lasso`.  Returns True when both hold; raises
+    :class:`ValueError` when called on a result without a witness.
+    """
+    if result.witness is None:
+        raise ValueError(
+            "no witness to certify; call check_extension(want_witness=True)"
+        )
+    history = result.reduction.history
+    prefix = result.witness.prefix(len(history))
+    if tuple(prefix.states) != tuple(history.states):
+        return False
+    return evaluate_lasso_db(constraint, result.witness)

@@ -1,0 +1,361 @@
+"""Online temporal integrity monitoring.
+
+The paper's usage model: after every update, check whether each constraint
+is still potentially satisfied.  Doing that naively re-runs the whole
+Theorem 4.1 reduction and Lemma 4.2 decision on the full history after each
+update — ``O(t)`` progression work per update, ``O(t^2)`` over a run.  The
+:class:`IntegrityMonitor` keeps the *progressed remainder* of each
+constraint as its only history-dependent state, so an update costs one
+progression step plus one satisfiability check, independent of ``t``.
+
+The catch is the relevant domain: the reduction is grounded over
+``R_D ∪ {z1..zk}``, so when an update touches an element the grounding has
+never seen, the ground formula is missing instances and must be rebuilt.
+Three strategies (``strategy=`` argument) handle this:
+
+* ``"scratch"`` — rebuild and re-progress from the full history on *every*
+  update (the naive baseline; ablation A1 measures it).
+* ``"incremental"`` — keep the remainder; rebuild only when a genuinely new
+  element appears.
+* ``"spare"`` — like incremental, but ground with ``spare`` extra concrete
+  elements in reserve; a new element is *renamed* onto an unused spare
+  (sound: before its first appearance every fresh element is
+  interchangeable with a spare, whose fact letters were false throughout),
+  so rebuilds only happen when the reserve runs dry.  The reserve enlarges
+  the ground domain, hence the per-check satisfiability cost — keep it
+  small for constraints with several external quantifiers (the default 2 is
+  safe; ablation A1 quantifies the trade-off).
+
+Violations of safety constraints are irrecoverable (once the remainder is
+unsatisfiable it stays unsatisfiable), so a violated constraint is frozen
+and reported, not re-checked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..database.history import History
+from ..database.state import DatabaseState
+from ..database.updates import Update
+from ..logic.classify import FormulaInfo
+from ..logic.formulas import Formula
+from ..ptl.formulas import PTLFalse, PTLFormula, PTLTrue, Prop
+from ..ptl.progression import progress
+from ..ptl.sat import is_satisfiable
+from .checker import validate_constraint
+from .grounding import GroundElement, RelAtom
+from .reduction import (
+    Reduction,
+    constraint_relevant_elements,
+    reduce_universal,
+    state_to_props,
+)
+
+_STRATEGIES = ("scratch", "incremental", "spare")
+
+
+@dataclass
+class MonitorStats:
+    """Work counters for one monitored constraint."""
+
+    progressions: int = 0
+    regrounds: int = 0
+    renames: int = 0
+    sat_calls: int = 0
+    sat_cache_hits: int = 0
+
+
+@dataclass
+class _ConstraintEntry:
+    name: str
+    constraint: Formula
+    info: FormulaInfo
+    reduction: Reduction | None = None
+    remainder: PTLFormula | None = None
+    known_elements: frozenset[int] = frozenset()
+    spare_pool: tuple[int, ...] = ()
+    spare_map: dict[int, int] = field(default_factory=dict)
+    violated_at: int | None = None
+    stats: MonitorStats = field(default_factory=MonitorStats)
+    sat_cache: dict[PTLFormula, bool] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class UpdateReport:
+    """Result of applying one update.
+
+    Attributes
+    ----------
+    instant:
+        The time instant of the new state.
+    satisfied:
+        Per constraint: is it still potentially satisfied?
+    new_violations:
+        Constraints that became violated by this very update.
+    """
+
+    instant: int
+    satisfied: Mapping[str, bool]
+    new_violations: tuple[str, ...]
+
+    @property
+    def all_satisfied(self) -> bool:
+        return all(self.satisfied.values())
+
+
+class IntegrityMonitor:
+    """Monitor a growing history against a set of universal safety
+    constraints.
+
+    >>> from ..logic import parse
+    >>> from ..database import History, Update, vocabulary
+    >>> v = vocabulary({"Sub": 1})
+    >>> monitor = IntegrityMonitor(
+    ...     {"once": parse("forall x . G (Sub(x) -> X G !Sub(x))")},
+    ...     History.empty(v),
+    ... )
+    >>> monitor.apply(Update.insert(("Sub", (1,)))).all_satisfied
+    True
+    >>> report = monitor.apply(Update.insert(("Sub", (1,))))
+    >>> report.new_violations
+    ('once',)
+    """
+
+    def __init__(
+        self,
+        constraints: Mapping[str, Formula] | Sequence[Formula],
+        initial: History,
+        assume_safety: bool = False,
+        method: str = "buchi",
+        strategy: str = "incremental",
+        spare: int = 2,
+        fold: bool = True,
+    ):
+        if strategy not in _STRATEGIES:
+            raise ValueError(
+                f"strategy must be one of {_STRATEGIES}, got {strategy!r}"
+            )
+        if strategy == "spare" and not fold:
+            raise ValueError(
+                "the spare-element strategy requires the folded grounding"
+            )
+        if not isinstance(constraints, Mapping):
+            constraints = {
+                f"constraint_{index}": formula
+                for index, formula in enumerate(constraints)
+            }
+        self._method = method
+        self._strategy = strategy
+        self._spare = spare
+        self._fold = fold
+        self._history = initial
+        self._entries: list[_ConstraintEntry] = []
+        for name, formula in constraints.items():
+            info = validate_constraint(formula, assume_safety=assume_safety)
+            self._entries.append(
+                _ConstraintEntry(name=name, constraint=formula, info=info)
+            )
+        for entry in self._entries:
+            self._reground(entry)
+            self._decide(entry, instant=self._history.now)
+
+    # -- public surface ------------------------------------------------------
+
+    @property
+    def history(self) -> History:
+        """The monitored history (grows with every update)."""
+        return self._history
+
+    @property
+    def now(self) -> int:
+        return self._history.now
+
+    def violations(self) -> dict[str, int]:
+        """Violated constraints and the instant each was first violated."""
+        return {
+            entry.name: entry.violated_at
+            for entry in self._entries
+            if entry.violated_at is not None
+        }
+
+    def stats(self) -> dict[str, MonitorStats]:
+        """Per-constraint work counters."""
+        return {entry.name: entry.stats for entry in self._entries}
+
+    def is_satisfied(self, name: str) -> bool:
+        for entry in self._entries:
+            if entry.name == name:
+                return entry.violated_at is None
+        raise KeyError(name)
+
+    def apply(self, update: Update) -> UpdateReport:
+        """Apply an update and re-check every constraint."""
+        self._history = self._history.updated(update)
+        return self._recheck()
+
+    def append_state(self, state: DatabaseState) -> UpdateReport:
+        """Append a full next state (alternative to delta updates)."""
+        self._history = self._history.extended(state)
+        return self._recheck()
+
+    # -- internals -----------------------------------------------------------
+
+    def _recheck(self) -> UpdateReport:
+        instant = self._history.now
+        new_violations: list[str] = []
+        satisfied: dict[str, bool] = {}
+        for entry in self._entries:
+            if entry.violated_at is not None:
+                satisfied[entry.name] = False
+                continue
+            self._advance(entry)
+            ok = self._decide(entry, instant)
+            satisfied[entry.name] = ok
+            if not ok:
+                new_violations.append(entry.name)
+        return UpdateReport(
+            instant=instant,
+            satisfied=satisfied,
+            new_violations=tuple(new_violations),
+        )
+
+    def _entry_domain(self, entry: _ConstraintEntry, state) -> frozenset[int]:
+        """Elements of one state visible to this entry's constraint."""
+        predicates = {
+            pred for pred, _arity in entry.constraint.predicates()
+        }
+        elements: set[int] = set()
+        for pred, tuples in state.relations.items():
+            if pred in predicates:
+                for args in tuples:
+                    elements.update(args)
+        return frozenset(elements)
+
+    def _reground(self, entry: _ConstraintEntry) -> None:
+        """Rebuild the reduction from the full history and re-progress."""
+        entry.stats.regrounds += 1
+        extra: frozenset[int] = frozenset()
+        if self._strategy == "spare":
+            extra = self._spare_pool(entry)
+        reduction = reduce_universal(
+            self._history, entry.info, fold=self._fold, extra_elements=extra
+        )
+        entry.reduction = reduction
+        entry.known_elements = constraint_relevant_elements(
+            self._history, entry.info
+        )
+        remainder = reduction.formula
+        for props in reduction.prefix:
+            remainder = progress(remainder, props)
+            entry.stats.progressions += 1
+        entry.remainder = remainder
+
+    def _spare_pool(self, entry: _ConstraintEntry) -> frozenset[int]:
+        """Reserve ``spare`` fresh concrete element slots in the grounding."""
+        relevant = constraint_relevant_elements(self._history, entry.info)
+        pool: list[int] = []
+        candidate = 0
+        while len(pool) < self._spare:
+            if candidate not in relevant:
+                pool.append(candidate)
+            candidate += 1
+        entry.spare_pool = tuple(pool)
+        entry.spare_map = {}
+        return frozenset(pool)
+
+    def _advance(self, entry: _ConstraintEntry) -> None:
+        """Incorporate the newest state into the entry's remainder."""
+        if self._strategy == "scratch":
+            self._reground(entry)
+            return
+        assert entry.reduction is not None and entry.remainder is not None
+        new_state = self._history.current
+        visible = self._entry_domain(entry, new_state)
+        if self._strategy == "spare":
+            # A real element whose id coincides with a spare id claims that
+            # spare (identity mapping) so no fresh element is renamed onto
+            # an occupied slot.  If the slot is already consumed by a
+            # renamed element, the grounding would conflate the two:
+            # rebuild instead.
+            taken = set(entry.spare_map.values())
+            for element in visible:
+                if element in entry.spare_pool and (
+                    element not in entry.spare_map
+                ):
+                    if element in taken:
+                        self._reground(entry)
+                        return
+                    entry.spare_map[element] = element
+        fresh = visible - entry.known_elements
+        # Elements already in the grounding's relevant set (e.g. spares of
+        # this entry) are not fresh.
+        fresh -= entry.reduction.relevant
+        if fresh:
+            if self._strategy == "spare" and self._try_rename(entry, fresh):
+                pass
+            else:
+                self._reground(entry)
+                return
+        entry.known_elements |= visible
+        props = state_to_props(
+            new_state, entry.reduction.domain, fold=self._fold
+        )
+        if self._strategy == "spare":
+            props = _rename_props(props, entry.spare_map)
+        entry.remainder = progress(entry.remainder, props)
+        entry.stats.progressions += 1
+
+    def _try_rename(
+        self, entry: _ConstraintEntry, fresh: frozenset[int]
+    ) -> bool:
+        """Map fresh elements onto unused spares; False if the pool is dry."""
+        used = set(entry.spare_map.values())
+        available = [s for s in entry.spare_pool if s not in used]
+        if len(available) < len(fresh):
+            return False
+        for element, spare_id in zip(sorted(fresh), available):
+            entry.spare_map[element] = spare_id
+            entry.stats.renames += 1
+        return True
+
+    def _decide(self, entry: _ConstraintEntry, instant: int) -> bool:
+        assert entry.remainder is not None
+        remainder = entry.remainder
+        if isinstance(remainder, PTLTrue):
+            return True
+        if isinstance(remainder, PTLFalse):
+            entry.violated_at = instant
+            return False
+        cached = entry.sat_cache.get(remainder)
+        if cached is not None:
+            entry.stats.sat_cache_hits += 1
+            ok = cached
+        else:
+            entry.stats.sat_calls += 1
+            ok = is_satisfiable(remainder, method=self._method, quick=True)
+            entry.sat_cache[remainder] = ok
+        if not ok:
+            entry.violated_at = instant
+        return ok
+
+
+def _rename_props(
+    props: frozenset[Prop], mapping: Mapping[int, int]
+) -> frozenset[Prop]:
+    """Rename concrete elements inside fact letters (spare strategy)."""
+    if not mapping:
+        return props
+    renamed: set[Prop] = set()
+    for p in props:
+        name = p.name
+        if isinstance(name, RelAtom):
+            new_args: tuple[GroundElement, ...] = tuple(
+                mapping.get(a, a) if isinstance(a, int) else a
+                for a in name.args
+            )
+            renamed.add(Prop(RelAtom(name.pred, new_args)))
+        else:
+            renamed.add(p)
+    return frozenset(renamed)

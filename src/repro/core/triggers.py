@@ -1,0 +1,243 @@
+"""Temporal Condition–Action triggers.
+
+Section 2 of the paper defines trigger semantics by *duality* with
+constraint satisfaction: a trigger ``if C then A`` fires at instant ``t``
+for a ground substitution θ iff ``¬Cθ`` is **not** potentially satisfied at
+``t`` — i.e. no possible future can make the (instantiated) condition
+false; firing is unavoidable, so fire now, at the earliest possible moment.
+
+Decidability therefore mirrors the constraint side: the *negation* of the
+instantiated condition must be a universal safety sentence, which makes the
+supported condition class ``exists* tense(Sigma_0)`` — negations of
+biquantified formulas, exactly the expressive power the paper attributes to
+the Sistla–Wolfson trigger language (Section 5).
+
+Ground substitutions range over the relevant elements of the history plus,
+optionally, one fresh element as the representative of all untouched
+elements (they are interchangeable, so one representative decides them
+all).  Substituted elements are injected through reserved constant symbols,
+since formulas cannot mention raw universe elements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product as cartesian
+from typing import Callable, Iterator, Mapping, Sequence
+
+from ..database.history import History
+from ..database.vocabulary import Vocabulary
+from ..errors import ClassificationError
+from ..logic.builders import not_
+from ..logic.formulas import Formula
+from ..logic.terms import Constant, Variable
+from ..logic.transform import nnf, substitute
+from .checker import check_extension
+
+#: A ground substitution: values for the condition's free variables.
+Substitution = Mapping[Variable, int]
+
+_PARAM_PREFIX = "__trig_"
+
+
+@dataclass(frozen=True)
+class Trigger:
+    """A Condition–Action trigger ``if condition then action``.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in reports.
+    condition:
+        An FOTL formula, possibly with free variables; its negation (after
+        instantiation) must be a universal safety sentence.
+    action:
+        Callback invoked as ``action(history, values)`` when the trigger
+        fires, where ``values`` maps variable names to elements.  Optional —
+        firing detection works without it.
+    """
+
+    name: str
+    condition: Formula
+    action: Callable[[History, Mapping[str, int]], None] | None = None
+
+    def parameters(self) -> tuple[Variable, ...]:
+        """The condition's free variables, sorted by name."""
+        return tuple(
+            sorted(self.condition.free_variables(), key=lambda v: v.name)
+        )
+
+
+@dataclass(frozen=True)
+class Firing:
+    """One trigger firing: which trigger, when, for which substitution."""
+
+    trigger: str
+    instant: int
+    substitution: tuple[tuple[str, int], ...]
+
+    def values(self) -> dict[str, int]:
+        return dict(self.substitution)
+
+
+def _instantiate(
+    condition: Formula, substitution: Substitution
+) -> tuple[Formula, dict[str, int]]:
+    """Replace free variables by reserved constants bound to the values."""
+    mapping = {}
+    bindings: dict[str, int] = {}
+    for variable, value in substitution.items():
+        symbol = f"{_PARAM_PREFIX}{variable.name}"
+        mapping[variable] = Constant(symbol)
+        bindings[symbol] = value
+    return substitute(condition, mapping), bindings
+
+
+def _augment_history(history: History, bindings: dict[str, int]) -> History:
+    vocabulary = Vocabulary(
+        predicates=history.vocabulary.predicates,
+        constant_symbols=history.vocabulary.constant_symbols
+        | frozenset(bindings),
+    )
+    return History(
+        vocabulary=vocabulary,
+        states=tuple(
+            type(state)(vocabulary=vocabulary, relations=state.relations)
+            for state in history.states
+        ),
+        constant_bindings={**history.constant_bindings, **bindings},
+    )
+
+
+def fires(
+    trigger: Trigger,
+    history: History,
+    substitution: Substitution,
+    assume_safety: bool = False,
+    method: str = "buchi",
+) -> bool:
+    """Does the trigger fire at the current instant for this substitution?
+
+    Implements the duality directly: instantiate, negate, and ask the
+    extension checker whether ``¬Cθ`` is potentially satisfied.
+    """
+    missing = trigger.condition.free_variables() - set(substitution)
+    if missing:
+        raise ClassificationError(
+            "substitution must cover all free variables; missing "
+            + ", ".join(sorted(v.name for v in missing))
+        )
+    instantiated, bindings = _instantiate(trigger.condition, substitution)
+    negated = nnf(not_(instantiated))
+    augmented = _augment_history(history, bindings)
+    result = check_extension(
+        negated, augmented, assume_safety=assume_safety, method=method
+    )
+    return not result.potentially_satisfied
+
+
+def candidate_substitutions(
+    trigger: Trigger,
+    history: History,
+    include_fresh: bool = True,
+) -> Iterator[Substitution]:
+    """All ground substitutions over the relevant elements.
+
+    With ``include_fresh`` one untouched element is added as the
+    representative of the (infinitely many) irrelevant elements.
+    """
+    parameters = trigger.parameters()
+    domain = sorted(history.relevant_elements())
+    if include_fresh:
+        fresh = 0
+        taken = set(domain)
+        while fresh in taken:
+            fresh += 1
+        domain.append(fresh)
+    for values in cartesian(domain, repeat=len(parameters)):
+        yield dict(zip(parameters, values))
+
+
+def firings(
+    trigger: Trigger,
+    history: History,
+    include_fresh: bool = True,
+    assume_safety: bool = False,
+    method: str = "buchi",
+) -> list[Firing]:
+    """All firings of a trigger at the history's current instant."""
+    result: list[Firing] = []
+    for substitution in candidate_substitutions(
+        trigger, history, include_fresh=include_fresh
+    ):
+        if fires(
+            trigger,
+            history,
+            substitution,
+            assume_safety=assume_safety,
+            method=method,
+        ):
+            result.append(
+                Firing(
+                    trigger=trigger.name,
+                    instant=history.now,
+                    substitution=tuple(
+                        sorted(
+                            (v.name, value)
+                            for v, value in substitution.items()
+                        )
+                    ),
+                )
+            )
+    return result
+
+
+class TriggerManager:
+    """Run a set of triggers over a growing history.
+
+    The manager deduplicates firings: a (trigger, substitution) pair that
+    has already fired is not reported again at later instants (a safety
+    violation persists forever, so without deduplication every firing would
+    repeat at every subsequent instant).
+    """
+
+    def __init__(
+        self,
+        triggers: Sequence[Trigger],
+        assume_safety: bool = False,
+        method: str = "buchi",
+        include_fresh: bool = True,
+    ):
+        self._triggers = list(triggers)
+        self._assume_safety = assume_safety
+        self._method = method
+        self._include_fresh = include_fresh
+        self._fired: set[tuple[str, tuple[tuple[str, int], ...]]] = set()
+        self._log: list[Firing] = []
+
+    @property
+    def log(self) -> list[Firing]:
+        """All firings so far, in order of detection."""
+        return list(self._log)
+
+    def check(self, history: History) -> list[Firing]:
+        """Detect new firings at the history's current instant and run their
+        actions."""
+        new: list[Firing] = []
+        for trigger in self._triggers:
+            for firing in firings(
+                trigger,
+                history,
+                include_fresh=self._include_fresh,
+                assume_safety=self._assume_safety,
+                method=self._method,
+            ):
+                key = (firing.trigger, firing.substitution)
+                if key in self._fired:
+                    continue
+                self._fired.add(key)
+                new.append(firing)
+                self._log.append(firing)
+                if trigger.action is not None:
+                    trigger.action(history, dict(firing.values()))
+        return new

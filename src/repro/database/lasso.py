@@ -1,0 +1,138 @@
+"""Ultimately-periodic (lasso) temporal databases.
+
+The paper's semantics lives on *infinite* sequences of database states.
+Those cannot be materialized, but whenever the library proves a history
+extendable it can exhibit a witness extension that is ultimately periodic —
+``stem`` states followed by a ``loop`` repeated forever.  A
+:class:`LassoDatabase` is the database-level counterpart of
+:class:`repro.ptl.buchi.LassoModel`: the FOTL evaluator in
+:mod:`repro.eval.lasso` evaluates arbitrary formulas on it *exactly*, which
+is how positive answers of the checker are certified in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..errors import SchemaError, StateError
+from .history import History
+from .state import DatabaseState
+from .vocabulary import Vocabulary
+
+
+@dataclass(frozen=True)
+class LassoDatabase:
+    """An infinite-time temporal database of the form ``stem . loop^omega``.
+
+    Attributes
+    ----------
+    vocabulary:
+        Shared schema of all states.
+    stem:
+        The initial, non-repeating states (may be empty).
+    loop:
+        The states repeated forever (non-empty).
+    constant_bindings:
+        Rigid interpretation of the constant symbols.
+    """
+
+    vocabulary: Vocabulary
+    stem: tuple[DatabaseState, ...]
+    loop: tuple[DatabaseState, ...]
+    constant_bindings: Mapping[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "stem", tuple(self.stem))
+        object.__setattr__(self, "loop", tuple(self.loop))
+        object.__setattr__(
+            self, "constant_bindings", dict(self.constant_bindings)
+        )
+        if not self.loop:
+            raise StateError("lasso loop must be non-empty")
+        for state in self.stem + self.loop:
+            if state.vocabulary != self.vocabulary:
+                raise SchemaError(
+                    "all states of a lasso database must share its vocabulary"
+                )
+
+    @property
+    def period_start(self) -> int:
+        return len(self.stem)
+
+    @property
+    def period(self) -> int:
+        return len(self.loop)
+
+    def positions(self) -> int:
+        """Number of distinct quotient positions (stem + one loop copy)."""
+        return len(self.stem) + len(self.loop)
+
+    def state_at(self, instant: int) -> DatabaseState:
+        """The database state at any time instant."""
+        if instant < 0:
+            raise ValueError("time instants are non-negative")
+        if instant < len(self.stem):
+            return self.stem[instant]
+        return self.loop[(instant - len(self.stem)) % len(self.loop)]
+
+    def fold(self, instant: int) -> int:
+        """Map a time instant to its canonical quotient position."""
+        if instant < len(self.stem):
+            return instant
+        return len(self.stem) + (instant - len(self.stem)) % len(self.loop)
+
+    def successor_position(self, position: int) -> int:
+        """Quotient successor: the next position, wrapping into the loop."""
+        if position + 1 < self.positions():
+            return position + 1
+        return len(self.stem)
+
+    def prefix(self, length: int) -> History:
+        """The finite history formed by the first ``length`` states."""
+        if length < 1:
+            raise StateError("a history needs at least one state")
+        return History(
+            vocabulary=self.vocabulary,
+            states=tuple(self.state_at(i) for i in range(length)),
+            constant_bindings=self.constant_bindings,
+        )
+
+    def constant(self, symbol: str) -> int:
+        try:
+            return self.constant_bindings[symbol]
+        except KeyError:
+            raise SchemaError(
+                f"constant symbol {symbol!r} has no interpretation"
+            ) from None
+
+    def active_domain(self) -> frozenset[int]:
+        """Union of active domains over all (quotient) states."""
+        elements: set[int] = set()
+        for state in self.stem + self.loop:
+            elements |= state.active_domain()
+        return frozenset(elements)
+
+    def relevant_elements(self) -> frozenset[int]:
+        """Elements interpreting constants or occurring in some relation."""
+        return self.active_domain() | frozenset(
+            self.constant_bindings.values()
+        )
+
+    @classmethod
+    def constant_extension(
+        cls, history: History, repeated: DatabaseState | None = None
+    ) -> "LassoDatabase":
+        """Extend a history by repeating one state forever.
+
+        With ``repeated=None`` the history's final state is repeated — the
+        simplest infinite extension, useful in tests and in the baseline
+        checker.
+        """
+        loop_state = repeated if repeated is not None else history.current
+        return cls(
+            vocabulary=history.vocabulary,
+            stem=history.states,
+            loop=(loop_state,),
+            constant_bindings=history.constant_bindings,
+        )

@@ -1,0 +1,115 @@
+"""JSON serialization of vocabularies, histories, and lasso databases.
+
+The on-disk format is deliberately plain so histories can be produced by
+other tools and checked from the CLI (``repro-tic check``)::
+
+    {
+      "vocabulary": {"predicates": {"Sub": 1, "Fill": 1}, "constants": ["vip"]},
+      "constant_bindings": {"vip": 7},
+      "states": [
+        {"Sub": [[1]]},
+        {"Sub": [[1], [2]], "Fill": [[1]]}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..errors import StateError
+from .history import History
+from .lasso import LassoDatabase
+from .state import DatabaseState
+from .vocabulary import Vocabulary
+
+
+def vocabulary_to_dict(vocabulary: Vocabulary) -> dict[str, Any]:
+    return {
+        "predicates": dict(vocabulary.predicates),
+        "constants": sorted(vocabulary.constant_symbols),
+    }
+
+
+def vocabulary_from_dict(data: dict[str, Any]) -> Vocabulary:
+    return Vocabulary(
+        predicates=dict(data.get("predicates", {})),
+        constant_symbols=frozenset(data.get("constants", ())),
+    )
+
+
+def state_to_dict(state: DatabaseState) -> dict[str, Any]:
+    return {
+        pred: sorted(list(args) for args in tuples)
+        for pred, tuples in sorted(state.relations.items())
+    }
+
+
+def state_from_dict(
+    vocabulary: Vocabulary, data: dict[str, Any]
+) -> DatabaseState:
+    return DatabaseState(
+        vocabulary=vocabulary,
+        relations={
+            pred: frozenset(tuple(args) for args in tuples)
+            for pred, tuples in data.items()
+        },
+    )
+
+
+def history_to_dict(history: History) -> dict[str, Any]:
+    return {
+        "vocabulary": vocabulary_to_dict(history.vocabulary),
+        "constant_bindings": dict(history.constant_bindings),
+        "states": [state_to_dict(state) for state in history.states],
+    }
+
+
+def history_from_dict(data: dict[str, Any]) -> History:
+    vocabulary = vocabulary_from_dict(data["vocabulary"])
+    states = tuple(
+        state_from_dict(vocabulary, entry) for entry in data["states"]
+    )
+    if not states:
+        raise StateError("serialized history has no states")
+    return History(
+        vocabulary=vocabulary,
+        states=states,
+        constant_bindings=dict(data.get("constant_bindings", {})),
+    )
+
+
+def lasso_to_dict(lasso: LassoDatabase) -> dict[str, Any]:
+    return {
+        "vocabulary": vocabulary_to_dict(lasso.vocabulary),
+        "constant_bindings": dict(lasso.constant_bindings),
+        "stem": [state_to_dict(state) for state in lasso.stem],
+        "loop": [state_to_dict(state) for state in lasso.loop],
+    }
+
+
+def lasso_from_dict(data: dict[str, Any]) -> LassoDatabase:
+    vocabulary = vocabulary_from_dict(data["vocabulary"])
+    return LassoDatabase(
+        vocabulary=vocabulary,
+        stem=tuple(
+            state_from_dict(vocabulary, entry) for entry in data["stem"]
+        ),
+        loop=tuple(
+            state_from_dict(vocabulary, entry) for entry in data["loop"]
+        ),
+        constant_bindings=dict(data.get("constant_bindings", {})),
+    )
+
+
+def dump_history(history: History, path: str) -> None:
+    """Write a history to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(history_to_dict(history), handle, indent=2, sort_keys=True)
+
+
+def load_history(path: str) -> History:
+    """Read a history from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return history_from_dict(json.load(handle))

@@ -1,0 +1,19 @@
+"""FOTL evaluation engines.
+
+* :mod:`repro.eval.finite` — evaluation over finite histories: exact for
+  past formulas, weak/strong truncated semantics for future connectives.
+* :mod:`repro.eval.lasso` — exact infinite-time evaluation of future-only
+  formulas on ultimately-periodic databases (used to certify checker
+  answers).
+"""
+
+from .finite import evaluate_finite, evaluate_past, evaluation_domain
+from .lasso import evaluate_lasso_db, models
+
+__all__ = [
+    "evaluate_finite",
+    "evaluate_lasso_db",
+    "evaluate_past",
+    "evaluation_domain",
+    "models",
+]

@@ -1,0 +1,382 @@
+"""FOTL evaluation over finite histories.
+
+For *past* formulas this is the paper's exact semantics: the truth of a past
+formula at instant ``t`` is determined by ``D0 ... Dt`` alone, so a finite
+history suffices.  For *future* connectives a finite history is inherently
+incomplete; the evaluator offers three policies for obligations that run off
+the end of the history:
+
+* ``future="strong"`` — pending obligations are false (``X A`` is false at
+  the last instant, ``A U B`` must be fulfilled within the history).
+* ``future="weak"``  — pending obligations are true (``X A`` is true at the
+  last instant, an unfulfilled ``A U B`` with ``A`` holding throughout is
+  true).
+* ``future="error"`` — raise :class:`EvaluationError` on any future
+  connective (use this to enforce past-only evaluation).
+
+Weak and strong are the standard *polarity-aware* truncated semantics
+(Eisner et al.): the policy flips at every negative position (negation,
+implication antecedents, each side of a bi-implication's negative half), so
+weak truth over-approximates and strong truth under-approximates the truth
+value on any infinite extension — in particular, if some extension
+satisfies the formula then the weak evaluation of the prefix is true, which
+is exactly the soundness the weaker-notion baseline
+(:mod:`repro.pasteval.baseline`) relies on.
+
+Quantifiers range over the *infinite* universe; truth is decided over the
+finite set ``relevant elements ∪ constants ∪ valuation values`` plus one
+fresh (irrelevant) element per quantifier-nesting level — sound because all
+irrelevant elements are interchangeable (no built-in order is available in
+the base vocabulary).  Formulas over the extended vocabulary of Section 3
+(``leq``, ``succ``, ``Zero``) break that interchangeability, so they require
+an explicit ``domain`` argument; the Turing-encoding module supplies one.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..database.history import History
+from ..database.vocabulary import BUILTIN_PREDICATES
+from ..errors import EvaluationError
+from ..logic.formulas import (
+    Always,
+    And,
+    Atom,
+    Eq,
+    Eventually,
+    Exists,
+    FalseFormula,
+    Forall,
+    Formula,
+    Historically,
+    Iff,
+    Implies,
+    Next,
+    Not,
+    Once,
+    Or,
+    Prev,
+    Release,
+    Since,
+    TrueFormula,
+    Until,
+    WeakUntil,
+)
+from ..logic.terms import Constant, Term, Variable
+
+Valuation = Mapping[Variable, int]
+
+_FUTURE_POLICIES = ("strong", "weak", "error")
+
+
+def _quantifier_depth(formula: Formula) -> int:
+    match formula:
+        case Exists(body=body) | Forall(body=body):
+            return 1 + _quantifier_depth(body)
+        case _:
+            if not formula.children:
+                return 0
+            return max(_quantifier_depth(child) for child in formula.children)
+
+
+def _uses_builtins(formula: Formula) -> bool:
+    return any(
+        isinstance(node, Atom) and node.pred in BUILTIN_PREDICATES
+        for node in formula.walk()
+    )
+
+
+def evaluation_domain(
+    formula: Formula, history: History, valuation: Valuation
+) -> frozenset[int]:
+    """The finite set over which quantifiers are evaluated.
+
+    Relevant elements, constant interpretations, valuation values, plus one
+    fresh irrelevant element per quantifier-nesting level (fresh elements
+    stand in for "any element never touched by the database").
+    """
+    base = set(history.relevant_elements())
+    base.update(valuation.values())
+    depth = _quantifier_depth(formula)
+    candidate = 0
+    added = 0
+    while added < depth:
+        if candidate not in base:
+            base.add(candidate)
+            added += 1
+        candidate += 1
+    return frozenset(base)
+
+
+class _FiniteEvaluator:
+    def __init__(
+        self,
+        history: History,
+        future: str,
+        domain: frozenset[int] | None,
+    ):
+        if future not in _FUTURE_POLICIES:
+            raise ValueError(
+                f"future policy must be one of {_FUTURE_POLICIES}, "
+                f"got {future!r}"
+            )
+        self._history = history
+        self._future = future
+        self._domain = domain
+        self._memo: dict[tuple, bool] = {}
+
+    def _term_value(self, term: Term, env: dict[Variable, int]) -> int:
+        if isinstance(term, Variable):
+            try:
+                return env[term]
+            except KeyError:
+                raise EvaluationError(
+                    f"unbound variable {term.name!r}"
+                ) from None
+        assert isinstance(term, Constant)
+        return self._history.constant(term.name)
+
+    def _builtin(self, pred: str, values: tuple[int, ...]) -> bool:
+        if pred == "leq":
+            return values[0] <= values[1]
+        if pred == "succ":
+            return values[1] == values[0] + 1
+        assert pred == "Zero"
+        return values[0] == 0
+
+    def _domain_for(
+        self, formula: Formula, env: dict[Variable, int]
+    ) -> frozenset[int]:
+        if self._domain is not None:
+            return self._domain
+        if _uses_builtins(formula):
+            raise EvaluationError(
+                "formulas over the extended vocabulary (leq/succ/Zero) "
+                "need an explicit evaluation domain"
+            )
+        return evaluation_domain(formula, self._history, env)
+
+    def evaluate(
+        self,
+        formula: Formula,
+        instant: int,
+        env: dict[Variable, int],
+        weak: bool,
+    ) -> bool:
+        # Atomic nodes are cheaper to recompute than to memoize.
+        if isinstance(formula, (TrueFormula, FalseFormula, Atom, Eq)):
+            return self._evaluate(formula, instant, env, weak)
+        free = formula.free_variables()
+        try:
+            bindings = tuple(sorted((v.name, env[v]) for v in free))
+        except KeyError as missing:
+            raise EvaluationError(
+                f"unbound variable {missing.args[0].name!r}"
+            ) from None
+        key = (id(formula), instant, weak, bindings)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        result = self._evaluate(formula, instant, env, weak)
+        self._memo[key] = result
+        return result
+
+    def _at_end(self, instant: int) -> bool:
+        return instant >= len(self._history) - 1
+
+    def _pending(self, connective: str, weak: bool) -> bool:
+        """Truth of an obligation that runs past the end of the history."""
+        if self._future == "error":
+            raise EvaluationError(
+                f"{connective} ran past the end of a finite history "
+                "(future='error')"
+            )
+        return weak
+
+    def _evaluate(
+        self,
+        formula: Formula,
+        instant: int,
+        env: dict[Variable, int],
+        weak: bool,
+    ) -> bool:
+        history = self._history
+        match formula:
+            case TrueFormula():
+                return True
+            case FalseFormula():
+                return False
+            case Atom(pred=pred, args=args):
+                values = tuple(self._term_value(a, env) for a in args)
+                if pred in BUILTIN_PREDICATES:
+                    return self._builtin(pred, values)
+                return history[instant].holds(pred, values)
+            case Eq(left=left, right=right):
+                return self._term_value(left, env) == self._term_value(
+                    right, env
+                )
+            case Not(operand=op):
+                return not self.evaluate(op, instant, env, not weak)
+            case And(operands=ops):
+                return all(
+                    self.evaluate(op, instant, env, weak) for op in ops
+                )
+            case Or(operands=ops):
+                return any(
+                    self.evaluate(op, instant, env, weak) for op in ops
+                )
+            case Implies(antecedent=a, consequent=c):
+                return not self.evaluate(
+                    a, instant, env, not weak
+                ) or self.evaluate(c, instant, env, weak)
+            case Iff(left=left, right=right):
+                # (a & b) | (!a & !b), with the policy threading through
+                # each polarity.
+                both = self.evaluate(left, instant, env, weak) and (
+                    self.evaluate(right, instant, env, weak)
+                )
+                if both:
+                    return True
+                return not self.evaluate(
+                    left, instant, env, not weak
+                ) and not self.evaluate(right, instant, env, not weak)
+            case Exists(var=v, body=body):
+                domain = self._domain_for(formula, env)
+                for value in domain:
+                    if self.evaluate(body, instant, {**env, v: value}, weak):
+                        return True
+                return False
+            case Forall(var=v, body=body):
+                domain = self._domain_for(formula, env)
+                for value in domain:
+                    if not self.evaluate(
+                        body, instant, {**env, v: value}, weak
+                    ):
+                        return False
+                return True
+            case Next(body=body):
+                if self._at_end(instant):
+                    return self._pending("next", weak)
+                return self.evaluate(body, instant + 1, env, weak)
+            case Until(left=left, right=right):
+                for s in range(instant, len(history)):
+                    if self.evaluate(right, s, env, weak):
+                        return True
+                    if not self.evaluate(left, s, env, weak):
+                        return False
+                return self._pending("until", weak)
+            case WeakUntil(left=left, right=right):
+                for s in range(instant, len(history)):
+                    if self.evaluate(right, s, env, weak):
+                        return True
+                    if not self.evaluate(left, s, env, weak):
+                        return False
+                # left held through the end of the history; whether that
+                # counts is exactly the weak/strong truncation choice.
+                return self._pending("weak until", weak)
+            case Release(left=left, right=right):
+                for s in range(instant, len(history)):
+                    if not self.evaluate(right, s, env, weak):
+                        return False
+                    if self.evaluate(left, s, env, weak):
+                        return True
+                return self._pending("release", weak)
+            case Eventually(body=body):
+                if any(
+                    self.evaluate(body, s, env, weak)
+                    for s in range(instant, len(history))
+                ):
+                    return True
+                return self._pending("eventually", weak)
+            case Always(body=body):
+                if not all(
+                    self.evaluate(body, s, env, weak)
+                    for s in range(instant, len(history))
+                ):
+                    return False
+                return self._pending("always", weak)
+            case Prev(body=body):
+                return instant > 0 and self.evaluate(
+                    body, instant - 1, env, weak
+                )
+            case Since(left=left, right=right):
+                for s in range(instant, -1, -1):
+                    if self.evaluate(right, s, env, weak):
+                        return True
+                    if not self.evaluate(left, s, env, weak):
+                        return False
+                return False
+            case Once(body=body):
+                return any(
+                    self.evaluate(body, s, env, weak)
+                    for s in range(instant, -1, -1)
+                )
+            case Historically(body=body):
+                return all(
+                    self.evaluate(body, s, env, weak)
+                    for s in range(instant, -1, -1)
+                )
+            case _:
+                raise TypeError(f"cannot evaluate {formula!r}")
+
+
+def evaluate_finite(
+    formula: Formula,
+    history: History,
+    instant: int = 0,
+    valuation: Valuation | None = None,
+    future: str = "strong",
+    domain: frozenset[int] | None = None,
+) -> bool:
+    """Evaluate a formula on a finite history at a time instant.
+
+    Parameters
+    ----------
+    future:
+        Policy for future obligations past the end of the history
+        (``"strong"`` / ``"weak"`` / ``"error"``, see module docstring).
+    domain:
+        Explicit quantifier domain; required for formulas using the
+        extended vocabulary.
+
+    >>> from ..logic import parse
+    >>> from ..database import History, vocabulary
+    >>> v = vocabulary({"p": 1})
+    >>> h = History.from_facts(v, [[("p", (1,))], []])
+    >>> evaluate_finite(parse("exists x . p(x)"), h)
+    True
+    >>> evaluate_finite(parse("G (exists x . p(x))"), h)
+    False
+    """
+    if not 0 <= instant < len(history):
+        raise EvaluationError(
+            f"instant {instant} outside the history (length {len(history)})"
+        )
+    env = dict(valuation or {})
+    evaluator = _FiniteEvaluator(history, future, domain)
+    return evaluator.evaluate(formula, instant, env, weak=(future == "weak"))
+
+
+def evaluate_past(
+    formula: Formula,
+    history: History,
+    instant: int | None = None,
+    valuation: Valuation | None = None,
+    domain: frozenset[int] | None = None,
+) -> bool:
+    """Evaluate a past formula at an instant (default: the current one).
+
+    Raises :class:`EvaluationError` if the formula uses future connectives —
+    this is the exact finite-history semantics of the paper's past fragment.
+    """
+    if instant is None:
+        instant = history.now
+    return evaluate_finite(
+        formula,
+        history,
+        instant=instant,
+        valuation=valuation,
+        future="error",
+        domain=domain,
+    )

@@ -1,0 +1,310 @@
+"""Exact FOTL evaluation on lasso (ultimately-periodic) temporal databases.
+
+This gives the paper's *infinite-time* semantics a computable instance: on a
+database of the form ``stem . loop^omega``, suffixes starting at equal
+quotient positions are equal, so future-tense connectives are fixpoints over
+the finite quotient exactly as in :mod:`repro.ptl.lasso` — but here
+formulas are first-order, so each subformula's truth table is computed per
+valuation of its free variables.
+
+Quantifiers use the same active-domain-plus-fresh-elements discipline as the
+finite evaluator (see :mod:`repro.eval.finite`): sound for the base
+vocabulary because irrelevant elements are interchangeable; formulas over
+the extended vocabulary need an explicit ``domain``.
+
+Past-tense connectives are **not** supported here: on a lasso the loop's
+first position is reached at infinitely many instants with *different*
+pasts, so past truth does not factor through the quotient.  This is no
+limitation for the paper's constraint classes — biquantified formulas are
+future-only by definition — and mixed formulas can always be evaluated on
+finite prefixes with :mod:`repro.eval.finite`.
+
+The headline use: certifying the checker.  When
+:func:`repro.core.checker.check_extension` answers "extendable" it can
+produce a witness :class:`repro.database.LassoDatabase`; this evaluator
+re-checks the *original* FOTL constraint on that witness.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..database.lasso import LassoDatabase
+from ..database.vocabulary import BUILTIN_PREDICATES
+from ..errors import EvaluationError
+from ..logic.classify import uses_past
+from ..logic.formulas import (
+    Always,
+    And,
+    Atom,
+    Eq,
+    Eventually,
+    Exists,
+    FalseFormula,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Next,
+    Not,
+    Or,
+    Release,
+    TrueFormula,
+    Until,
+    WeakUntil,
+)
+from ..logic.terms import Constant, Term, Variable
+
+Valuation = Mapping[Variable, int]
+
+
+def _quantifier_depth(formula: Formula) -> int:
+    match formula:
+        case Exists(body=body) | Forall(body=body):
+            return 1 + _quantifier_depth(body)
+        case _:
+            if not formula.children:
+                return 0
+            return max(_quantifier_depth(child) for child in formula.children)
+
+
+def _uses_builtins(formula: Formula) -> bool:
+    return any(
+        isinstance(node, Atom) and node.pred in BUILTIN_PREDICATES
+        for node in formula.walk()
+    )
+
+
+class _LassoEvaluator:
+    def __init__(self, database: LassoDatabase, domain: frozenset[int] | None):
+        self._db = database
+        self._domain = domain
+        self._positions = database.positions()
+        self._successor = [
+            database.successor_position(p) for p in range(self._positions)
+        ]
+        self._states = [
+            database.state_at(p) for p in range(self._positions)
+        ]
+        self._memo: dict[tuple[Formula, frozenset], list[bool]] = {}
+
+    # -- helpers ------------------------------------------------------------
+
+    def _term_value(self, term: Term, env: dict[Variable, int]) -> int:
+        if isinstance(term, Variable):
+            try:
+                return env[term]
+            except KeyError:
+                raise EvaluationError(
+                    f"unbound variable {term.name!r}"
+                ) from None
+        assert isinstance(term, Constant)
+        return self._db.constant(term.name)
+
+    def _builtin(self, pred: str, values: tuple[int, ...]) -> bool:
+        if pred == "leq":
+            return values[0] <= values[1]
+        if pred == "succ":
+            return values[1] == values[0] + 1
+        assert pred == "Zero"
+        return values[0] == 0
+
+    def _domain_for(
+        self, formula: Formula, env: dict[Variable, int]
+    ) -> frozenset[int]:
+        if self._domain is not None:
+            return self._domain
+        if _uses_builtins(formula):
+            raise EvaluationError(
+                "formulas over the extended vocabulary (leq/succ/Zero) "
+                "need an explicit evaluation domain"
+            )
+        base = set(self._db.relevant_elements())
+        base.update(env.values())
+        depth = _quantifier_depth(formula)
+        candidate = 0
+        added = 0
+        while added < depth:
+            if candidate not in base:
+                base.add(candidate)
+                added += 1
+            candidate += 1
+        return frozenset(base)
+
+    # -- truth tables ---------------------------------------------------------
+
+    def table(self, formula: Formula, env: dict[Variable, int]) -> list[bool]:
+        free = formula.free_variables()
+        key = (
+            id(formula),
+            tuple(sorted((v.name, env[v]) for v in free)),
+        )
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        result = self._compute(formula, env)
+        self._memo[key] = result
+        return result
+
+    def _lfp(self, base: list[bool], cont: list[bool]) -> list[bool]:
+        value = [False] * self._positions
+        for _ in range(self._positions):
+            changed = False
+            for index in range(self._positions - 1, -1, -1):
+                new = base[index] or (
+                    cont[index] and value[self._successor[index]]
+                )
+                if new != value[index]:
+                    value[index] = new
+                    changed = True
+            if not changed:
+                break
+        return value
+
+    def _gfp_release(self, left: list[bool], right: list[bool]) -> list[bool]:
+        value = [True] * self._positions
+        for _ in range(self._positions):
+            changed = False
+            for index in range(self._positions - 1, -1, -1):
+                new = right[index] and (
+                    left[index] or value[self._successor[index]]
+                )
+                if new != value[index]:
+                    value[index] = new
+                    changed = True
+            if not changed:
+                break
+        return value
+
+    def _compute(
+        self, formula: Formula, env: dict[Variable, int]
+    ) -> list[bool]:
+        positions = self._positions
+        match formula:
+            case TrueFormula():
+                return [True] * positions
+            case FalseFormula():
+                return [False] * positions
+            case Atom(pred=pred, args=args):
+                values = tuple(self._term_value(a, env) for a in args)
+                if pred in BUILTIN_PREDICATES:
+                    truth = self._builtin(pred, values)
+                    return [truth] * positions
+                return [
+                    self._states[p].holds(pred, values)
+                    for p in range(positions)
+                ]
+            case Eq(left=left, right=right):
+                truth = self._term_value(left, env) == self._term_value(
+                    right, env
+                )
+                return [truth] * positions
+            case Not(operand=op):
+                inner = self.table(op, env)
+                return [not v for v in inner]
+            case And(operands=ops):
+                tables = [self.table(op, env) for op in ops]
+                return [
+                    all(t[p] for t in tables) for p in range(positions)
+                ]
+            case Or(operands=ops):
+                tables = [self.table(op, env) for op in ops]
+                return [
+                    any(t[p] for t in tables) for p in range(positions)
+                ]
+            case Implies(antecedent=a, consequent=c):
+                ta, tc = self.table(a, env), self.table(c, env)
+                return [(not ta[p]) or tc[p] for p in range(positions)]
+            case Iff(left=left, right=right):
+                tl, tr = self.table(left, env), self.table(right, env)
+                return [tl[p] == tr[p] for p in range(positions)]
+            case Exists(var=v, body=body):
+                domain = self._domain_for(formula, env)
+                result = [False] * positions
+                for value in domain:
+                    sub = self.table(body, {**env, v: value})
+                    result = [
+                        result[p] or sub[p] for p in range(positions)
+                    ]
+                    if all(result):
+                        break
+                return result
+            case Forall(var=v, body=body):
+                domain = self._domain_for(formula, env)
+                result = [True] * positions
+                for value in domain:
+                    sub = self.table(body, {**env, v: value})
+                    result = [
+                        result[p] and sub[p] for p in range(positions)
+                    ]
+                    if not any(result):
+                        break
+                return result
+            case Next(body=body):
+                inner = self.table(body, env)
+                return [inner[self._successor[p]] for p in range(positions)]
+            case Until(left=left, right=right):
+                return self._lfp(self.table(right, env), self.table(left, env))
+            case Eventually(body=body):
+                return self._lfp(self.table(body, env), [True] * positions)
+            case WeakUntil(left=left, right=right):
+                # gfp of v = right or (left and v[succ]).
+                tl, tr = self.table(left, env), self.table(right, env)
+                value = [True] * positions
+                for _ in range(positions):
+                    changed = False
+                    for index in range(positions - 1, -1, -1):
+                        new = tr[index] or (
+                            tl[index] and value[self._successor[index]]
+                        )
+                        if new != value[index]:
+                            value[index] = new
+                            changed = True
+                    if not changed:
+                        break
+                return value
+            case Release(left=left, right=right):
+                return self._gfp_release(
+                    self.table(left, env), self.table(right, env)
+                )
+            case Always(body=body):
+                return self._gfp_release(
+                    [False] * positions, self.table(body, env)
+                )
+            case _:
+                if uses_past(formula):
+                    raise EvaluationError(
+                        "past-tense connectives cannot be evaluated on a "
+                        "lasso (the loop's past differs per traversal); "
+                        "evaluate on finite prefixes instead"
+                    )
+                raise TypeError(f"cannot evaluate {formula!r}")
+
+
+def evaluate_lasso_db(
+    formula: Formula,
+    database: LassoDatabase,
+    instant: int = 0,
+    valuation: Valuation | None = None,
+    domain: frozenset[int] | None = None,
+) -> bool:
+    """Evaluate a future-only FOTL formula on a lasso database.
+
+    >>> from ..logic import parse
+    >>> from ..database import History, LassoDatabase, vocabulary
+    >>> v = vocabulary({"p": 1})
+    >>> h = History.from_facts(v, [[("p", (1,))]])
+    >>> db = LassoDatabase.constant_extension(h)
+    >>> evaluate_lasso_db(parse("G (exists x . p(x))"), db)
+    True
+    """
+    if instant < 0:
+        raise ValueError("time instants are non-negative")
+    evaluator = _LassoEvaluator(database, domain)
+    table = evaluator.table(formula, dict(valuation or {}))
+    return table[database.fold(instant)]
+
+
+def models(database: LassoDatabase, formula: Formula) -> bool:
+    """``database |= formula`` (truth at instant 0)."""
+    return evaluate_lasso_db(formula, database, 0)

@@ -1,0 +1,40 @@
+"""Experiment runners: the paper's claims as runnable tables.
+
+The paper is a theory paper with no benchmark tables; each module here
+turns one theorem / construction / complexity claim into a measurable
+experiment (see DESIGN.md section 4 for the index and EXPERIMENTS.md for
+recorded results).  Run one via ``repro-tic experiment <id>`` or
+``python -m repro.experiments <id>``.
+"""
+
+from . import (
+    a1_incremental,
+    a2_sat_engines,
+    a3_domain_restriction,
+    e1_history_length,
+    e2_domain_size,
+    e3_ptl_phases,
+    e4_turing,
+    e5_sat_reduction,
+    e6_orders_monitoring,
+    e7_detection_latency,
+    e8_triggers,
+    e9_w_ordering,
+)
+
+RUNNERS = {
+    "e1": e1_history_length.run,
+    "e2": e2_domain_size.run,
+    "e3": e3_ptl_phases.run,
+    "e4": e4_turing.run,
+    "e5": e5_sat_reduction.run,
+    "e6": e6_orders_monitoring.run,
+    "e7": e7_detection_latency.run,
+    "e8": e8_triggers.run,
+    "e9": e9_w_ordering.run,
+    "a1": a1_incremental.run,
+    "a2": a2_sat_engines.run,
+    "a3": a3_domain_restriction.run,
+}
+
+__all__ = ["RUNNERS"]

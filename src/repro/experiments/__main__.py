@@ -1,0 +1,23 @@
+"""``python -m repro.experiments [id ...]`` — run experiments by id."""
+
+import sys
+
+from . import RUNNERS
+
+
+def main(argv: list[str]) -> int:
+    names = [name.lower() for name in argv] or sorted(RUNNERS)
+    fast = "--fast" in names
+    names = [n for n in names if not n.startswith("-")]
+    for name in names:
+        runner = RUNNERS.get(name)
+        if runner is None:
+            print(f"unknown experiment {name!r}; available: "
+                  + ", ".join(sorted(RUNNERS)))
+            return 2
+        runner(fast=fast)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

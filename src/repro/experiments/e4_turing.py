@@ -1,0 +1,90 @@
+"""E4 — Section 3: the undecidability construction, executed.
+
+Three parts:
+
+1. Encoding correctness on machines with computable ground truth (the
+   parity machine): valid run encodings pass the Proposition 3.1 checks;
+   corrupted ones fail.
+2. The bounded extension search of Theorem 3.1: certified origin-visit
+   counts under growing step budgets.  On repeating inputs the counts grow
+   without bound; on halting inputs the search returns a definitive "no";
+   on the runaway machine the computation diverges without revisiting the
+   origin — and the certified count freezes at 1 with no way for any
+   budget to tell "never again" from "not yet".  That three-way pattern is
+   the observable footprint of Pi^0_2-completeness.
+3. The classification of phi~ (monadic, one internal quantifier): the
+   formula the paper proves undecidable.
+"""
+
+from __future__ import annotations
+
+from ..logic.classify import classify
+from ..turing.check import check_encoding
+from ..turing.encoding import MachineEncoding
+from ..turing.repeating import visit_growth
+from ..turing.wordering import build_phi_tilde
+from ..turing.zoo import bouncer, halter, parity, runaway
+from .common import print_table
+
+
+def run(fast: bool = False) -> list[dict]:
+    budgets = [50, 200] if fast else [50, 200, 800, 3200]
+    cases = [
+        (parity(), "1001", "repeating (even 1s)"),
+        (parity(), "101", "repeating (even 1s)"),
+        (parity(), "100", "halting (odd 1s)"),
+        (bouncer(), "0110", "repeating (always)"),
+        (runaway(), "01", "diverges, never returns"),
+        (halter(), "1", "halting (immediately)"),
+    ]
+    rows: list[dict] = []
+    for machine, word, truth in cases:
+        encoding = MachineEncoding.for_machine(machine)
+        history, _ = encoding.encode_run(word, steps=min(budgets))
+        valid = check_encoding(history, encoding).ok
+        row: dict = {
+            "machine": machine.name,
+            "word": word,
+            "ground truth": truth,
+            "encoding ok": valid,
+        }
+        for budget, visits, halted in visit_growth(machine, word, budgets):
+            row[f"visits@{budget}"] = "HALT" if halted else visits
+        rows.append(row)
+
+    columns = ["machine", "word", "ground truth", "encoding ok"] + [
+        f"visits@{b}" for b in budgets
+    ]
+    print_table(
+        "E4  Section 3: run encodings and the bounded repeating-behaviour "
+        "search",
+        columns,
+        rows,
+        note="repeating inputs: counts grow without bound; halting: "
+        "definitive; runaway: frozen at 1, indistinguishable from "
+        "'not yet' at any budget (the Pi^0_2 footprint)",
+    )
+
+    tilde = build_phi_tilde(MachineEncoding.for_machine(parity()))
+    info = classify(tilde.conjunction())
+    class_rows = [
+        {
+            "formula": "phi~ (parity machine)",
+            "biquantified": info.is_biquantified,
+            "universal": info.is_universal,
+            "internal quantifiers": info.internal_quantifiers,
+            "monadic": all(
+                arity == 1
+                for _n, arity in tilde.conjunction().predicates()
+            ),
+        }
+    ]
+    print_table(
+        "E4b  the Theorem 3.2 formula class",
+        ["formula", "biquantified", "universal", "internal quantifiers",
+         "monadic"],
+        class_rows,
+        note="biquantified with one internal quantifier over monadic "
+        "predicates: extension checking Pi^0_2-complete",
+    )
+    return rows + class_rows

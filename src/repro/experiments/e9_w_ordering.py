@@ -1,0 +1,125 @@
+"""E9 — the W-ordering machinery and the limits of the method.
+
+Three demonstrations around Sections 3-4:
+
+1. ``W1``-``W3`` really induce an order: on an explicit database that
+   enumerates elements, the defined relations ``<=_W`` / ``S_W`` / ``Z_W``
+   coincide with the intended order (checked pointwise).
+2. The finite-universe formula (``W4`` + the ``Q`` chain) is a *universal*
+   formula that is satisfiable over every finite universe but has no
+   temporal-database model — and it fails the safety check, which is
+   exactly why the checker refuses it.
+3. Dropping the safety requirement is genuinely unsound: for the liveness
+   sentence ``forall x . F p(x)`` (potentially satisfied by *every*
+   history: enumerate the universe over time) the forced reduction answers
+   "violated" — Lemma 4.1's failure, observed.
+"""
+
+from __future__ import annotations
+
+from ..core.checker import check_extension
+from ..database.history import History
+from ..database.lasso import LassoDatabase
+from ..database.vocabulary import vocabulary
+from ..eval.lasso import evaluate_lasso_db
+from ..logic.classify import classify
+from ..logic.parser import parse
+from ..logic.safety import is_syntactically_safe
+from ..logic.terms import Variable
+from ..turing.wordering import finite_universe_formula, leq_w, succ_w, zero_w
+from .common import print_table
+
+X, Y = Variable("x"), Variable("y")
+
+
+def _enumeration_db(size: int) -> LassoDatabase:
+    v = vocabulary({"W": 1})
+    states = [[("W", (element,))] for element in range(size)]
+    history = History.from_facts(v, states)
+    # After the enumeration, W stays empty forever.
+    empty = history.states[0].without_facts([("W", (0,))])
+    return LassoDatabase(
+        vocabulary=v, stem=history.states, loop=(empty,)
+    )
+
+
+def run(fast: bool = False) -> list[dict]:
+    size = 4 if fast else 6
+    db = _enumeration_db(size)
+    checks = 0
+    agreements = 0
+    for a in range(size):
+        for b in range(size):
+            want_leq = a <= b
+            got_leq = evaluate_lasso_db(
+                leq_w(X, Y), db, valuation={X: a, Y: b}
+            )
+            want_succ = b == a + 1
+            got_succ = evaluate_lasso_db(
+                succ_w(X, Y), db, valuation={X: a, Y: b}
+            )
+            checks += 2
+            agreements += (want_leq == got_leq) + (want_succ == got_succ)
+    zero_ok = evaluate_lasso_db(zero_w(X), db, valuation={X: 0}) and not (
+        evaluate_lasso_db(zero_w(X), db, valuation={X: 1})
+    )
+    rows = [
+        {
+            "check": "<=_W and S_W match the enumeration order",
+            "result": f"{agreements}/{checks} pointwise agreements",
+        },
+        {
+            "check": "Z_W singles out the first enumerated element",
+            "result": zero_ok,
+        },
+    ]
+
+    finite_only = finite_universe_formula()
+    info = classify(finite_only)
+    rows.append(
+        {
+            "check": "finite-universe formula (W4 + Q chain) is universal",
+            "result": info.is_universal,
+        }
+    )
+    rows.append(
+        {
+            "check": "... but fails the safety recognizer",
+            "result": not is_syntactically_safe(finite_only),
+        }
+    )
+    v2 = vocabulary({"W": 1, "Q": 1})
+    forced = check_extension(
+        finite_only, History.empty(v2), assume_safety=True
+    )
+    rows.append(
+        {
+            "check": "no temporal-database model (checker, safety forced)",
+            "result": not forced.potentially_satisfied,
+        }
+    )
+
+    # Unsoundness demonstration.
+    vp = vocabulary({"p": 1})
+    live = parse("forall x . F p(x)")
+    forced_live = check_extension(
+        live, History.empty(vp), assume_safety=True
+    )
+    rows.append(
+        {
+            "check": "UNSOUND without safety: 'forall x . F p(x)' "
+            "(ground truth: potentially satisfied)",
+            "result": f"forced reduction answers "
+            f"{forced_live.potentially_satisfied} (wrong)",
+        }
+    )
+    print_table(
+        "E9  W-ordering semantics, the finite-universe example, and why "
+        "safety is required",
+        ["check", "result"],
+        rows,
+        note="the last row is the Lemma 4.1 failure the paper warns "
+        "about: non-safety formulas make the procedure unsound",
+    )
+    assert agreements == checks
+    return rows

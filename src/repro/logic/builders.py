@@ -1,0 +1,252 @@
+"""Convenience constructors for FOTL formulas.
+
+These are the intended way to *write* constraints in Python.  They accept
+strings where terms or variables are expected, flatten nested conjunctions
+and disjunctions, and perform inexpensive constant folding (``and_(TRUE, A)``
+is ``A``) so that generated formulas stay small.
+
+Example — the paper's first running constraint, "an order can be submitted
+only once"::
+
+    x = var("x")
+    constraint = forall(x, always(implies(atom("Sub", x),
+                                          next_(always(not_(atom("Sub", x)))))))
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .formulas import (
+    FALSE,
+    TRUE,
+    Always,
+    And,
+    Atom,
+    Eq,
+    Eventually,
+    Exists,
+    FalseFormula,
+    Forall,
+    Formula,
+    Historically,
+    Iff,
+    Implies,
+    Next,
+    Not,
+    Once,
+    Or,
+    Prev,
+    Release,
+    Since,
+    TrueFormula,
+    Until,
+    WeakUntil,
+)
+from .terms import Constant, Term, Variable
+
+TermLike = Term | str | int
+
+
+def var(name: str) -> Variable:
+    """Create a variable."""
+    return Variable(name)
+
+
+def const(name: str) -> Constant:
+    """Create a constant symbol."""
+    return Constant(name)
+
+
+def _as_term(value: TermLike) -> Term:
+    """Coerce a term-like value to a :class:`Term`.
+
+    Strings starting with a lowercase letter become variables, other strings
+    become constants; this mirrors Prolog convention reversed to match the
+    paper's examples (variables x, y; constants are named objects).  Pass
+    explicit :class:`Variable`/:class:`Constant` objects to avoid guessing.
+    Integers become constants named ``n<value>`` (useful in tests).
+    """
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, int):
+        if value < 0:
+            raise ValueError("integer constants must be non-negative")
+        return Constant(f"n{value}")
+    if isinstance(value, str):
+        if value and (value[0].islower() or value[0] == "_"):
+            return Variable(value)
+        return Constant(value)
+    raise TypeError(f"cannot interpret {value!r} as a term")
+
+
+def atom(pred: str, *args: TermLike) -> Atom:
+    """Create a predicate atom ``pred(args...)``."""
+    return Atom(pred, tuple(_as_term(a) for a in args))
+
+
+def eq(left: TermLike, right: TermLike) -> Eq:
+    """Create an equality atom."""
+    return Eq(_as_term(left), _as_term(right))
+
+
+def neq(left: TermLike, right: TermLike) -> Formula:
+    """Create a disequality ``not (left = right)``."""
+    return not_(eq(left, right))
+
+
+def not_(operand: Formula) -> Formula:
+    """Negation, folding constants and double negation."""
+    match operand:
+        case TrueFormula():
+            return FALSE
+        case FalseFormula():
+            return TRUE
+        case Not(operand=inner):
+            return inner
+        case _:
+            return Not(operand)
+
+
+def _flatten(
+    operands: Iterable[Formula], node_type: type
+) -> Iterable[Formula]:
+    for op in operands:
+        if isinstance(op, node_type):
+            yield from op.operands
+        else:
+            yield op
+
+
+def and_(*operands: Formula) -> Formula:
+    """N-ary conjunction with flattening, deduplication-free constant folding.
+
+    ``and_()`` is TRUE; a single operand is returned as-is.
+    """
+    flat: list[Formula] = []
+    for op in _flatten(operands, And):
+        if isinstance(op, FalseFormula):
+            return FALSE
+        if not isinstance(op, TrueFormula):
+            flat.append(op)
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def or_(*operands: Formula) -> Formula:
+    """N-ary disjunction with flattening and constant folding.
+
+    ``or_()`` is FALSE; a single operand is returned as-is.
+    """
+    flat: list[Formula] = []
+    for op in _flatten(operands, Or):
+        if isinstance(op, TrueFormula):
+            return TRUE
+        if not isinstance(op, FalseFormula):
+            flat.append(op)
+    if not flat:
+        return FALSE
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))
+
+
+def conj(operands: Iterable[Formula]) -> Formula:
+    """Conjunction of an iterable (``and_`` over a sequence)."""
+    return and_(*operands)
+
+
+def disj(operands: Iterable[Formula]) -> Formula:
+    """Disjunction of an iterable (``or_`` over a sequence)."""
+    return or_(*operands)
+
+
+def implies(antecedent: Formula, consequent: Formula) -> Formula:
+    """Implication with constant folding."""
+    if isinstance(antecedent, FalseFormula) or isinstance(
+        consequent, TrueFormula
+    ):
+        return TRUE
+    if isinstance(antecedent, TrueFormula):
+        return consequent
+    if isinstance(consequent, FalseFormula):
+        return not_(antecedent)
+    return Implies(antecedent, consequent)
+
+
+def iff(left: Formula, right: Formula) -> Formula:
+    """Bi-implication."""
+    return Iff(left, right)
+
+
+def forall(variables: Variable | Iterable[Variable], body: Formula) -> Formula:
+    """Universal closure over one variable or a sequence of variables."""
+    if isinstance(variables, Variable):
+        variables = (variables,)
+    result = body
+    for v in reversed(tuple(variables)):
+        result = Forall(v, result)
+    return result
+
+
+def exists(variables: Variable | Iterable[Variable], body: Formula) -> Formula:
+    """Existential closure over one variable or a sequence of variables."""
+    if isinstance(variables, Variable):
+        variables = (variables,)
+    result = body
+    for v in reversed(tuple(variables)):
+        result = Exists(v, result)
+    return result
+
+
+def next_(body: Formula) -> Formula:
+    """``next A``."""
+    return Next(body)
+
+
+def until(left: Formula, right: Formula) -> Formula:
+    """``A until B`` (strong)."""
+    return Until(left, right)
+
+
+def weak_until(left: Formula, right: Formula) -> Formula:
+    """``A unless B`` (weak until)."""
+    return WeakUntil(left, right)
+
+
+def release(left: Formula, right: Formula) -> Formula:
+    """``A release B``."""
+    return Release(left, right)
+
+
+def eventually(body: Formula) -> Formula:
+    """``eventually A`` (diamond)."""
+    return Eventually(body)
+
+
+def always(body: Formula) -> Formula:
+    """``always A`` (box)."""
+    return Always(body)
+
+
+def prev(body: Formula) -> Formula:
+    """``previous A`` (strong: false at instant 0)."""
+    return Prev(body)
+
+
+def since(left: Formula, right: Formula) -> Formula:
+    """``A since B``."""
+    return Since(left, right)
+
+
+def once(body: Formula) -> Formula:
+    """``once A`` (sometime in the past, including now)."""
+    return Once(body)
+
+
+def historically(body: Formula) -> Formula:
+    """``historically A`` (always in the past, including now)."""
+    return Historically(body)

@@ -1,0 +1,371 @@
+"""Abstract syntax of first-order temporal logic (FOTL).
+
+The node set follows Section 2 of the paper: atomic formulas (predicate
+applications and equalities), the boolean connectives, first-order
+quantifiers, the future-tense connectives *next* and *until*, and the
+past-tense connectives *previous* and *since*.  The derived connectives the
+paper defines from these (*eventually*, *always*, *once*, *historically*)
+are first-class nodes here — classification and the safety recognizer care
+about which derived form was written — plus the standard *weak until* and
+*release* forms needed for negation normal form.
+
+All nodes are immutable, hashable dataclasses.  Algorithms over formulas
+(substitution, normal forms, classification, evaluation) live in sibling
+modules and use structural pattern matching; the AST itself only knows its
+shape, its free variables, and how to print itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from .terms import Constant, Term, Variable
+
+
+@dataclass(frozen=True)
+class Formula:
+    """Abstract base class of FOTL formulas."""
+
+    def __str__(self) -> str:  # pragma: no cover - delegated
+        from .printer import to_str
+
+        return to_str(self)
+
+    @property
+    def children(self) -> tuple["Formula", ...]:
+        """Immediate subformulas, left to right."""
+        return ()
+
+    def walk(self) -> Iterator["Formula"]:
+        """Yield this formula and all subformulas, pre-order."""
+        stack: list[Formula] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def free_variables(self) -> frozenset[Variable]:
+        """The free variables of this formula (cached per node)."""
+        cached = self.__dict__.get("_free_cache")
+        if cached is None:
+            cached = _free_variables(self)
+            object.__setattr__(self, "_free_cache", cached)
+        return cached
+
+    def constants(self) -> frozenset[Constant]:
+        """All constant symbols occurring in this formula."""
+        result: set[Constant] = set()
+        for node in self.walk():
+            if isinstance(node, Atom):
+                result.update(t for t in node.args if isinstance(t, Constant))
+            elif isinstance(node, Eq):
+                result.update(
+                    t for t in (node.left, node.right) if isinstance(t, Constant)
+                )
+        return frozenset(result)
+
+    def predicates(self) -> frozenset[tuple[str, int]]:
+        """All (predicate name, arity) pairs occurring in this formula."""
+        return frozenset(
+            (node.pred, len(node.args))
+            for node in self.walk()
+            if isinstance(node, Atom)
+        )
+
+    def size(self) -> int:
+        """Number of AST nodes (a proxy for ``|phi|`` in the paper's bounds)."""
+        return sum(1 for _ in self.walk())
+
+    def is_closed(self) -> bool:
+        """True iff the formula is a sentence (no free variables)."""
+        return not self.free_variables()
+
+
+@dataclass(frozen=True)
+class TrueFormula(Formula):
+    """The propositional constant true."""
+
+
+@dataclass(frozen=True)
+class FalseFormula(Formula):
+    """The propositional constant false."""
+
+
+TRUE = TrueFormula()
+FALSE = FalseFormula()
+
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    """A predicate application ``p(t1, ..., tr)``."""
+
+    pred: str
+    args: tuple[Term, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.pred:
+            raise ValueError("predicate name must be non-empty")
+        object.__setattr__(self, "args", tuple(self.args))
+        for arg in self.args:
+            if not isinstance(arg, Term):
+                raise TypeError(f"atom argument must be a Term, got {arg!r}")
+
+
+@dataclass(frozen=True)
+class Eq(Formula):
+    """An equality atom ``t1 = t2``.
+
+    Equality is not a database predicate (it denotes an infinite relation);
+    the classifier and the reduction treat it specially.
+    """
+
+    left: Term
+    right: Term
+
+    def __post_init__(self) -> None:
+        for side in (self.left, self.right):
+            if not isinstance(side, Term):
+                raise TypeError(f"equality side must be a Term, got {side!r}")
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation."""
+
+    operand: Formula
+
+    @property
+    def children(self) -> tuple[Formula, ...]:
+        return (self.operand,)
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """N-ary conjunction (use :func:`repro.logic.builders.and_` to build)."""
+
+    operands: tuple[Formula, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "operands", tuple(self.operands))
+        if len(self.operands) < 2:
+            raise ValueError("And requires at least two operands")
+
+    @property
+    def children(self) -> tuple[Formula, ...]:
+        return self.operands
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """N-ary disjunction (use :func:`repro.logic.builders.or_` to build)."""
+
+    operands: tuple[Formula, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "operands", tuple(self.operands))
+        if len(self.operands) < 2:
+            raise ValueError("Or requires at least two operands")
+
+    @property
+    def children(self) -> tuple[Formula, ...]:
+        return self.operands
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    """Implication ``A => B``."""
+
+    antecedent: Formula
+    consequent: Formula
+
+    @property
+    def children(self) -> tuple[Formula, ...]:
+        return (self.antecedent, self.consequent)
+
+
+@dataclass(frozen=True)
+class Iff(Formula):
+    """Bi-implication ``A <=> B`` (a convenience; eliminated in normal forms)."""
+
+    left: Formula
+    right: Formula
+
+    @property
+    def children(self) -> tuple[Formula, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    """Existential quantification ``exists x . A``."""
+
+    var: Variable
+    body: Formula
+
+    @property
+    def children(self) -> tuple[Formula, ...]:
+        return (self.body,)
+
+
+@dataclass(frozen=True)
+class Forall(Formula):
+    """Universal quantification ``forall x . A``."""
+
+    var: Variable
+    body: Formula
+
+    @property
+    def children(self) -> tuple[Formula, ...]:
+        return (self.body,)
+
+
+# --------------------------------------------------------------------------
+# Future-tense connectives
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Next(Formula):
+    """``next A``: A holds at the next instant."""
+
+    body: Formula
+
+    @property
+    def children(self) -> tuple[Formula, ...]:
+        return (self.body,)
+
+
+@dataclass(frozen=True)
+class Until(Formula):
+    """``A until B`` (strong until: B must eventually hold)."""
+
+    left: Formula
+    right: Formula
+
+    @property
+    def children(self) -> tuple[Formula, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class WeakUntil(Formula):
+    """``A unless B``: either ``A until B`` or A holds forever."""
+
+    left: Formula
+    right: Formula
+
+    @property
+    def children(self) -> tuple[Formula, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Release(Formula):
+    """``A release B``: B holds up to and including the first instant where
+    A holds; if A never holds, B holds forever.  Dual of until."""
+
+    left: Formula
+    right: Formula
+
+    @property
+    def children(self) -> tuple[Formula, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Eventually(Formula):
+    """``eventually A`` (diamond): ``true until A``."""
+
+    body: Formula
+
+    @property
+    def children(self) -> tuple[Formula, ...]:
+        return (self.body,)
+
+
+@dataclass(frozen=True)
+class Always(Formula):
+    """``always A`` (box): ``not eventually not A``."""
+
+    body: Formula
+
+    @property
+    def children(self) -> tuple[Formula, ...]:
+        return (self.body,)
+
+
+# --------------------------------------------------------------------------
+# Past-tense connectives
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Prev(Formula):
+    """``previous A``: t > 0 and A held at t - 1 (strong previous)."""
+
+    body: Formula
+
+    @property
+    def children(self) -> tuple[Formula, ...]:
+        return (self.body,)
+
+
+@dataclass(frozen=True)
+class Since(Formula):
+    """``A since B``: B held at some s <= t and A held at all u, s < u <= t."""
+
+    left: Formula
+    right: Formula
+
+    @property
+    def children(self) -> tuple[Formula, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Once(Formula):
+    """``once A`` (sometime in the past, including now): ``true since A``."""
+
+    body: Formula
+
+    @property
+    def children(self) -> tuple[Formula, ...]:
+        return (self.body,)
+
+
+@dataclass(frozen=True)
+class Historically(Formula):
+    """``historically A`` (always in the past, including now)."""
+
+    body: Formula
+
+    @property
+    def children(self) -> tuple[Formula, ...]:
+        return (self.body,)
+
+
+FUTURE_NODES = (Next, Until, WeakUntil, Release, Eventually, Always)
+PAST_NODES = (Prev, Since, Once, Historically)
+TEMPORAL_NODES = FUTURE_NODES + PAST_NODES
+BINARY_TEMPORAL_NODES = (Until, WeakUntil, Release, Since)
+QUANTIFIER_NODES = (Exists, Forall)
+
+
+def _free_variables(formula: Formula) -> frozenset[Variable]:
+    match formula:
+        case Atom(pred=_, args=args):
+            return frozenset(t for t in args if isinstance(t, Variable))
+        case Eq(left=left, right=right):
+            return frozenset(
+                t for t in (left, right) if isinstance(t, Variable)
+            )
+        case Exists(var=var, body=body) | Forall(var=var, body=body):
+            return body.free_variables() - {var}
+        case TrueFormula() | FalseFormula():
+            return frozenset()
+        case _:
+            result: frozenset[Variable] = frozenset()
+            for child in formula.children:
+                result |= child.free_variables()
+            return result

@@ -1,0 +1,261 @@
+"""Recursive-descent parser for the FOTL concrete syntax.
+
+Grammar (loosest binding first; see :mod:`repro.logic.printer` for the
+matching printer)::
+
+    formula   := quantified
+    quantified:= ("forall" | "exists") name+ "." quantified | iff
+    iff       := implies ("<->" implies)*
+    implies   := or ("->" implies)?                 (right associative)
+    or        := and ("|" and)*
+    and       := bintemp ("&" bintemp)*
+    bintemp   := unary (("U" | "W" | "R" | "S") unary)?   (non-associative)
+    unary     := ("!" | "X" | "F" | "G" | "Y" | "O" | "H") unary | primary
+    primary   := "true" | "false" | "(" formula ")"
+               | name "(" term ("," term)* ")"      (predicate atom)
+               | term "=" term | term "!=" term     (equality)
+               | name                               (nullary atom)
+
+Terms follow the builder convention: identifiers starting with a lowercase
+letter (or underscore) are variables, all other identifiers are constants.
+The single uppercase letters ``X F G Y O H U W R S`` are reserved for the
+temporal operators and cannot name predicates or constants.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..errors import ParseError
+from . import builders
+from .formulas import FALSE, TRUE, Formula
+from .terms import Term
+
+_RESERVED_OPS = {"X", "F", "G", "Y", "O", "H", "U", "W", "R", "S"}
+_KEYWORDS = {"forall", "exists", "true", "false"}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<iff><->)
+  | (?P<implies>->)
+  | (?P<neq>!=)
+  | (?P<not>!)
+  | (?P<and>&&?)
+  | (?P<or>\|\|?)
+  | (?P<eq>=)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<comma>,)
+  | (?P<dot>\.)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(source: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {source[position]!r}", position
+            )
+        kind = match.lastgroup
+        assert kind is not None
+        if kind != "ws":
+            text = match.group()
+            if kind == "name":
+                if text in _RESERVED_OPS:
+                    kind = "op_" + text
+                elif text in _KEYWORDS:
+                    kind = text
+            tokens.append(_Token(kind, text, position))
+        position = match.end()
+    tokens.append(_Token("eof", "", len(source)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self._source = source
+        self._tokens = _tokenize(source)
+        self._index = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    def _peek(self) -> _Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _accept(self, kind: str) -> _Token | None:
+        if self._peek().kind == kind:
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, what: str) -> _Token:
+        token = self._peek()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {what}, found {token.text or 'end of input'!r}",
+                token.position,
+            )
+        return self._advance()
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse(self) -> Formula:
+        formula = self._quantified()
+        token = self._peek()
+        if token.kind != "eof":
+            raise ParseError(
+                f"unexpected trailing input {token.text!r}", token.position
+            )
+        return formula
+
+    def _quantified(self) -> Formula:
+        token = self._peek()
+        if token.kind in ("forall", "exists"):
+            self._advance()
+            names = []
+            while self._peek().kind == "name":
+                names.append(self._advance().text)
+            if not names:
+                raise ParseError(
+                    f"{token.text} requires at least one variable",
+                    self._peek().position,
+                )
+            self._expect("dot", "'.' after quantified variables")
+            body = self._quantified()
+            build = builders.forall if token.kind == "forall" else builders.exists
+            return build([builders.var(n) for n in names], body)
+        return self._iff()
+
+    def _iff(self) -> Formula:
+        left = self._implies()
+        while self._accept("iff"):
+            right = self._implies()
+            left = builders.iff(left, right)
+        return left
+
+    def _implies(self) -> Formula:
+        left = self._or()
+        if self._accept("implies"):
+            right = self._implies()
+            return builders.implies(left, right)
+        return left
+
+    def _or(self) -> Formula:
+        operands = [self._and()]
+        while self._accept("or"):
+            operands.append(self._and())
+        if len(operands) == 1:
+            return operands[0]
+        return builders.or_(*operands)
+
+    def _and(self) -> Formula:
+        operands = [self._bintemp()]
+        while self._accept("and"):
+            operands.append(self._bintemp())
+        if len(operands) == 1:
+            return operands[0]
+        return builders.and_(*operands)
+
+    def _bintemp(self) -> Formula:
+        left = self._unary()
+        token = self._peek()
+        if token.kind in ("op_U", "op_W", "op_R", "op_S"):
+            self._advance()
+            right = self._unary()
+            build = {
+                "op_U": builders.until,
+                "op_W": builders.weak_until,
+                "op_R": builders.release,
+                "op_S": builders.since,
+            }[token.kind]
+            return build(left, right)
+        return left
+
+    def _unary(self) -> Formula:
+        token = self._peek()
+        builds = {
+            "not": builders.not_,
+            "op_X": builders.next_,
+            "op_F": builders.eventually,
+            "op_G": builders.always,
+            "op_Y": builders.prev,
+            "op_O": builders.once,
+            "op_H": builders.historically,
+        }
+        if token.kind in builds:
+            self._advance()
+            return builds[token.kind](self._unary())
+        return self._primary()
+
+    def _primary(self) -> Formula:
+        token = self._peek()
+        if token.kind == "true":
+            self._advance()
+            return self._maybe_equality_keyword(TRUE)
+        if token.kind == "false":
+            self._advance()
+            return self._maybe_equality_keyword(FALSE)
+        if token.kind == "lparen":
+            self._advance()
+            inner = self._quantified()
+            self._expect("rparen", "')'")
+            return inner
+        if token.kind == "name":
+            name = self._advance().text
+            if self._accept("lparen"):
+                args = [self._term()]
+                while self._accept("comma"):
+                    args.append(self._term())
+                self._expect("rparen", "')' after atom arguments")
+                return builders.atom(name, *args)
+            term = builders._as_term(name)
+            if self._accept("eq"):
+                return builders.eq(term, self._term())
+            if self._accept("neq"):
+                return builders.neq(term, self._term())
+            # Bare identifier: a nullary atom (proposition).
+            return builders.atom(name)
+        raise ParseError(
+            f"expected a formula, found {token.text or 'end of input'!r}",
+            token.position,
+        )
+
+    def _maybe_equality_keyword(self, formula: Formula) -> Formula:
+        # "true" / "false" cannot start an equality; just return the constant.
+        return formula
+
+    def _term(self) -> Term:
+        token = self._expect("name", "a term (variable or constant)")
+        if token.text in _KEYWORDS:
+            raise ParseError(
+                f"{token.text!r} cannot be used as a term", token.position
+            )
+        return builders._as_term(token.text)
+
+
+def parse(source: str) -> Formula:
+    """Parse a formula from its concrete syntax.
+
+    >>> parse("forall x . G (Sub(x) -> X G !Sub(x))").is_closed()
+    True
+    """
+    return _Parser(source).parse()

@@ -1,0 +1,144 @@
+"""Pretty printer for FOTL formulas.
+
+Produces the concrete syntax accepted by :mod:`repro.logic.parser`, with
+minimal parenthesization.  Round-tripping is tested property-style: for any
+formula ``f``, ``parse(to_str(f))`` is structurally equal to ``f`` up to
+builder-level constant folding.
+
+Concrete syntax summary::
+
+    forall x y . A        exists x . A
+    A <-> B   A -> B   A | B   A & B   !A
+    X A (next)   F A (eventually)   G A (always)
+    Y A (previous)   O A (once)   H A (historically)
+    A U B (until)   A W B (weak until)   A R B (release)   A S B (since)
+    p(x, c)   x = y   x != y   true   false
+"""
+
+from __future__ import annotations
+
+from .formulas import (
+    Always,
+    And,
+    Atom,
+    Eq,
+    Eventually,
+    Exists,
+    FalseFormula,
+    Forall,
+    Formula,
+    Historically,
+    Iff,
+    Implies,
+    Next,
+    Not,
+    Once,
+    Or,
+    Prev,
+    Release,
+    Since,
+    TrueFormula,
+    Until,
+    WeakUntil,
+)
+
+# Precedence levels, loosest binding first.
+_PREC_QUANT = 0
+_PREC_IFF = 1
+_PREC_IMPLIES = 2
+_PREC_OR = 3
+_PREC_AND = 4
+_PREC_BINTEMP = 5
+_PREC_UNARY = 6
+_PREC_ATOM = 7
+
+_UNARY_SYMBOL = {
+    Not: "!",
+    Next: "X",
+    Eventually: "F",
+    Always: "G",
+    Prev: "Y",
+    Once: "O",
+    Historically: "H",
+}
+
+_BINARY_TEMPORAL_SYMBOL = {
+    Until: "U",
+    WeakUntil: "W",
+    Release: "R",
+    Since: "S",
+}
+
+
+def to_str(formula: Formula) -> str:
+    """Render ``formula`` in the library's concrete syntax."""
+    return _render(formula, 0)
+
+
+def _parens(text: str, inner_prec: int, outer_prec: int) -> str:
+    if inner_prec < outer_prec:
+        return f"({text})"
+    return text
+
+
+def _render(formula: Formula, outer: int) -> str:
+    match formula:
+        case TrueFormula():
+            return "true"
+        case FalseFormula():
+            return "false"
+        case Atom(pred=pred, args=args):
+            if not args:
+                return pred
+            rendered = ", ".join(str(a) for a in args)
+            return f"{pred}({rendered})"
+        case Eq(left=left, right=right):
+            return f"{left} = {right}"
+        case Not(operand=Eq(left=left, right=right)):
+            return f"{left} != {right}"
+        case Forall() | Exists():
+            # Collapse runs of the same quantifier: forall x y . body
+            symbol = "forall" if isinstance(formula, Forall) else "exists"
+            names = []
+            body: Formula = formula
+            while isinstance(body, type(formula)):
+                names.append(body.var.name)
+                body = body.body
+            text = f"{symbol} {' '.join(names)} . {_render(body, _PREC_QUANT)}"
+            return _parens(text, _PREC_QUANT, outer)
+        case Iff(left=left, right=right):
+            text = (
+                f"{_render(left, _PREC_IFF + 1)} <-> "
+                f"{_render(right, _PREC_IFF + 1)}"
+            )
+            return _parens(text, _PREC_IFF, outer)
+        case Implies(antecedent=a, consequent=c):
+            # Right-associative: a -> b -> c means a -> (b -> c).
+            text = (
+                f"{_render(a, _PREC_IMPLIES + 1)} -> "
+                f"{_render(c, _PREC_IMPLIES)}"
+            )
+            return _parens(text, _PREC_IMPLIES, outer)
+        case Or(operands=ops):
+            text = " | ".join(_render(op, _PREC_OR + 1) for op in ops)
+            return _parens(text, _PREC_OR, outer)
+        case And(operands=ops):
+            text = " & ".join(_render(op, _PREC_AND + 1) for op in ops)
+            return _parens(text, _PREC_AND, outer)
+        case Until() | WeakUntil() | Release() | Since():
+            symbol = _BINARY_TEMPORAL_SYMBOL[type(formula)]
+            # Non-associative: nested binary temporal operators always get
+            # parentheses, which keeps formulas unambiguous to read.
+            text = (
+                f"{_render(formula.left, _PREC_BINTEMP + 1)} {symbol} "
+                f"{_render(formula.right, _PREC_BINTEMP + 1)}"
+            )
+            return _parens(text, _PREC_BINTEMP, outer)
+        case Not() | Next() | Eventually() | Always() | Prev() | Once() | Historically():
+            symbol = _UNARY_SYMBOL[type(formula)]
+            body = formula.children[0]
+            sep = "" if symbol == "!" else " "
+            text = f"{symbol}{sep}{_render(body, _PREC_UNARY)}"
+            return _parens(text, _PREC_UNARY, outer)
+        case _:
+            raise TypeError(f"cannot print {formula!r}")

@@ -1,0 +1,137 @@
+"""Syntactic safety recognition for FOTL constraints.
+
+Theorem 4.2 only holds for constraints that define *safety* properties
+(Section 2): if every prefix of a database extends to a model, the database
+itself must be a model.  Lemma 4.1 — and with it the whole decision
+procedure — fails for non-safety universal sentences such as
+``G F (forall x . p(x))``.
+
+Deciding semantic safety is itself nontrivial (Sistla 1985 shows it
+decidable for propositional TL); this module implements the standard
+*syntactic* safety fragment, which is sound (everything it accepts is a
+safety formula) and covers the constraints used in practice, including both
+of the paper's running examples:
+
+    After bringing the future-tense skeleton of the formula to negation
+    normal form — treating maximal temporal-free and maximal past-only
+    subformulas as atoms — the formula is syntactically safe iff no strong
+    ``until`` and no ``eventually`` remains.  Allowed: literals, and, or,
+    next, always, weak until, release.
+
+The past-formula rule implements Proposition 2.1 of the paper: any
+``G (past formula)`` is a safety formula, and more generally a past formula
+behaves like a state predicate on prefixes.
+
+For a *semantic* safety check of propositional formulas (used to validate
+this recognizer against ground truth on small formulas) see
+:mod:`repro.ptl.safety`.
+"""
+
+from __future__ import annotations
+
+from .classify import is_pure_first_order, uses_future
+from .formulas import (
+    Always,
+    And,
+    Atom,
+    Eq,
+    Eventually,
+    FalseFormula,
+    Formula,
+    Next,
+    Not,
+    Or,
+    Release,
+    TrueFormula,
+    Until,
+    WeakUntil,
+)
+from .transform import nnf, strip_universal_prefix
+
+
+def is_syntactically_safe(formula: Formula) -> bool:
+    """True iff the formula is in the syntactic safety fragment.
+
+    The check strips the external universal prefix (universal quantification
+    preserves safety: an intersection of safety properties is safety), forms
+    the negation normal form of the tense skeleton, and verifies that no
+    strong ``until``/``eventually`` occurs positively.
+
+    >>> from .parser import parse
+    >>> is_syntactically_safe(parse("forall x . G (Sub(x) -> X G !Sub(x))"))
+    True
+    >>> is_syntactically_safe(parse("forall x . F Fill(x)"))
+    False
+    """
+    _prefix, matrix = strip_universal_prefix(formula)
+    return _skeleton_is_safe(nnf(matrix))
+
+
+def _is_skeleton_atom(node: Formula) -> bool:
+    """Subformulas opaque to the safety check: temporal-free or past-only.
+
+    A pure first-order formula is a state predicate; a past formula's truth
+    at t is determined by the prefix up to t.  Either way the subformula
+    cannot be the source of a liveness obligation.
+    """
+    return is_pure_first_order(node) or not uses_future(node)
+
+
+def _skeleton_is_safe(node: Formula) -> bool:
+    if _is_skeleton_atom(node):
+        return True
+    match node:
+        case TrueFormula() | FalseFormula() | Atom() | Eq():
+            return True
+        case Not(operand=operand):
+            # After NNF, negation only wraps skeleton atoms.
+            return _is_skeleton_atom(operand)
+        case And(operands=ops) | Or(operands=ops):
+            return all(_skeleton_is_safe(op) for op in ops)
+        case Next(body=body) | Always(body=body):
+            return _skeleton_is_safe(body)
+        case WeakUntil(left=left, right=right) | Release(left=left, right=right):
+            return _skeleton_is_safe(left) and _skeleton_is_safe(right)
+        case Until() | Eventually():
+            return False
+        case _:
+            # Quantifiers inside the matrix (internal quantifiers), Implies
+            # or Iff that survived NNF, or past operators mixing future
+            # bodies: be conservative.
+            return False
+
+
+def why_not_safe(formula: Formula) -> str | None:
+    """Human-readable reason the formula fails the safety check, or None.
+
+    Finds the first offending node in the NNF skeleton.
+    """
+    _prefix, matrix = strip_universal_prefix(formula)
+    normal = nnf(matrix)
+    offender = _first_offender(normal)
+    if offender is None:
+        return None
+    from .printer import to_str
+
+    return (
+        f"subformula '{to_str(offender)}' introduces a liveness obligation "
+        "(strong until / eventually in a positive position)"
+    )
+
+
+def _first_offender(node: Formula) -> Formula | None:
+    if _is_skeleton_atom(node):
+        return None
+    match node:
+        case Until() | Eventually():
+            return node
+        case Not(operand=operand):
+            return None if _is_skeleton_atom(operand) else node
+        case And() | Or() | Next() | Always() | WeakUntil() | Release():
+            for child in node.children:
+                offender = _first_offender(child)
+                if offender is not None:
+                    return offender
+            return None
+        case _:
+            return node

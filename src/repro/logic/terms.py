@@ -1,0 +1,85 @@
+"""Terms of first-order temporal logic: variables and constants.
+
+The paper's language has terms that are either constants or variables
+(Section 2).  Variables are *rigid*: a valuation assigns each variable one
+element of the database universe, the same at every time instant.  Constants
+are likewise rigid — their interpretation is fixed across all states of a
+temporal database.
+
+Terms are immutable and hashable so formulas built from them can be shared,
+memoized, and used as dictionary keys throughout the reduction pipeline.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*\Z")
+
+
+def _check_name(name: str, kind: str) -> None:
+    if not isinstance(name, str) or not _NAME_RE.match(name):
+        raise ValueError(f"invalid {kind} name: {name!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class Term:
+    """Abstract base class of FOTL terms."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class Variable(Term):
+    """A (rigid, global) first-order variable.
+
+    >>> x = Variable("x")
+    >>> x.name
+    'x'
+    """
+
+    def __post_init__(self) -> None:
+        _check_name(self.name, "variable")
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Constant(Term):
+    """A constant symbol.
+
+    Constants denote the same universe element in every database state
+    (``c^D`` in the paper).  The binding of a constant name to an element is
+    part of the database, not of the formula.
+    """
+
+    def __post_init__(self) -> None:
+        _check_name(self.name, "constant")
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Constant({self.name!r})"
+
+
+def variables(names: str) -> tuple[Variable, ...]:
+    """Create several variables from a whitespace- or comma-separated string.
+
+    >>> x, y = variables("x y")
+    >>> y
+    Variable('y')
+    """
+    split = [part for part in re.split(r"[,\s]+", names.strip()) if part]
+    return tuple(Variable(part) for part in split)
+
+
+def constants(names: str) -> tuple[Constant, ...]:
+    """Create several constants from a whitespace- or comma-separated string."""
+    split = [part for part in re.split(r"[,\s]+", names.strip()) if part]
+    return tuple(Constant(part) for part in split)

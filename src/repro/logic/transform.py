@@ -1,0 +1,462 @@
+"""Formula transformations: substitution, normal forms, simplification.
+
+These are the shared workhorses of the library:
+
+* :func:`substitute` — capture-avoiding substitution of terms for free
+  variables (used by grounding in the Theorem 4.1 reduction and by trigger
+  instantiation).
+* :func:`simplify` — bottom-up constant folding (rebuilds through the
+  builders, which fold ``true``/``false`` and double negation).
+* :func:`to_core` — eliminate the derived connectives (``->``, ``<->``,
+  ``F``, ``G``, ``W``, ``R``, ``O``, ``H``) in favour of the paper's core
+  set ``{not, and, or, exists, forall, next, until, prev, since}``.
+* :func:`nnf` — negation normal form.  Negation is pushed through all
+  boolean, quantifier, and *future* temporal connectives (using the
+  until/release duality).  Past connectives are left with their negations in
+  place: they are evaluated directly over finite histories, never compiled
+  to automata, so no past dual nodes are needed.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Mapping
+
+from . import builders
+from .formulas import (
+    FALSE,
+    TRUE,
+    Always,
+    And,
+    Atom,
+    Eq,
+    Eventually,
+    Exists,
+    FalseFormula,
+    Forall,
+    Formula,
+    Historically,
+    Iff,
+    Implies,
+    Next,
+    Not,
+    Once,
+    Or,
+    Prev,
+    Release,
+    Since,
+    TrueFormula,
+    Until,
+    WeakUntil,
+)
+from .terms import Term, Variable
+
+
+def fresh_variable(avoid: frozenset[Variable] | set[Variable], stem: str = "v") -> Variable:
+    """Return a variable with a name not used by any variable in ``avoid``."""
+    taken = {v.name for v in avoid}
+    for index in count():
+        candidate = f"{stem}{index}"
+        if candidate not in taken:
+            return Variable(candidate)
+    raise AssertionError("unreachable")
+
+
+def substitute(formula: Formula, mapping: Mapping[Variable, Term]) -> Formula:
+    """Capture-avoiding substitution of terms for free variables.
+
+    Bound variables that would capture a substituted term are renamed to
+    fresh names.
+
+    >>> from .builders import atom, var, exists
+    >>> x, y = var("x"), var("y")
+    >>> str(substitute(atom("p", x, y), {x: y}))
+    'p(y, y)'
+    """
+    if not mapping:
+        return formula
+    return _substitute(formula, dict(mapping))
+
+
+def _substitute(formula: Formula, mapping: dict[Variable, Term]) -> Formula:
+    def subst_term(term: Term) -> Term:
+        if isinstance(term, Variable):
+            return mapping.get(term, term)
+        return term
+
+    match formula:
+        case TrueFormula() | FalseFormula():
+            return formula
+        case Atom(pred=pred, args=args):
+            return Atom(pred, tuple(subst_term(a) for a in args))
+        case Eq(left=left, right=right):
+            return Eq(subst_term(left), subst_term(right))
+        case Exists(var=v, body=body) | Forall(var=v, body=body):
+            inner = {k: t for k, t in mapping.items() if k != v}
+            if not inner:
+                return formula
+            # Rename the bound variable if it would capture a substituted term.
+            captured = any(
+                isinstance(t, Variable) and t == v for t in inner.values()
+            )
+            if captured:
+                avoid = formula.free_variables() | {v}
+                avoid |= {
+                    t for t in inner.values() if isinstance(t, Variable)
+                }
+                fresh = fresh_variable(avoid, stem=v.name + "_")
+                body = _substitute(body, {v: fresh})
+                v = fresh
+            new_body = _substitute(body, inner)
+            node = Exists if isinstance(formula, Exists) else Forall
+            return node(v, new_body)
+        case _:
+            new_children = tuple(
+                _substitute(child, mapping) for child in formula.children
+            )
+            return _rebuild(formula, new_children)
+
+
+def _rebuild(formula: Formula, children: tuple[Formula, ...]) -> Formula:
+    """Rebuild a non-binding node with new children (same node type)."""
+    match formula:
+        case Not():
+            return Not(children[0])
+        case And():
+            return And(children)
+        case Or():
+            return Or(children)
+        case Implies():
+            return Implies(children[0], children[1])
+        case Iff():
+            return Iff(children[0], children[1])
+        case Next():
+            return Next(children[0])
+        case Until():
+            return Until(children[0], children[1])
+        case WeakUntil():
+            return WeakUntil(children[0], children[1])
+        case Release():
+            return Release(children[0], children[1])
+        case Eventually():
+            return Eventually(children[0])
+        case Always():
+            return Always(children[0])
+        case Prev():
+            return Prev(children[0])
+        case Since():
+            return Since(children[0], children[1])
+        case Once():
+            return Once(children[0])
+        case Historically():
+            return Historically(children[0])
+        case _:
+            raise TypeError(f"cannot rebuild {formula!r}")
+
+
+def simplify(formula: Formula) -> Formula:
+    """Bottom-up constant folding.
+
+    Rebuilds the formula through the smart constructors in
+    :mod:`repro.logic.builders`, which fold constants, flatten nested
+    conjunction/disjunction, and cancel double negation.  Additionally folds
+    trivial equalities ``t = t`` to ``true`` and temporal operators applied
+    to constants (e.g. ``G true`` to ``true``).
+    """
+    match formula:
+        case TrueFormula() | FalseFormula() | Atom():
+            return formula
+        case Eq(left=left, right=right):
+            if left == right:
+                return TRUE
+            return formula
+        case Not(operand=op):
+            return builders.not_(simplify(op))
+        case And(operands=ops):
+            return builders.and_(*(simplify(op) for op in ops))
+        case Or(operands=ops):
+            return builders.or_(*(simplify(op) for op in ops))
+        case Implies(antecedent=a, consequent=c):
+            return builders.implies(simplify(a), simplify(c))
+        case Iff(left=left, right=right):
+            ls, rs = simplify(left), simplify(right)
+            if isinstance(ls, TrueFormula):
+                return rs
+            if isinstance(rs, TrueFormula):
+                return ls
+            if isinstance(ls, FalseFormula):
+                return builders.not_(rs)
+            if isinstance(rs, FalseFormula):
+                return builders.not_(ls)
+            if ls == rs:
+                return TRUE
+            return Iff(ls, rs)
+        case Exists(var=v, body=body):
+            inner = simplify(body)
+            if isinstance(inner, (TrueFormula, FalseFormula)):
+                return inner
+            return Exists(v, inner)
+        case Forall(var=v, body=body):
+            inner = simplify(body)
+            if isinstance(inner, (TrueFormula, FalseFormula)):
+                return inner
+            return Forall(v, inner)
+        case Next(body=body):
+            inner = simplify(body)
+            if isinstance(inner, (TrueFormula, FalseFormula)):
+                return inner
+            return Next(inner)
+        case Until(left=left, right=right):
+            ls, rs = simplify(left), simplify(right)
+            if isinstance(rs, (TrueFormula, FalseFormula)):
+                # A U true = true; A U false = false.
+                return rs
+            if isinstance(ls, FalseFormula):
+                return rs
+            if isinstance(ls, TrueFormula):
+                return Eventually(rs)
+            return Until(ls, rs)
+        case WeakUntil(left=left, right=right):
+            ls, rs = simplify(left), simplify(right)
+            if isinstance(rs, TrueFormula):
+                return TRUE
+            if isinstance(ls, TrueFormula):
+                return TRUE
+            if isinstance(rs, FalseFormula):
+                return Always(ls) if not isinstance(ls, FalseFormula) else FALSE
+            if isinstance(ls, FalseFormula):
+                return rs
+            return WeakUntil(ls, rs)
+        case Release(left=left, right=right):
+            ls, rs = simplify(left), simplify(right)
+            if isinstance(rs, (TrueFormula, FalseFormula)):
+                return rs
+            if isinstance(ls, TrueFormula):
+                return rs
+            if isinstance(ls, FalseFormula):
+                return Always(rs)
+            return Release(ls, rs)
+        case Eventually(body=body):
+            inner = simplify(body)
+            if isinstance(inner, (TrueFormula, FalseFormula)):
+                return inner
+            if isinstance(inner, Eventually):
+                return inner
+            return Eventually(inner)
+        case Always(body=body):
+            inner = simplify(body)
+            if isinstance(inner, (TrueFormula, FalseFormula)):
+                return inner
+            if isinstance(inner, Always):
+                return inner
+            return Always(inner)
+        case Prev(body=body):
+            inner = simplify(body)
+            if isinstance(inner, FalseFormula):
+                return FALSE
+            return Prev(inner)
+        case Since(left=left, right=right):
+            ls, rs = simplify(left), simplify(right)
+            if isinstance(rs, FalseFormula):
+                return FALSE
+            if isinstance(rs, TrueFormula):
+                return TRUE
+            if isinstance(ls, TrueFormula):
+                return Once(rs)
+            return Since(ls, rs)
+        case Once(body=body):
+            inner = simplify(body)
+            if isinstance(inner, (TrueFormula, FalseFormula)):
+                return inner
+            return Once(inner)
+        case Historically(body=body):
+            inner = simplify(body)
+            if isinstance(inner, (TrueFormula, FalseFormula)):
+                return inner
+            return Historically(inner)
+        case _:
+            raise TypeError(f"cannot simplify {formula!r}")
+
+
+def to_core(formula: Formula) -> Formula:
+    """Eliminate derived connectives.
+
+    The result uses only ``{true, false, atoms, =, not, and, or, exists,
+    forall, next, until, prev, since}`` — the paper's primitive set.
+    ``F A`` becomes ``true U A``; ``G A`` becomes ``!(true U !A)``;
+    ``A W B`` becomes ``(A U B) | G A``; ``A R B`` becomes ``!(¬A U ¬B)``;
+    ``O A`` becomes ``true S A``; ``H A`` becomes ``!(true S !A)``.
+    """
+    match formula:
+        case TrueFormula() | FalseFormula() | Atom() | Eq():
+            return formula
+        case Implies(antecedent=a, consequent=c):
+            return builders.or_(builders.not_(to_core(a)), to_core(c))
+        case Iff(left=left, right=right):
+            ls, rs = to_core(left), to_core(right)
+            return builders.or_(
+                builders.and_(ls, rs),
+                builders.and_(builders.not_(ls), builders.not_(rs)),
+            )
+        case Eventually(body=body):
+            return Until(TRUE, to_core(body))
+        case Always(body=body):
+            return builders.not_(Until(TRUE, builders.not_(to_core(body))))
+        case WeakUntil(left=left, right=right):
+            ls, rs = to_core(left), to_core(right)
+            return builders.or_(
+                Until(ls, rs),
+                builders.not_(Until(TRUE, builders.not_(ls))),
+            )
+        case Release(left=left, right=right):
+            ls, rs = to_core(left), to_core(right)
+            return builders.not_(
+                Until(builders.not_(ls), builders.not_(rs))
+            )
+        case Once(body=body):
+            return Since(TRUE, to_core(body))
+        case Historically(body=body):
+            return builders.not_(Since(TRUE, builders.not_(to_core(body))))
+        case Exists(var=v, body=body):
+            return Exists(v, to_core(body))
+        case Forall(var=v, body=body):
+            return Forall(v, to_core(body))
+        case _:
+            children = tuple(to_core(child) for child in formula.children)
+            return _rebuild(formula, children)
+
+
+def nnf(formula: Formula) -> Formula:
+    """Negation normal form.
+
+    ``->`` and ``<->`` are eliminated; negation is pushed down to atoms
+    through boolean connectives, quantifiers, and future temporal operators
+    (``!(A U B)`` becomes ``!A R !B`` and so on).  Negations directly in
+    front of past operators (``Y``, ``S``, ``O``, ``H``) are kept, since the
+    past fragment is evaluated directly rather than compiled.
+    """
+    return _nnf(formula, negate=False)
+
+
+def _nnf(formula: Formula, negate: bool) -> Formula:
+    match formula:
+        case TrueFormula():
+            return FALSE if negate else TRUE
+        case FalseFormula():
+            return TRUE if negate else FALSE
+        case Atom() | Eq():
+            return Not(formula) if negate else formula
+        case Not(operand=op):
+            return _nnf(op, not negate)
+        case And(operands=ops):
+            parts = tuple(_nnf(op, negate) for op in ops)
+            return builders.or_(*parts) if negate else builders.and_(*parts)
+        case Or(operands=ops):
+            parts = tuple(_nnf(op, negate) for op in ops)
+            return builders.and_(*parts) if negate else builders.or_(*parts)
+        case Implies(antecedent=a, consequent=c):
+            if negate:
+                return builders.and_(_nnf(a, False), _nnf(c, True))
+            return builders.or_(_nnf(a, True), _nnf(c, False))
+        case Iff(left=left, right=right):
+            if negate:
+                return builders.or_(
+                    builders.and_(_nnf(left, False), _nnf(right, True)),
+                    builders.and_(_nnf(left, True), _nnf(right, False)),
+                )
+            return builders.or_(
+                builders.and_(_nnf(left, False), _nnf(right, False)),
+                builders.and_(_nnf(left, True), _nnf(right, True)),
+            )
+        case Exists(var=v, body=body):
+            inner = _nnf(body, negate)
+            return Forall(v, inner) if negate else Exists(v, inner)
+        case Forall(var=v, body=body):
+            inner = _nnf(body, negate)
+            return Exists(v, inner) if negate else Forall(v, inner)
+        case Next(body=body):
+            return Next(_nnf(body, negate))
+        case Until(left=left, right=right):
+            if negate:
+                return Release(_nnf(left, True), _nnf(right, True))
+            return Until(_nnf(left, False), _nnf(right, False))
+        case Release(left=left, right=right):
+            if negate:
+                return Until(_nnf(left, True), _nnf(right, True))
+            return Release(_nnf(left, False), _nnf(right, False))
+        case WeakUntil(left=left, right=right):
+            # A W B  ==  B R (A | B)
+            if negate:
+                return Until(
+                    _nnf(right, True),
+                    builders.and_(_nnf(left, True), _nnf(right, True)),
+                )
+            return Release(
+                _nnf(right, False),
+                builders.or_(_nnf(left, False), _nnf(right, False)),
+            )
+        case Eventually(body=body):
+            if negate:
+                return Always(_nnf(body, True))
+            return Eventually(_nnf(body, False))
+        case Always(body=body):
+            if negate:
+                return Eventually(_nnf(body, True))
+            return Always(_nnf(body, False))
+        case Prev() | Since() | Once() | Historically():
+            rebuilt = _rebuild(
+                formula,
+                tuple(_nnf(child, False) for child in formula.children),
+            )
+            return Not(rebuilt) if negate else rebuilt
+        case _:
+            raise TypeError(f"cannot convert {formula!r} to NNF")
+
+
+def merge_universal_conjunction(formula: Formula) -> Formula:
+    """Rewrite a conjunction of universally quantified sentences into a
+    single universally prefixed sentence.
+
+    ``(forall x . A(x)) & (forall y z . B(y, z))`` becomes
+    ``forall x1 x2 . A(x1) & B(x1, x2)`` — the standard prenexing step the
+    paper applies to write its Appendix construction "in the form
+    ``forall x1 x2 x3 psi``".  Sound because the conjuncts are sentences
+    (prefix variables are their only free variables).
+
+    Non-conjunctions, and conjuncts with free variables beyond their own
+    prefix, are returned unchanged.
+    """
+    if not isinstance(formula, And):
+        return formula
+    parts: list[tuple[tuple[Variable, ...], Formula]] = []
+    width = 0
+    for operand in formula.operands:
+        prefix, matrix = strip_universal_prefix(operand)
+        if matrix.free_variables() - set(prefix):
+            return formula
+        parts.append((prefix, matrix))
+        width = max(width, len(prefix))
+    shared = tuple(Variable(f"x{index + 1}") for index in range(width))
+    matrices = [
+        substitute(matrix, dict(zip(prefix, shared)))
+        for prefix, matrix in parts
+    ]
+    result: Formula = builders.and_(*matrices)
+    for variable in reversed(shared):
+        result = Forall(variable, result)
+    return result
+
+
+def strip_universal_prefix(
+    formula: Formula,
+) -> tuple[tuple[Variable, ...], Formula]:
+    """Split ``forall x1 ... xk . body`` into its prefix and matrix.
+
+    Returns an empty prefix when the formula does not start with ``forall``.
+    """
+    prefix: list[Variable] = []
+    body = formula
+    while isinstance(body, Forall):
+        prefix.append(body.var)
+        body = body.body
+    return tuple(prefix), body

@@ -1,0 +1,122 @@
+"""The weaker detection notion used by prior monitoring methods.
+
+Section 5 of the paper observes that the methods of Lipeck & Saake (and of
+Sistla & Wolfson) necessarily implement "a weaker notion of constraint
+satisfaction, namely one in which constraint violations are always detected
+but not necessarily at the earliest possible time" — because potential
+satisfaction itself is what this paper proves hard/undecidable in general.
+
+This module implements that weaker notion as a baseline for experiment E7:
+**optimistic prefix evaluation**.  A constraint is flagged at instant ``t``
+iff the finite history up to ``t`` *by itself* already refutes it under the
+weak truncated semantics (every obligation still pending at the end of the
+history is given the benefit of the doubt).
+
+Relationship to potential satisfaction (tested in the suite):
+
+* Soundness: optimistic refutation implies the constraint is not
+  potentially satisfied — the baseline never fires early or spuriously.
+* Incompleteness in timing: the baseline can fire strictly *later* than the
+  exact checker.  The gap appears whenever future obligations have become
+  jointly unfulfillable before any single obligation visibly fails — the
+  exact checker reasons about all futures (satisfiability), the baseline
+  only about the prefix.  Experiment E7 constructs and measures such gaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..database.history import History
+from ..database.state import DatabaseState
+from ..database.updates import Update
+from ..errors import NotSafetyError
+from ..eval.finite import evaluate_finite
+from ..logic.formulas import Formula
+
+
+@dataclass
+class BaselineReport:
+    """Per-update outcome of the baseline checker."""
+
+    instant: int
+    satisfied: Mapping[str, bool]
+    new_violations: tuple[str, ...]
+
+    @property
+    def all_satisfied(self) -> bool:
+        return all(self.satisfied.values())
+
+
+class WeakTruncationChecker:
+    """Monitor constraints under optimistic prefix evaluation.
+
+    The interface mirrors :class:`repro.core.monitor.IntegrityMonitor` so
+    the two can be swapped in experiments.  Unlike the exact monitor it
+    accepts *any* closed FOTL constraint (it never needs the reduction),
+    which is exactly why its verdicts are weaker.
+
+    Per-update cost is ``O(t)`` — it re-evaluates over the whole history —
+    which is the other axis of comparison with the incremental monitor.
+    """
+
+    def __init__(
+        self,
+        constraints: Mapping[str, Formula] | Sequence[Formula],
+        initial: History,
+    ):
+        if not isinstance(constraints, Mapping):
+            constraints = {
+                f"constraint_{index}": formula
+                for index, formula in enumerate(constraints)
+            }
+        for name, formula in constraints.items():
+            if not formula.is_closed():
+                raise NotSafetyError(
+                    f"constraint {name!r} must be a sentence"
+                )
+        self._constraints = dict(constraints)
+        self._history = initial
+        self._violated_at: dict[str, int] = {}
+        self._evaluate_all()
+
+    @property
+    def history(self) -> History:
+        return self._history
+
+    @property
+    def now(self) -> int:
+        return self._history.now
+
+    def violations(self) -> dict[str, int]:
+        """Violated constraints and the instant each was first *detected*."""
+        return dict(self._violated_at)
+
+    def apply(self, update: Update) -> BaselineReport:
+        """Apply an update and re-evaluate every constraint optimistically."""
+        self._history = self._history.updated(update)
+        return self._evaluate_all()
+
+    def append_state(self, state: DatabaseState) -> BaselineReport:
+        self._history = self._history.extended(state)
+        return self._evaluate_all()
+
+    def _evaluate_all(self) -> BaselineReport:
+        instant = self._history.now
+        satisfied: dict[str, bool] = {}
+        new_violations: list[str] = []
+        for name, formula in self._constraints.items():
+            if name in self._violated_at:
+                satisfied[name] = False
+                continue
+            ok = evaluate_finite(formula, self._history, future="weak")
+            satisfied[name] = ok
+            if not ok:
+                self._violated_at[name] = instant
+                new_violations.append(name)
+        return BaselineReport(
+            instant=instant,
+            satisfied=satisfied,
+            new_violations=tuple(new_violations),
+        )

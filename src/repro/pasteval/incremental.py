@@ -1,0 +1,341 @@
+"""History-less incremental evaluation of past formulas.
+
+Section 6 of the paper singles out *history-less constraint evaluation*
+(Chomicki, "History-less Checking of Dynamic Integrity Constraints", ICDE
+1992) as the key practical notion: per-update work and memory should depend
+on the number of distinct attribute values, not on the length of the
+history.  This module implements that evaluation scheme for the past
+fragment of FOTL.
+
+The idea: for every subformula, maintain the set of satisfying assignments
+*at the current instant*.  The past connectives obey one-step recurrences::
+
+    [Y A]_t        = [A]_{t-1}
+    [A S B]_t      = [B]_t  ∪ ([A]_t ∩ [A S B]_{t-1})
+    [O A]_t        = [A]_t  ∪ [O A]_{t-1}
+    [H A]_t        = [A]_t  ∩ [H A]_{t-1}
+
+so the evaluator only ever stores the previous instant's tables — memory
+``O(|adom|^m)`` and per-update time ``O(|formula| * |adom|^m)`` where ``m``
+is the width (max number of free variables of a subformula), independent of
+``t``.
+
+Assignments range over the infinite universe; tables are kept finite by the
+same genericity used throughout the library: elements never seen so far are
+interchangeable, so each table is stored over ``seen ∪ {g1..gm}`` where the
+``g_i`` are canonical generic placeholders (:class:`repro.core.grounding
+.Anon`).  When an element is seen for the first time, its past coincides
+with a generic's past, so lookups into the previous table canonicalize
+through the *previous* seen-set — no table rewriting on domain growth.
+"""
+
+from __future__ import annotations
+
+from itertools import product as cartesian
+from typing import Iterator, Mapping
+
+from ..core.grounding import Anon, GroundElement
+from ..database.state import DatabaseState
+from ..database.vocabulary import BUILTIN_PREDICATES
+from ..errors import ClassificationError, EvaluationError
+from ..logic.classify import is_past_formula
+from ..logic.formulas import (
+    And,
+    Atom,
+    Eq,
+    Exists,
+    FalseFormula,
+    Forall,
+    Formula,
+    Historically,
+    Iff,
+    Implies,
+    Not,
+    Once,
+    Or,
+    Prev,
+    Since,
+    TrueFormula,
+)
+from ..logic.terms import Constant, Term, Variable
+
+Assignment = tuple[GroundElement, ...]
+
+
+def _sorted_vars(formula: Formula) -> tuple[Variable, ...]:
+    return tuple(sorted(formula.free_variables(), key=lambda v: v.name))
+
+
+def _canonicalize(
+    values: Assignment, seen: frozenset[int]
+) -> Assignment:
+    """Replace elements outside ``seen`` by canonical generics, in order of
+    first occurrence."""
+    mapping: dict[GroundElement, Anon] = {}
+    result: list[GroundElement] = []
+    for value in values:
+        if isinstance(value, int) and value in seen:
+            result.append(value)
+        else:
+            if value not in mapping:
+                mapping[value] = Anon(len(mapping) + 1)
+            result.append(mapping[value])
+    return tuple(result)
+
+
+class IncrementalPastEvaluator:
+    """Evaluate one past formula incrementally, state by state.
+
+    >>> from ..logic import parse
+    >>> from ..database import DatabaseState, vocabulary
+    >>> v = vocabulary({"Fill": 1, "Sub": 1})
+    >>> audit = parse("forall x . Fill(x) -> Y O Sub(x)")
+    >>> ev = IncrementalPastEvaluator(audit, v)
+    >>> ev.advance(DatabaseState.from_facts(v, [("Sub", (1,))]))
+    True
+    >>> ev.advance(DatabaseState.from_facts(v, [("Fill", (1,))]))
+    True
+    >>> ev.advance(DatabaseState.from_facts(v, [("Fill", (2,))]))
+    False
+    """
+
+    def __init__(self, formula: Formula, vocabulary) -> None:
+        if not is_past_formula(formula):
+            raise ClassificationError(
+                "the incremental evaluator handles past formulas only "
+                "(no future-tense connectives)"
+            )
+        self._formula = formula
+        self._vocabulary = vocabulary
+        # Width: enough generic placeholders for every variable in scope.
+        variables = {
+            node.var
+            for node in formula.walk()
+            if isinstance(node, (Exists, Forall))
+        }
+        variables |= formula.free_variables()
+        self._width = max(1, len(variables))
+        self._free = _sorted_vars(formula)
+        self._seen: frozenset[int] = frozenset()
+        self._constant_bindings: dict[str, int] = {}
+        # Previous-instant tables: subformula -> set of satisfying canonical
+        # assignments to its sorted free variables.
+        self._previous: dict[Formula, frozenset[Assignment]] | None = None
+        self._previous_seen: frozenset[int] = frozenset()
+        self._instant = -1
+
+    # -- configuration -------------------------------------------------------
+
+    def bind_constant(self, symbol: str, value: int) -> None:
+        """Fix the interpretation of a constant symbol (before advancing)."""
+        if self._instant >= 0:
+            raise EvaluationError(
+                "constants must be bound before the first state"
+            )
+        self._constant_bindings[symbol] = value
+
+    # -- state transitions -----------------------------------------------------
+
+    @property
+    def instant(self) -> int:
+        """The instant of the last state consumed (-1 before the first)."""
+        return self._instant
+
+    @property
+    def memory_size(self) -> int:
+        """Stored table entries — the history-less memory footprint."""
+        if self._previous is None:
+            return 0
+        return sum(len(table) for table in self._previous.values())
+
+    def advance(self, state: DatabaseState) -> bool:
+        """Consume the next state; return the formula's truth value there.
+
+        For an open formula the return value is whether *all* assignments
+        satisfy it (use :meth:`satisfying_assignments` for the table).
+        """
+        self._instant += 1
+        new_seen = self._seen | state.active_domain() | frozenset(
+            self._constant_bindings.values()
+        )
+        domain: tuple[GroundElement, ...] = tuple(sorted(new_seen)) + tuple(
+            Anon(i + 1) for i in range(self._width)
+        )
+        tables: dict[Formula, frozenset[Assignment]] = {}
+        self._compute(self._formula, state, domain, new_seen, tables)
+        self._previous = tables
+        # The stored tables are keyed over assignments built from new_seen;
+        # cross-instant lookups must canonicalize against that same set.
+        self._previous_seen = new_seen
+        self._seen = new_seen
+        table = tables[self._formula]
+        total = len(domain) ** len(self._free)
+        return len(table) == total
+
+    def current_value(self) -> bool:
+        """Truth of the (closed) formula at the last consumed instant."""
+        if self._previous is None:
+            raise EvaluationError("no state has been consumed yet")
+        if self._free:
+            raise EvaluationError(
+                "formula has free variables; use satisfying_assignments()"
+            )
+        return () in self._previous[self._formula]
+
+    def satisfying_assignments(self) -> frozenset[Assignment]:
+        """Canonical satisfying assignments of the formula's free variables.
+
+        Generic placeholders in a returned assignment stand for arbitrary
+        distinct elements never seen so far.
+        """
+        if self._previous is None:
+            raise EvaluationError("no state has been consumed yet")
+        return self._previous[self._formula]
+
+    # -- internals ------------------------------------------------------------
+
+    def _assignments(
+        self, variables: tuple[Variable, ...], domain: tuple[GroundElement, ...]
+    ) -> Iterator[dict[Variable, GroundElement]]:
+        for values in cartesian(domain, repeat=len(variables)):
+            yield dict(zip(variables, values))
+
+    def _resolve(
+        self, term: Term, env: Mapping[Variable, GroundElement]
+    ) -> GroundElement:
+        if isinstance(term, Variable):
+            return env[term]
+        assert isinstance(term, Constant)
+        try:
+            return self._constant_bindings[term.name]
+        except KeyError:
+            raise EvaluationError(
+                f"constant symbol {term.name!r} is not bound"
+            ) from None
+
+    def _lookup_previous(
+        self, formula: Formula, values: Assignment
+    ) -> bool:
+        """Truth of a subformula at the previous instant under an assignment.
+
+        Elements not seen *by the previous instant* are canonicalized to
+        generics — their past is a generic's past.
+        """
+        if self._previous is None:
+            return False  # instant 0: strong past operators are false
+        canonical = _canonicalize(values, self._previous_seen)
+        return canonical in self._previous[formula]
+
+    def _compute(
+        self,
+        formula: Formula,
+        state: DatabaseState,
+        domain: tuple[GroundElement, ...],
+        seen: frozenset[int],
+        tables: dict[Formula, frozenset[Assignment]],
+    ) -> frozenset[Assignment]:
+        cached = tables.get(formula)
+        if cached is not None:
+            return cached
+        for child in formula.children:
+            self._compute(child, state, domain, seen, tables)
+        free = _sorted_vars(formula)
+        satisfying: set[Assignment] = set()
+        for env in self._assignments(free, domain):
+            if self._holds(formula, env, state, domain, tables):
+                satisfying.add(tuple(env[v] for v in free))
+        result = frozenset(satisfying)
+        tables[formula] = result
+        return result
+
+    def _child_value(
+        self,
+        child: Formula,
+        env: Mapping[Variable, GroundElement],
+        tables: dict[Formula, frozenset[Assignment]],
+    ) -> bool:
+        values = tuple(env[v] for v in _sorted_vars(child))
+        return values in tables[child]
+
+    def _holds(
+        self,
+        formula: Formula,
+        env: dict[Variable, GroundElement],
+        state: DatabaseState,
+        domain: tuple[GroundElement, ...],
+        tables: dict[Formula, frozenset[Assignment]],
+    ) -> bool:
+        match formula:
+            case TrueFormula():
+                return True
+            case FalseFormula():
+                return False
+            case Atom(pred=pred, args=args):
+                values = tuple(self._resolve(a, env) for a in args)
+                if pred in BUILTIN_PREDICATES:
+                    raise EvaluationError(
+                        "extended-vocabulary predicates are not supported "
+                        "by the incremental evaluator"
+                    )
+                if not all(isinstance(v, int) for v in values):
+                    return False  # generics never occur in relations
+                return state.holds(pred, values)  # type: ignore[arg-type]
+            case Eq(left=left, right=right):
+                return self._resolve(left, env) == self._resolve(right, env)
+            case Not(operand=op):
+                return not self._child_value(op, env, tables)
+            case And(operands=ops):
+                return all(self._child_value(op, env, tables) for op in ops)
+            case Or(operands=ops):
+                return any(self._child_value(op, env, tables) for op in ops)
+            case Implies(antecedent=a, consequent=c):
+                return not self._child_value(
+                    a, env, tables
+                ) or self._child_value(c, env, tables)
+            case Iff(left=left, right=right):
+                return self._child_value(
+                    left, env, tables
+                ) == self._child_value(right, env, tables)
+            case Exists(var=v, body=body):
+                body_free = _sorted_vars(body)
+                for value in domain:
+                    extended = {**env, v: value}
+                    values = tuple(extended[u] for u in body_free)
+                    if values in tables[body]:
+                        return True
+                return False
+            case Forall(var=v, body=body):
+                body_free = _sorted_vars(body)
+                for value in domain:
+                    extended = {**env, v: value}
+                    values = tuple(extended[u] for u in body_free)
+                    if values not in tables[body]:
+                        return False
+                return True
+            case Prev(body=body):
+                values = tuple(env[v] for v in _sorted_vars(body))
+                return self._lookup_previous(body, values)
+            case Since(left=left, right=right):
+                if self._child_value(right, env, tables):
+                    return True
+                if not self._child_value(left, env, tables):
+                    return False
+                values = tuple(env[v] for v in _sorted_vars(formula))
+                return self._lookup_previous(formula, values)
+            case Once(body=body):
+                if self._child_value(body, env, tables):
+                    return True
+                values = tuple(env[v] for v in _sorted_vars(formula))
+                return self._lookup_previous(formula, values)
+            case Historically(body=body):
+                if not self._child_value(body, env, tables):
+                    return False
+                values = tuple(env[v] for v in _sorted_vars(formula))
+                if self._previous is None:
+                    return True  # instant 0: H A == A
+                return self._lookup_previous(formula, values)
+            case _:
+                raise ClassificationError(
+                    f"unsupported connective for incremental past "
+                    f"evaluation: {type(formula).__name__}"
+                )

@@ -1,0 +1,632 @@
+"""PTL satisfiability via Büchi automata (GPVW construction).
+
+Phase 2 of the Lemma 4.2 decision procedure checks satisfiability of the
+progressed remainder formula.  The paper points at the Sistla–Clarke PSPACE
+procedure; this module implements the equally classical automata route
+(Gerth–Peled–Vardi–Wolper, "Simple on-the-fly automatic verification of
+linear temporal logic"), which has the same exponential worst case but is
+*constructive*: a satisfiable formula yields an ultimately-periodic model
+(a lasso), which the checker decodes back into an actual extension of the
+database history (the "decoding" direction of Theorem 4.1).
+
+The pipeline:
+
+1. :func:`build_automaton` — translate an NNF-core formula into a
+   generalized Büchi automaton (GBA) whose states carry literal labels.
+2. :meth:`GeneralizedBuchi.find_lasso` — nonemptiness by SCC analysis:
+   a reachable strongly connected component touching every acceptance set.
+3. :func:`find_lasso_model` / :func:`is_satisfiable_buchi` — the public
+   entry points; the former returns a :class:`LassoModel` (stem + loop of
+   propositional states), the latter just the boolean.
+
+An independent implementation of satisfiability (the classical atom-graph
+tableau, closer to Sistla–Clarke) lives in :mod:`repro.ptl.tableau`; the
+test suite cross-validates the two on random formulas.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable
+
+from .formulas import (
+    PAlways,
+    PAnd,
+    PEventually,
+    PNext,
+    PNot,
+    POr,
+    PRelease,
+    PTLFalse,
+    PTLFormula,
+    PTLTrue,
+    PUntil,
+    Prop,
+)
+from .nnf import ptl_nnf
+from .progression import PropState
+
+
+@dataclass(frozen=True)
+class LassoModel:
+    """An ultimately-periodic model: states ``stem`` then ``loop`` forever.
+
+    ``loop`` is always non-empty.  The model represents the infinite
+    sequence ``stem[0] ... stem[-1] (loop[0] ... loop[-1])^omega``.
+    """
+
+    stem: tuple[PropState, ...]
+    loop: tuple[PropState, ...]
+
+    def __post_init__(self) -> None:
+        if not self.loop:
+            raise ValueError("lasso loop must be non-empty")
+
+    def state_at(self, instant: int) -> PropState:
+        """The propositional state at a given time instant."""
+        if instant < len(self.stem):
+            return self.stem[instant]
+        return self.loop[(instant - len(self.stem)) % len(self.loop)]
+
+    def prefix(self, length: int) -> tuple[PropState, ...]:
+        """The first ``length`` states of the model."""
+        return tuple(self.state_at(i) for i in range(length))
+
+    @property
+    def period_start(self) -> int:
+        return len(self.stem)
+
+    @property
+    def period(self) -> int:
+        return len(self.loop)
+
+
+class _Node:
+    """Mutable GPVW construction node."""
+
+    __slots__ = ("node_id", "incoming", "new", "old", "next")
+
+    def __init__(
+        self,
+        node_id: int,
+        incoming: set[int],
+        new: set[PTLFormula],
+        old: set[PTLFormula],
+        next_: set[PTLFormula],
+    ):
+        self.node_id = node_id
+        self.incoming = incoming
+        self.new = new
+        self.old = old
+        self.next = next_
+
+
+_INIT = 0  # pseudo-id marking initial edges
+
+
+@dataclass
+class GeneralizedBuchi:
+    """A generalized Büchi automaton with literal-labelled states.
+
+    Attributes
+    ----------
+    states:
+        State identifiers.
+    initial:
+        Initial state identifiers.
+    transitions:
+        Successor map.
+    labels:
+        ``state -> (positive, negative)`` literal constraints: any
+        propositional state containing all positives and no negatives
+        matches.
+    acceptance:
+        Acceptance sets; a run is accepting iff it visits each set
+        infinitely often.  An empty tuple means all runs accept.
+    """
+
+    states: frozenset[int]
+    initial: frozenset[int]
+    transitions: dict[int, frozenset[int]]
+    labels: dict[int, tuple[frozenset[Prop], frozenset[Prop]]]
+    acceptance: tuple[frozenset[int], ...]
+
+    def state_count(self) -> int:
+        return len(self.states)
+
+    # -- reachability / SCCs ----------------------------------------------
+
+    def reachable(self) -> frozenset[int]:
+        """States reachable from the initial states."""
+        seen: set[int] = set()
+        stack = list(self.initial)
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self.transitions.get(node, frozenset()) - seen)
+        return frozenset(seen)
+
+    def _sccs(self, restriction: frozenset[int]) -> list[frozenset[int]]:
+        """Tarjan's algorithm over the restricted state set (iterative)."""
+        index_of: dict[int, int] = {}
+        low: dict[int, int] = {}
+        on_stack: set[int] = set()
+        stack: list[int] = []
+        sccs: list[frozenset[int]] = []
+        counter = itertools.count()
+
+        for root in restriction:
+            if root in index_of:
+                continue
+            work: list[tuple[int, Iterable[int]]] = [
+                (root, iter(self.transitions.get(root, frozenset())))
+            ]
+            index_of[root] = low[root] = next(counter)
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, successors = work[-1]
+                advanced = False
+                for succ in successors:
+                    if succ not in restriction:
+                        continue
+                    if succ not in index_of:
+                        index_of[succ] = low[succ] = next(counter)
+                        stack.append(succ)
+                        on_stack.add(succ)
+                        work.append(
+                            (succ, iter(self.transitions.get(succ, frozenset())))
+                        )
+                        advanced = True
+                        break
+                    if succ in on_stack:
+                        low[node] = min(low[node], index_of[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index_of[node]:
+                    component: set[int] = set()
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.add(member)
+                        if member == node:
+                            break
+                    sccs.append(frozenset(component))
+        return sccs
+
+    def _is_cyclic_scc(self, component: frozenset[int]) -> bool:
+        if len(component) > 1:
+            return True
+        (node,) = component
+        return node in self.transitions.get(node, frozenset())
+
+    def find_accepting_scc(self) -> frozenset[int] | None:
+        """A reachable cyclic SCC intersecting every acceptance set."""
+        reachable = self.reachable()
+        for component in self._sccs(reachable):
+            if not self._is_cyclic_scc(component):
+                continue
+            if all(component & accept for accept in self.acceptance):
+                return component
+        return None
+
+    def is_empty(self) -> bool:
+        """True iff the automaton accepts no word."""
+        return self.find_accepting_scc() is None
+
+    # -- lasso extraction ---------------------------------------------------
+
+    def _shortest_path(
+        self,
+        sources: Iterable[int],
+        targets: set[int],
+        restriction: frozenset[int] | None = None,
+    ) -> list[int] | None:
+        """BFS path (list of states, inclusive) from any source to any target."""
+        sources = list(sources)
+        parents: dict[int, int | None] = {s: None for s in sources}
+        queue = list(sources)
+        found: int | None = None
+        for node in queue:
+            if node in targets:
+                found = node
+                break
+        head = 0
+        while found is None and head < len(queue):
+            node = queue[head]
+            head += 1
+            for succ in self.transitions.get(node, frozenset()):
+                if restriction is not None and succ not in restriction:
+                    continue
+                if succ in parents:
+                    continue
+                parents[succ] = node
+                if succ in targets:
+                    found = succ
+                    break
+                queue.append(succ)
+        if found is None:
+            return None
+        path = [found]
+        while parents[path[-1]] is not None:
+            path.append(parents[path[-1]])  # type: ignore[arg-type]
+        path.reverse()
+        return path
+
+    def find_lasso(self) -> tuple[list[int], list[int]] | None:
+        """An accepting lasso as (stem states, loop states).
+
+        The run is ``stem + loop + loop + ...`` where the last stem state
+        (if any) has a transition to ``loop[0]``, and ``loop[-1]`` has a
+        transition back to ``loop[0]``.  Returns None iff the automaton is
+        empty.
+        """
+        component = self.find_accepting_scc()
+        if component is None:
+            return None
+        stem_path = self._shortest_path(self.initial, set(component))
+        assert stem_path is not None, "accepting SCC must be reachable"
+        anchor = stem_path[-1]
+        # Walk inside the SCC: from the anchor, visit one member of each
+        # acceptance set, then return to the anchor with at least one edge.
+        loop = [anchor]
+        current = anchor
+        for accept in self.acceptance:
+            targets = set(accept & component)
+            if current in targets:
+                continue
+            leg = self._shortest_path(
+                [current], targets, restriction=component
+            )
+            assert leg is not None, "SCC members must be mutually reachable"
+            loop.extend(leg[1:])
+            current = leg[-1]
+        closing_sources = self.transitions.get(current, frozenset()) & component
+        closing = self._shortest_path(
+            closing_sources, {anchor}, restriction=component
+        )
+        assert closing is not None, "cyclic SCC node must re-reach the anchor"
+        loop.extend(closing)
+        assert loop[-1] == anchor
+        loop.pop()
+        return stem_path[:-1], loop
+
+    def state_for(self, node: int) -> PropState:
+        """A concrete propositional state matching the node's label.
+
+        Unconstrained letters are set to false; this is sound because node
+        labels come from NNF formulas, whose satisfaction only depends on
+        the literals recorded in the label.
+        """
+        positive, _negative = self.labels[node]
+        return frozenset(positive)
+
+
+def build_automaton(formula: PTLFormula) -> GeneralizedBuchi:
+    """GPVW translation of a PTL formula into a generalized Büchi automaton.
+
+    The formula is first brought to NNF core form.  Every accepted word is a
+    model of the formula and every model matches some accepted word.
+    """
+    normal = ptl_nnf(formula)
+    if isinstance(normal, PTLFalse):
+        return GeneralizedBuchi(
+            states=frozenset(),
+            initial=frozenset(),
+            transitions={},
+            labels={},
+            acceptance=(),
+        )
+
+    counter = itertools.count(1)
+    closed: list[_Node] = []
+    closed_index: dict[tuple[frozenset[PTLFormula], frozenset[PTLFormula]], _Node] = {}
+
+    def close(node: _Node) -> None:
+        """Node fully expanded: merge with an equivalent node or register."""
+        key = (frozenset(node.old), frozenset(node.next))
+        existing = closed_index.get(key)
+        if existing is not None:
+            existing.incoming |= node.incoming
+            return
+        closed.append(node)
+        closed_index[key] = node
+        successor = _Node(
+            node_id=next(counter),
+            incoming={node.node_id},
+            new=set(node.next),
+            old=set(),
+            next_=set(),
+        )
+        pending.append(successor)
+
+    initial_node = _Node(
+        node_id=next(counter),
+        incoming={_INIT},
+        new={normal},
+        old=set(),
+        next_=set(),
+    )
+    pending: list[_Node] = [initial_node]
+
+    def pick(new: set[PTLFormula]) -> PTLFormula:
+        """Choose the next formula to expand: non-branching first.
+
+        Literals and conjunctive nodes never split the node, and literals
+        expose contradictions early, so handling them first prunes the
+        expansion tree dramatically on conjunction-heavy formulas (the
+        literal-mode reductions of Theorem 4.1 are full of those).
+        """
+        best: PTLFormula | None = None
+        best_rank = 3
+        for candidate in new:
+            if isinstance(candidate, (PTLTrue, PTLFalse, Prop, PNot)):
+                new.discard(candidate)
+                return candidate
+            rank = (
+                1 if isinstance(candidate, (PAnd, PNext, PAlways)) else 2
+            )
+            if rank < best_rank:
+                best, best_rank = candidate, rank
+        assert best is not None
+        new.discard(best)
+        return best
+
+    while pending:
+        node = pending.pop()
+        if not node.new:
+            close(node)
+            continue
+        eta = pick(node.new)
+        match eta:
+            case PTLTrue():
+                pending.append(node)
+            case PTLFalse():
+                pass  # contradiction: discard the node
+            case Prop() | PNot():
+                negated = (
+                    eta.operand if isinstance(eta, PNot) else PNot(eta)
+                )
+                if negated in node.old:
+                    pass  # contradiction: discard
+                else:
+                    node.old.add(eta)
+                    pending.append(node)
+            case PAnd(operands=ops):
+                node.old.add(eta)
+                node.new |= {op for op in ops if op not in node.old}
+                pending.append(node)
+            case POr(operands=ops):
+                node.old.add(eta)
+                for op in ops:
+                    branch = _Node(
+                        node_id=next(counter),
+                        incoming=set(node.incoming),
+                        new=set(node.new)
+                        | ({op} if op not in node.old else set()),
+                        old=set(node.old),
+                        next_=set(node.next),
+                    )
+                    pending.append(branch)
+            case PUntil(left=left, right=right):
+                node.old.add(eta)
+                wait = _Node(
+                    node_id=next(counter),
+                    incoming=set(node.incoming),
+                    new=set(node.new)
+                    | ({left} if left not in node.old else set()),
+                    old=set(node.old),
+                    next_=set(node.next) | {eta},
+                )
+                fulfil = _Node(
+                    node_id=next(counter),
+                    incoming=set(node.incoming),
+                    new=set(node.new)
+                    | ({right} if right not in node.old else set()),
+                    old=set(node.old),
+                    next_=set(node.next),
+                )
+                pending.append(wait)
+                pending.append(fulfil)
+            case PRelease(left=left, right=right):
+                node.old.add(eta)
+                hold = _Node(
+                    node_id=next(counter),
+                    incoming=set(node.incoming),
+                    new=set(node.new)
+                    | ({right} if right not in node.old else set()),
+                    old=set(node.old),
+                    next_=set(node.next) | {eta},
+                )
+                released = _Node(
+                    node_id=next(counter),
+                    incoming=set(node.incoming),
+                    new=set(node.new)
+                    | {f for f in (left, right) if f not in node.old},
+                    old=set(node.old),
+                    next_=set(node.next),
+                )
+                pending.append(hold)
+                pending.append(released)
+            case PEventually(body=body):
+                # F b == true U b: wait or fulfil.
+                node.old.add(eta)
+                wait = _Node(
+                    node_id=next(counter),
+                    incoming=set(node.incoming),
+                    new=set(node.new),
+                    old=set(node.old),
+                    next_=set(node.next) | {eta},
+                )
+                fulfil = _Node(
+                    node_id=next(counter),
+                    incoming=set(node.incoming),
+                    new=set(node.new)
+                    | ({body} if body not in node.old else set()),
+                    old=set(node.old),
+                    next_=set(node.next),
+                )
+                pending.append(wait)
+                pending.append(fulfil)
+            case PAlways(body=body):
+                # G b == false R b: hold now and carry the obligation.
+                node.old.add(eta)
+                node.new |= {body} if body not in node.old else set()
+                node.next.add(eta)
+                pending.append(node)
+            case PNext(body=body):
+                node.old.add(eta)
+                node.next.add(body)
+                pending.append(node)
+            case _:
+                raise TypeError(
+                    f"unexpected connective in NNF core formula: {eta!r}"
+                )
+
+    states = frozenset(node.node_id for node in closed)
+    initial = frozenset(
+        node.node_id for node in closed if _INIT in node.incoming
+    )
+    transitions: dict[int, frozenset[int]] = {s: frozenset() for s in states}
+    successors: dict[int, set[int]] = {s: set() for s in states}
+    for node in closed:
+        for source in node.incoming:
+            if source == _INIT:
+                continue
+            if source in successors:
+                successors[source].add(node.node_id)
+    transitions = {s: frozenset(t) for s, t in successors.items()}
+
+    labels: dict[int, tuple[frozenset[Prop], frozenset[Prop]]] = {}
+    for node in closed:
+        positive = frozenset(f for f in node.old if isinstance(f, Prop))
+        negative = frozenset(
+            f.operand
+            for f in node.old
+            if isinstance(f, PNot) and isinstance(f.operand, Prop)
+        )
+        labels[node.node_id] = (positive, negative)
+
+    # One acceptance set per eventuality subformula (until / eventually),
+    # deduplicated in first-seen order.
+    eventualities: list[PTLFormula] = []
+    seen: set[PTLFormula] = set()
+    for f in normal.walk():
+        if isinstance(f, (PUntil, PEventually)) and f not in seen:
+            seen.add(f)
+            eventualities.append(f)
+    acceptance = tuple(
+        frozenset(
+            node.node_id
+            for node in closed
+            if u not in node.old
+            or (u.right if isinstance(u, PUntil) else u.body) in node.old
+        )
+        for u in eventualities
+    )
+
+    return GeneralizedBuchi(
+        states=states,
+        initial=initial,
+        transitions=transitions,
+        labels=labels,
+        acceptance=acceptance,
+    )
+
+
+def product(
+    left: GeneralizedBuchi, right: GeneralizedBuchi
+) -> GeneralizedBuchi:
+    """Synchronous product of two label-compatible automata.
+
+    A product state exists for each pair of states whose literal labels do
+    not contradict each other.  Acceptance sets of both sides are lifted.
+    Used by the semantic safety check (:mod:`repro.ptl.safety`).
+    """
+    pair_ids: dict[tuple[int, int], int] = {}
+    counter = itertools.count(1)
+
+    def compatible(a: int, b: int) -> bool:
+        pos_a, neg_a = left.labels[a]
+        pos_b, neg_b = right.labels[b]
+        return not (pos_a & neg_b) and not (pos_b & neg_a)
+
+    def pair_id(a: int, b: int) -> int:
+        key = (a, b)
+        if key not in pair_ids:
+            pair_ids[key] = next(counter)
+        return pair_ids[key]
+
+    initial = frozenset(
+        pair_id(a, b)
+        for a in left.initial
+        for b in right.initial
+        if compatible(a, b)
+    )
+    transitions: dict[int, frozenset[int]] = {}
+    labels: dict[int, tuple[frozenset[Prop], frozenset[Prop]]] = {}
+    worklist = list(pair_ids.keys())
+    processed: set[tuple[int, int]] = set()
+    while worklist:
+        a, b = worklist.pop()
+        if (a, b) in processed:
+            continue
+        processed.add((a, b))
+        this_id = pair_id(a, b)
+        pos_a, neg_a = left.labels[a]
+        pos_b, neg_b = right.labels[b]
+        labels[this_id] = (pos_a | pos_b, neg_a | neg_b)
+        succs: set[int] = set()
+        for sa in left.transitions.get(a, frozenset()):
+            for sb in right.transitions.get(b, frozenset()):
+                if compatible(sa, sb):
+                    succs.add(pair_id(sa, sb))
+                    if (sa, sb) not in processed:
+                        worklist.append((sa, sb))
+        transitions[this_id] = frozenset(succs)
+
+    states = frozenset(pair_ids.values())
+    acceptance: list[frozenset[int]] = []
+    for accept in left.acceptance:
+        acceptance.append(
+            frozenset(pid for (a, b), pid in pair_ids.items() if a in accept)
+        )
+    for accept in right.acceptance:
+        acceptance.append(
+            frozenset(pid for (a, b), pid in pair_ids.items() if b in accept)
+        )
+    return GeneralizedBuchi(
+        states=states,
+        initial=initial,
+        transitions=transitions,
+        labels=labels,
+        acceptance=tuple(acceptance),
+    )
+
+
+def is_satisfiable_buchi(formula: PTLFormula) -> bool:
+    """PTL satisfiability by Büchi nonemptiness."""
+    return not build_automaton(formula).is_empty()
+
+
+def find_lasso_model(formula: PTLFormula) -> LassoModel | None:
+    """A concrete ultimately-periodic model of the formula, or None.
+
+    The returned :class:`LassoModel` is guaranteed to satisfy the formula
+    (the lasso evaluator in :mod:`repro.ptl.lasso` re-checks this in tests).
+    """
+    automaton = build_automaton(formula)
+    lasso = automaton.find_lasso()
+    if lasso is None:
+        return None
+    stem_ids, loop_ids = lasso
+    stem = tuple(automaton.state_for(node) for node in stem_ids)
+    loop = tuple(automaton.state_for(node) for node in loop_ids)
+    return LassoModel(stem=stem, loop=loop)

@@ -1,0 +1,98 @@
+"""Conversion between the FOTL and PTL layers.
+
+A quantifier-free, future-only, equality-free FOTL formula whose atoms are
+all nullary is "really" a PTL formula; :func:`from_fotl` performs that
+re-typing, and :func:`parse_ptl` composes it with the FOTL parser to give
+PTL a concrete syntax for free.
+
+(The reduction of Theorem 4.1 does *not* go through here — grounding a
+quantified formula against a database lives in
+:mod:`repro.core.grounding` — but tests and examples use this module to
+write PTL formulas in text.)
+"""
+
+from __future__ import annotations
+
+from ..errors import ClassificationError
+from ..logic import formulas as fo
+from ..logic.parser import parse as parse_fotl
+from .formulas import (
+    PFALSE,
+    PTRUE,
+    PTLFormula,
+    palways,
+    pand,
+    peventually,
+    pimplies,
+    pnext,
+    pnot,
+    por,
+    prelease,
+    prop,
+    puntil,
+    pweak_until,
+)
+
+
+def from_fotl(formula: fo.Formula) -> PTLFormula:
+    """Re-type a propositional FOTL formula as PTL.
+
+    Raises
+    ------
+    ClassificationError
+        If the formula contains quantifiers, equality, past-tense
+        connectives, or non-nullary atoms.
+    """
+    match formula:
+        case fo.TrueFormula():
+            return PTRUE
+        case fo.FalseFormula():
+            return PFALSE
+        case fo.Atom(pred=pred, args=args):
+            if args:
+                raise ClassificationError(
+                    f"atom {pred} has arguments; not propositional"
+                )
+            return prop(pred)
+        case fo.Eq():
+            raise ClassificationError("equality is not propositional")
+        case fo.Not(operand=op):
+            return pnot(from_fotl(op))
+        case fo.And(operands=ops):
+            return pand(*(from_fotl(op) for op in ops))
+        case fo.Or(operands=ops):
+            return por(*(from_fotl(op) for op in ops))
+        case fo.Implies(antecedent=a, consequent=c):
+            return pimplies(from_fotl(a), from_fotl(c))
+        case fo.Iff(left=left, right=right):
+            pl, pr = from_fotl(left), from_fotl(right)
+            return por(pand(pl, pr), pand(pnot(pl), pnot(pr)))
+        case fo.Next(body=body):
+            return pnext(from_fotl(body))
+        case fo.Until(left=left, right=right):
+            return puntil(from_fotl(left), from_fotl(right))
+        case fo.WeakUntil(left=left, right=right):
+            return pweak_until(from_fotl(left), from_fotl(right))
+        case fo.Release(left=left, right=right):
+            return prelease(from_fotl(left), from_fotl(right))
+        case fo.Eventually(body=body):
+            return peventually(from_fotl(body))
+        case fo.Always(body=body):
+            return palways(from_fotl(body))
+        case fo.Exists() | fo.Forall():
+            raise ClassificationError("quantifiers are not propositional")
+        case fo.Prev() | fo.Since() | fo.Once() | fo.Historically():
+            raise ClassificationError(
+                "past-tense connectives are outside the PTL target language"
+            )
+        case _:
+            raise TypeError(f"cannot convert {formula!r}")
+
+
+def parse_ptl(source: str) -> PTLFormula:
+    """Parse a PTL formula from the shared concrete syntax.
+
+    >>> str(parse_ptl("G (p -> X q)"))
+    'G (p -> X q)'
+    """
+    return from_fotl(parse_fotl(source))

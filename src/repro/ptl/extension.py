@@ -1,0 +1,128 @@
+"""The propositional extension problem (Lemma 4.2).
+
+Given a finite sequence of propositional states ``w = (w0, ..., wt)`` and a
+PTL formula ``psi``, decide whether ``w`` can be extended to an infinite
+sequence satisfying ``psi`` — and if so, optionally produce a concrete
+extension as a lasso model.
+
+This is exactly the two-phase algorithm of Lemma 4.2:
+
+1. **Progression phase** (deterministic, ``O(t * |psi|)``): rewrite ``psi``
+   through ``w0, ..., wt`` (:mod:`repro.ptl.progression`), obtaining the
+   remainder obligation ``xi_t``.
+2. **Satisfiability phase** (``2^O(|psi|)``): decide satisfiability of
+   ``xi_t`` (:mod:`repro.ptl.sat`).
+
+The instrumented variant :func:`check_extension_detailed` reports per-phase
+work so experiment E3 can measure the two phases separately.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+from .buchi import LassoModel, find_lasso_model
+from .formulas import PTLFalse, PTLFormula, PTLTrue
+from .progression import PropState, progress_sequence
+from .sat import is_satisfiable
+
+
+@dataclass(frozen=True)
+class ExtensionResult:
+    """Outcome of a propositional extension check.
+
+    Attributes
+    ----------
+    extendable:
+        Whether the prefix extends to a model of the formula.
+    remainder:
+        The progressed obligation ``xi_t`` after consuming the prefix.
+    witness:
+        When requested and extendable: a lasso model of the *original*
+        formula whose first ``t+1`` states are exactly the given prefix.
+    progression_seconds / satisfiability_seconds:
+        Wall-clock split between the two phases (only filled in by
+        :func:`check_extension_detailed`).
+    """
+
+    extendable: bool
+    remainder: PTLFormula
+    witness: LassoModel | None = None
+    progression_seconds: float = 0.0
+    satisfiability_seconds: float = 0.0
+
+
+def can_extend(
+    prefix: Sequence[PropState],
+    formula: PTLFormula,
+    method: str = "buchi",
+    quick: bool = False,
+) -> bool:
+    """Lemma 4.2 decision: can the prefix extend to a model of the formula?"""
+    remainder = progress_sequence(formula, prefix)
+    if isinstance(remainder, PTLTrue):
+        return True
+    if isinstance(remainder, PTLFalse):
+        return False
+    return is_satisfiable(remainder, method=method, quick=quick)
+
+
+def check_extension(
+    prefix: Sequence[PropState],
+    formula: PTLFormula,
+    method: str = "buchi",
+    want_witness: bool = False,
+    quick: bool = False,
+) -> ExtensionResult:
+    """Full extension check, optionally with a witness extension.
+
+    The witness is assembled by progressing through the prefix, finding a
+    lasso model of the remainder, and prepending the prefix states; by the
+    fundamental property of progression the assembled lasso satisfies the
+    original formula at instant 0.
+    """
+    remainder = progress_sequence(formula, prefix)
+    if isinstance(remainder, PTLFalse):
+        return ExtensionResult(extendable=False, remainder=remainder)
+    if want_witness:
+        tail = find_lasso_model(remainder)
+        if tail is None:
+            return ExtensionResult(extendable=False, remainder=remainder)
+        witness = LassoModel(
+            stem=tuple(prefix) + tail.stem, loop=tail.loop
+        )
+        return ExtensionResult(
+            extendable=True, remainder=remainder, witness=witness
+        )
+    if isinstance(remainder, PTLTrue):
+        return ExtensionResult(extendable=True, remainder=remainder)
+    return ExtensionResult(
+        extendable=is_satisfiable(remainder, method=method, quick=quick),
+        remainder=remainder,
+    )
+
+
+def check_extension_detailed(
+    prefix: Sequence[PropState],
+    formula: PTLFormula,
+    method: str = "buchi",
+) -> ExtensionResult:
+    """Like :func:`check_extension` but timing the two phases separately."""
+    start = time.perf_counter()
+    remainder = progress_sequence(formula, prefix)
+    mid = time.perf_counter()
+    if isinstance(remainder, PTLTrue):
+        extendable = True
+    elif isinstance(remainder, PTLFalse):
+        extendable = False
+    else:
+        extendable = is_satisfiable(remainder, method=method)
+    end = time.perf_counter()
+    return ExtensionResult(
+        extendable=extendable,
+        remainder=remainder,
+        progression_seconds=mid - start,
+        satisfiability_seconds=end - mid,
+    )

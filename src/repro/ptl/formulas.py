@@ -1,0 +1,383 @@
+"""Abstract syntax of propositional temporal logic (PTL).
+
+This is the target language of the Theorem 4.1 reduction: the propositional
+temporal logic of linear time (Section 2, "Propositional temporal logic"),
+with atoms drawn from a set of propositional letters.  Node names carry a
+``P`` prefix to keep them visually distinct from the first-order AST in
+:mod:`repro.logic` — the two layers are frequently used side by side in the
+reduction code.
+
+Propositions carry an arbitrary hashable ``name``.  The reduction uses
+structured names (ground atoms); tests use plain strings.
+
+Smart constructors (:func:`pand`, :func:`por`, :func:`pnot`, ...) perform
+constant folding and flattening, which is what keeps the Sistla–Wolfson
+progression of Lemma 4.2 compact as it sweeps over a history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class PTLFormula:
+    """Abstract base class of PTL formulas."""
+
+    @property
+    def children(self) -> tuple["PTLFormula", ...]:
+        return ()
+
+    def walk(self) -> Iterator["PTLFormula"]:
+        """Yield this formula and all subformulas, pre-order."""
+        stack: list[PTLFormula] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def propositions(self) -> frozenset["Prop"]:
+        """All propositional letters occurring in the formula."""
+        return frozenset(n for n in self.walk() if isinstance(n, Prop))
+
+    def size(self) -> int:
+        """Number of AST nodes (``|psi|`` in the Lemma 4.2 bounds)."""
+        return sum(1 for _ in self.walk())
+
+    def __str__(self) -> str:
+        return _to_str(self, 0)
+
+
+@dataclass(frozen=True)
+class PTLTrue(PTLFormula):
+    """The constant true."""
+
+
+@dataclass(frozen=True)
+class PTLFalse(PTLFormula):
+    """The constant false."""
+
+
+PTRUE = PTLTrue()
+PFALSE = PTLFalse()
+
+
+@dataclass(frozen=True)
+class Prop(PTLFormula):
+    """A propositional letter.
+
+    ``name`` may be any hashable value; the reduction uses
+    :class:`repro.core.grounding.GroundAtom` instances, tests use strings.
+    """
+
+    name: Hashable
+
+    def __post_init__(self) -> None:
+        hash(self.name)  # fail fast on unhashable names
+
+
+@dataclass(frozen=True)
+class PNot(PTLFormula):
+    operand: PTLFormula
+
+    @property
+    def children(self) -> tuple[PTLFormula, ...]:
+        return (self.operand,)
+
+
+@dataclass(frozen=True)
+class PAnd(PTLFormula):
+    operands: tuple[PTLFormula, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "operands", tuple(self.operands))
+        if len(self.operands) < 2:
+            raise ValueError("PAnd requires at least two operands")
+
+    @property
+    def children(self) -> tuple[PTLFormula, ...]:
+        return self.operands
+
+
+@dataclass(frozen=True)
+class POr(PTLFormula):
+    operands: tuple[PTLFormula, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "operands", tuple(self.operands))
+        if len(self.operands) < 2:
+            raise ValueError("POr requires at least two operands")
+
+    @property
+    def children(self) -> tuple[PTLFormula, ...]:
+        return self.operands
+
+
+@dataclass(frozen=True)
+class PImplies(PTLFormula):
+    antecedent: PTLFormula
+    consequent: PTLFormula
+
+    @property
+    def children(self) -> tuple[PTLFormula, ...]:
+        return (self.antecedent, self.consequent)
+
+
+@dataclass(frozen=True)
+class PNext(PTLFormula):
+    body: PTLFormula
+
+    @property
+    def children(self) -> tuple[PTLFormula, ...]:
+        return (self.body,)
+
+
+@dataclass(frozen=True)
+class PUntil(PTLFormula):
+    """Strong until."""
+
+    left: PTLFormula
+    right: PTLFormula
+
+    @property
+    def children(self) -> tuple[PTLFormula, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class PWeakUntil(PTLFormula):
+    left: PTLFormula
+    right: PTLFormula
+
+    @property
+    def children(self) -> tuple[PTLFormula, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class PRelease(PTLFormula):
+    left: PTLFormula
+    right: PTLFormula
+
+    @property
+    def children(self) -> tuple[PTLFormula, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class PEventually(PTLFormula):
+    body: PTLFormula
+
+    @property
+    def children(self) -> tuple[PTLFormula, ...]:
+        return (self.body,)
+
+
+@dataclass(frozen=True)
+class PAlways(PTLFormula):
+    body: PTLFormula
+
+    @property
+    def children(self) -> tuple[PTLFormula, ...]:
+        return (self.body,)
+
+
+# --------------------------------------------------------------------------
+# Smart constructors
+# --------------------------------------------------------------------------
+
+
+def prop(name: Hashable) -> Prop:
+    """Create a propositional letter."""
+    return Prop(name)
+
+
+def pnot(operand: PTLFormula) -> PTLFormula:
+    """Negation with folding of constants and double negation."""
+    match operand:
+        case PTLTrue():
+            return PFALSE
+        case PTLFalse():
+            return PTRUE
+        case PNot(operand=inner):
+            return inner
+        case _:
+            return PNot(operand)
+
+
+def pand(*operands: PTLFormula) -> PTLFormula:
+    """N-ary conjunction with flattening and constant folding."""
+    flat: list[PTLFormula] = []
+    seen: set[PTLFormula] = set()
+    for op in operands:
+        parts = op.operands if isinstance(op, PAnd) else (op,)
+        for part in parts:
+            if isinstance(part, PTLFalse):
+                return PFALSE
+            if isinstance(part, PTLTrue) or part in seen:
+                continue
+            seen.add(part)
+            flat.append(part)
+    if not flat:
+        return PTRUE
+    if len(flat) == 1:
+        return flat[0]
+    return PAnd(tuple(flat))
+
+
+def por(*operands: PTLFormula) -> PTLFormula:
+    """N-ary disjunction with flattening and constant folding."""
+    flat: list[PTLFormula] = []
+    seen: set[PTLFormula] = set()
+    for op in operands:
+        parts = op.operands if isinstance(op, POr) else (op,)
+        for part in parts:
+            if isinstance(part, PTLTrue):
+                return PTRUE
+            if isinstance(part, PTLFalse) or part in seen:
+                continue
+            seen.add(part)
+            flat.append(part)
+    if not flat:
+        return PFALSE
+    if len(flat) == 1:
+        return flat[0]
+    return POr(tuple(flat))
+
+
+def pconj(operands: Iterable[PTLFormula]) -> PTLFormula:
+    """Conjunction of an iterable."""
+    return pand(*operands)
+
+
+def pdisj(operands: Iterable[PTLFormula]) -> PTLFormula:
+    """Disjunction of an iterable."""
+    return por(*operands)
+
+
+def pimplies(antecedent: PTLFormula, consequent: PTLFormula) -> PTLFormula:
+    """Implication with constant folding."""
+    if isinstance(antecedent, PTLFalse) or isinstance(consequent, PTLTrue):
+        return PTRUE
+    if isinstance(antecedent, PTLTrue):
+        return consequent
+    if isinstance(consequent, PTLFalse):
+        return pnot(antecedent)
+    return PImplies(antecedent, consequent)
+
+
+def pnext(body: PTLFormula) -> PTLFormula:
+    """``X body`` with constant folding."""
+    if isinstance(body, (PTLTrue, PTLFalse)):
+        return body
+    return PNext(body)
+
+
+def puntil(left: PTLFormula, right: PTLFormula) -> PTLFormula:
+    """``left U right`` with constant folding."""
+    if isinstance(right, (PTLTrue, PTLFalse)):
+        return right
+    if isinstance(left, PTLFalse):
+        return right
+    if isinstance(left, PTLTrue):
+        return PEventually(right)
+    return PUntil(left, right)
+
+
+def pweak_until(left: PTLFormula, right: PTLFormula) -> PTLFormula:
+    """``left W right`` with constant folding."""
+    if isinstance(right, PTLTrue) or isinstance(left, PTLTrue):
+        return PTRUE
+    if isinstance(left, PTLFalse):
+        return right
+    if isinstance(right, PTLFalse):
+        return PAlways(left)
+    return PWeakUntil(left, right)
+
+
+def prelease(left: PTLFormula, right: PTLFormula) -> PTLFormula:
+    """``left R right`` with constant folding."""
+    if isinstance(right, (PTLTrue, PTLFalse)):
+        return right
+    if isinstance(left, PTLTrue):
+        return right
+    if isinstance(left, PTLFalse):
+        return PAlways(right)
+    return PRelease(left, right)
+
+
+def peventually(body: PTLFormula) -> PTLFormula:
+    """``F body`` with constant folding and idempotence."""
+    if isinstance(body, (PTLTrue, PTLFalse, PEventually)):
+        return body
+    return PEventually(body)
+
+
+def palways(body: PTLFormula) -> PTLFormula:
+    """``G body`` with constant folding and idempotence."""
+    if isinstance(body, (PTLTrue, PTLFalse, PAlways)):
+        return body
+    return PAlways(body)
+
+
+# --------------------------------------------------------------------------
+# Printing
+# --------------------------------------------------------------------------
+
+_PREC_IMPLIES = 1
+_PREC_OR = 2
+_PREC_AND = 3
+_PREC_BIN = 4
+_PREC_UNARY = 5
+
+
+def _to_str(formula: PTLFormula, outer: int) -> str:
+    def wrap(text: str, prec: int) -> str:
+        return f"({text})" if prec < outer else text
+
+    match formula:
+        case PTLTrue():
+            return "true"
+        case PTLFalse():
+            return "false"
+        case Prop(name=name):
+            return str(name)
+        case PNot(operand=op):
+            return f"!{_to_str(op, _PREC_UNARY)}"
+        case PAnd(operands=ops):
+            return wrap(
+                " & ".join(_to_str(op, _PREC_AND + 1) for op in ops), _PREC_AND
+            )
+        case POr(operands=ops):
+            return wrap(
+                " | ".join(_to_str(op, _PREC_OR + 1) for op in ops), _PREC_OR
+            )
+        case PImplies(antecedent=a, consequent=c):
+            return wrap(
+                f"{_to_str(a, _PREC_IMPLIES + 1)} -> {_to_str(c, _PREC_IMPLIES)}",
+                _PREC_IMPLIES,
+            )
+        case PNext(body=body):
+            return wrap(f"X {_to_str(body, _PREC_UNARY)}", _PREC_UNARY)
+        case PEventually(body=body):
+            return wrap(f"F {_to_str(body, _PREC_UNARY)}", _PREC_UNARY)
+        case PAlways(body=body):
+            return wrap(f"G {_to_str(body, _PREC_UNARY)}", _PREC_UNARY)
+        case PUntil(left=left, right=right):
+            return wrap(
+                f"{_to_str(left, _PREC_BIN + 1)} U {_to_str(right, _PREC_BIN + 1)}",
+                _PREC_BIN,
+            )
+        case PWeakUntil(left=left, right=right):
+            return wrap(
+                f"{_to_str(left, _PREC_BIN + 1)} W {_to_str(right, _PREC_BIN + 1)}",
+                _PREC_BIN,
+            )
+        case PRelease(left=left, right=right):
+            return wrap(
+                f"{_to_str(left, _PREC_BIN + 1)} R {_to_str(right, _PREC_BIN + 1)}",
+                _PREC_BIN,
+            )
+        case _:
+            raise TypeError(f"cannot print {formula!r}")

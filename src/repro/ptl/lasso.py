@@ -1,0 +1,179 @@
+"""Exact PTL evaluation on ultimately-periodic (lasso) models.
+
+Infinite-time temporal databases cannot be materialized, but every
+satisfiable PTL formula has an ultimately-periodic model, and the Büchi
+engine produces exactly those (:class:`repro.ptl.buchi.LassoModel`).  This
+module evaluates an arbitrary PTL formula on such a model *exactly*, by
+fixpoint computation on the finite quotient of time instants:
+
+positions ``0 .. s+p-1`` (``s`` stem states, ``p`` loop states) with the
+successor of the last position wrapping to ``s``.  Suffixes of the infinite
+word starting at equal quotient positions are equal, so:
+
+* strong ``until`` / ``eventually`` are least fixpoints of their expansion
+  laws, computed by Kleene iteration (converges within ``s+p`` rounds);
+* ``release`` / ``weak until`` / ``always`` are greatest fixpoints.
+
+This gives the library a *second, independent* semantics for PTL next to
+formula progression and the automaton construction; the three are
+cross-validated in the test suite (progression's fundamental property and
+"every GPVW lasso satisfies its formula" are both checked here).
+"""
+
+from __future__ import annotations
+
+from .buchi import LassoModel
+from .formulas import (
+    PAlways,
+    PAnd,
+    PEventually,
+    PImplies,
+    PNext,
+    PNot,
+    POr,
+    PRelease,
+    PTLFalse,
+    PTLFormula,
+    PTLTrue,
+    PUntil,
+    PWeakUntil,
+    Prop,
+)
+
+
+def evaluate_lasso(
+    formula: PTLFormula, model: LassoModel, instant: int = 0
+) -> bool:
+    """Truth value of ``formula`` in ``model`` at a time instant.
+
+    ``instant`` may be any non-negative integer; instants beyond the stem
+    are folded into the loop.
+    """
+    if instant < 0:
+        raise ValueError("time instants are non-negative")
+    table = _truth_table(formula, model)
+    return table[_fold(instant, model)]
+
+
+def satisfies(model: LassoModel, formula: PTLFormula) -> bool:
+    """True iff the model satisfies the formula at instant 0."""
+    return evaluate_lasso(formula, model, 0)
+
+
+def _fold(instant: int, model: LassoModel) -> int:
+    stem_len = len(model.stem)
+    if instant < stem_len:
+        return instant
+    return stem_len + (instant - stem_len) % len(model.loop)
+
+
+def _truth_table(formula: PTLFormula, model: LassoModel) -> list[bool]:
+    """Truth of ``formula`` at every quotient position, bottom-up."""
+    positions = len(model.stem) + len(model.loop)
+    successor = [
+        index + 1 if index + 1 < positions else len(model.stem)
+        for index in range(positions)
+    ]
+    states = [model.state_at(index) for index in range(positions)]
+
+    cache: dict[PTLFormula, list[bool]] = {}
+
+    def table(node: PTLFormula) -> list[bool]:
+        cached = cache.get(node)
+        if cached is not None:
+            return cached
+        result = _compute(node)
+        cache[node] = result
+        return result
+
+    def _lfp(base: list[bool], cont: list[bool]) -> list[bool]:
+        """Least fixpoint of v[i] = base[i] or (cont[i] and v[succ(i)])."""
+        value = [False] * positions
+        for _ in range(positions):
+            changed = False
+            for index in range(positions - 1, -1, -1):
+                new = base[index] or (cont[index] and value[successor[index]])
+                if new != value[index]:
+                    value[index] = new
+                    changed = True
+            if not changed:
+                break
+        return value
+
+    def _gfp(base: list[bool], cont: list[bool]) -> list[bool]:
+        """Greatest fixpoint of v[i] = base[i] or (cont[i] and v[succ(i)]).
+
+        With ``base = hold-forever clause``: used as
+        v[i] = base[i] or (cont[i] and v[succ]) initialized to all-true.
+        """
+        value = [True] * positions
+        for _ in range(positions):
+            changed = False
+            for index in range(positions - 1, -1, -1):
+                new = base[index] or (cont[index] and value[successor[index]])
+                if new != value[index]:
+                    value[index] = new
+                    changed = True
+            if not changed:
+                break
+        return value
+
+    def _compute(node: PTLFormula) -> list[bool]:
+        match node:
+            case PTLTrue():
+                return [True] * positions
+            case PTLFalse():
+                return [False] * positions
+            case Prop():
+                return [node in states[index] for index in range(positions)]
+            case PNot(operand=op):
+                inner = table(op)
+                return [not value for value in inner]
+            case PAnd(operands=ops):
+                tables = [table(op) for op in ops]
+                return [
+                    all(t[index] for t in tables) for index in range(positions)
+                ]
+            case POr(operands=ops):
+                tables = [table(op) for op in ops]
+                return [
+                    any(t[index] for t in tables) for index in range(positions)
+                ]
+            case PImplies(antecedent=a, consequent=c):
+                ta, tc = table(a), table(c)
+                return [
+                    (not ta[index]) or tc[index] for index in range(positions)
+                ]
+            case PNext(body=body):
+                tb = table(body)
+                return [tb[successor[index]] for index in range(positions)]
+            case PUntil(left=left, right=right):
+                return _lfp(table(right), table(left))
+            case PEventually(body=body):
+                return _lfp(table(body), [True] * positions)
+            case PWeakUntil(left=left, right=right):
+                return _gfp(table(right), table(left))
+            case PAlways(body=body):
+                tb = table(body)
+                # G a == false R a: greatest fixpoint of v = a and v[succ].
+                return _gfp([False] * positions, tb)
+            case PRelease(left=left, right=right):
+                tl, tr = table(left), table(right)
+                # a R b: gfp of v[i] = b[i] and (a[i] or v[succ]).
+                value = [True] * positions
+                for _ in range(positions):
+                    changed = False
+                    for index in range(positions - 1, -1, -1):
+                        new = tr[index] and (
+                            tl[index] or value[successor[index]]
+                        )
+                        if new != value[index]:
+                            value[index] = new
+                            changed = True
+                    if not changed:
+                        break
+                return value
+            case _:
+                raise TypeError(f"cannot evaluate {node!r}")
+
+    return table(formula)

@@ -1,0 +1,128 @@
+"""Negation normal form for PTL.
+
+The Büchi construction (GPVW) and the atom tableau both operate on formulas
+in NNF over the core connectives ``{literal, and, or, X, U, R}``.  ``W``,
+``F``, ``G``, and ``->`` are rewritten away; negation is pushed to the
+propositions using the until/release duality.
+"""
+
+from __future__ import annotations
+
+from .formulas import (
+    PFALSE,
+    PTRUE,
+    PAlways,
+    PAnd,
+    PEventually,
+    PImplies,
+    PNext,
+    PNot,
+    POr,
+    PRelease,
+    PTLFalse,
+    PTLFormula,
+    PTLTrue,
+    PUntil,
+    PWeakUntil,
+    Prop,
+    pand,
+    pnext,
+    por,
+    prelease,
+    puntil,
+)
+
+
+def ptl_nnf(formula: PTLFormula) -> PTLFormula:
+    """Rewrite to negation normal form over ``{literal, and, or, X, U, R}``.
+
+    ``F a`` becomes ``true U a``; ``G a`` becomes ``false R a``;
+    ``a W b`` becomes ``b R (a | b)``.
+    """
+    return _nnf(formula, negate=False)
+
+
+def _nnf(formula: PTLFormula, negate: bool) -> PTLFormula:
+    match formula:
+        case PTLTrue():
+            return PFALSE if negate else PTRUE
+        case PTLFalse():
+            return PTRUE if negate else PFALSE
+        case Prop():
+            return PNot(formula) if negate else formula
+        case PNot(operand=op):
+            return _nnf(op, not negate)
+        case PAnd(operands=ops):
+            parts = tuple(_nnf(op, negate) for op in ops)
+            return por(*parts) if negate else pand(*parts)
+        case POr(operands=ops):
+            parts = tuple(_nnf(op, negate) for op in ops)
+            return pand(*parts) if negate else por(*parts)
+        case PImplies(antecedent=a, consequent=c):
+            if negate:
+                return pand(_nnf(a, False), _nnf(c, True))
+            return por(_nnf(a, True), _nnf(c, False))
+        case PNext(body=body):
+            return pnext(_nnf(body, negate))
+        case PUntil(left=left, right=right):
+            if negate:
+                return prelease(_nnf(left, True), _nnf(right, True))
+            return puntil(_nnf(left, False), _nnf(right, False))
+        case PRelease(left=left, right=right):
+            if negate:
+                return puntil(_nnf(left, True), _nnf(right, True))
+            return prelease(_nnf(left, False), _nnf(right, False))
+        case PWeakUntil(left=left, right=right):
+            # a W b  ==  b R (a | b)
+            if negate:
+                return puntil(
+                    _nnf(right, True),
+                    pand(_nnf(left, True), _nnf(right, True)),
+                )
+            return prelease(
+                _nnf(right, False),
+                por(_nnf(left, False), _nnf(right, False)),
+            )
+        case PEventually(body=body):
+            # F a == true U a;  !F a == false R !a
+            if negate:
+                return prelease(PFALSE, _nnf(body, True))
+            return puntil(PTRUE, _nnf(body, False))
+        case PAlways(body=body):
+            # G a == false R a;  !G a == true U !a
+            if negate:
+                return puntil(PTRUE, _nnf(body, True))
+            return prelease(PFALSE, _nnf(body, False))
+        case _:
+            raise TypeError(f"cannot convert {formula!r} to NNF")
+
+
+def is_nnf_core(formula: PTLFormula) -> bool:
+    """True iff the formula uses only the NNF core connectives, with negation
+    applied only to propositions.
+
+    ``F``/``G`` count as core: they are the constant-folded forms of
+    ``true U a`` / ``false R a`` (the smart constructors produce them), and
+    both satisfiability engines treat them natively.
+    """
+    for node in formula.walk():
+        match node:
+            case PNot(operand=op):
+                if not isinstance(op, Prop):
+                    return False
+            case (
+                PTLTrue()
+                | PTLFalse()
+                | Prop()
+                | PAnd()
+                | POr()
+                | PNext()
+                | PUntil()
+                | PRelease()
+                | PEventually()
+                | PAlways()
+            ):
+                pass
+            case _:
+                return False
+    return True

@@ -1,0 +1,170 @@
+"""Formula progression: phase 1 of the Lemma 4.2 decision procedure.
+
+This is the Sistla–Wolfson rewriting the paper describes: given a PTL
+formula ``psi`` and a finite sequence of propositional states
+``w = (w0, ..., wt)``, compute a formula ``xi_t`` such that ``w`` can be
+extended to an infinite model of ``psi`` iff ``xi_t`` is satisfiable.
+
+One step of the rewriting, :func:`progress`, satisfies the fundamental
+property (tested property-style against the lasso evaluator)::
+
+    (w0, w1, w2, ...) |= psi   iff   (w1, w2, ...) |= progress(psi, w0)
+
+The rewrite rules mirror the paper's Section 4 description exactly
+(``[a U b]_0`` becomes ``[b]_0 | [a]_0 & [a U b]_1`` and so on); atoms with
+subscript 0 are replaced by their truth value in the current state and the
+result is simplified on the fly by the smart constructors, which is what
+keeps every intermediate formula within ``O(|psi|)`` as the lemma requires.
+
+A propositional state is represented as the set of letters that are *true*
+in it (closed-world: every other letter is false).
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Iterable, Sequence
+
+from .formulas import (
+    PFALSE,
+    PTRUE,
+    PAlways,
+    PAnd,
+    PEventually,
+    PImplies,
+    PNext,
+    PNot,
+    POr,
+    PRelease,
+    PTLFalse,
+    PTLFormula,
+    PTLTrue,
+    PUntil,
+    PWeakUntil,
+    Prop,
+    pand,
+    pimplies,
+    pnot,
+    por,
+)
+
+PropState = frozenset[Prop]
+
+
+def state(*props: Prop | str) -> PropState:
+    """Build a propositional state from the letters true in it."""
+    return frozenset(p if isinstance(p, Prop) else Prop(p) for p in props)
+
+
+def progress(formula: PTLFormula, current: AbstractSet[Prop]) -> PTLFormula:
+    """One step of formula progression through the state ``current``.
+
+    Returns the obligation that the *rest* of the sequence (from the next
+    instant on) must satisfy.  ``PTRUE`` means the prefix so far can be
+    extended arbitrarily; ``PFALSE`` means no extension can satisfy the
+    original formula.
+    """
+    match formula:
+        case PTLTrue() | PTLFalse():
+            return formula
+        case Prop():
+            return PTRUE if formula in current else PFALSE
+        case PNot(operand=op):
+            return pnot(progress(op, current))
+        case PAnd(operands=ops):
+            return pand(*(progress(op, current) for op in ops))
+        case POr(operands=ops):
+            return por(*(progress(op, current) for op in ops))
+        case PImplies(antecedent=a, consequent=c):
+            return pimplies(progress(a, current), progress(c, current))
+        case PNext(body=body):
+            return body
+        case PUntil(left=left, right=right):
+            return por(
+                progress(right, current),
+                pand(progress(left, current), formula),
+            )
+        case PWeakUntil(left=left, right=right):
+            return por(
+                progress(right, current),
+                pand(progress(left, current), formula),
+            )
+        case PRelease(left=left, right=right):
+            return pand(
+                progress(right, current),
+                por(progress(left, current), formula),
+            )
+        case PEventually(body=body):
+            return por(progress(body, current), formula)
+        case PAlways(body=body):
+            return pand(progress(body, current), formula)
+        case _:
+            raise TypeError(f"cannot progress {formula!r}")
+
+
+def progress_sequence(
+    formula: PTLFormula, states: Iterable[AbstractSet[Prop]]
+) -> PTLFormula:
+    """Progress through a whole finite sequence of states.
+
+    The result is the formula the paper calls ``xi_t``: the prefix can be
+    extended to an infinite model of ``formula`` iff the result is
+    satisfiable (checked by :mod:`repro.ptl.sat`).
+
+    Short-circuits as soon as the obligation collapses to a constant.
+    """
+    remainder = formula
+    for current in states:
+        if isinstance(remainder, (PTLTrue, PTLFalse)):
+            return remainder
+        remainder = progress(remainder, current)
+    return remainder
+
+
+def progress_trace(
+    formula: PTLFormula, states: Sequence[AbstractSet[Prop]]
+) -> list[PTLFormula]:
+    """Like :func:`progress_sequence` but return every intermediate formula.
+
+    ``result[i]`` is the obligation after consuming ``states[:i]``; the list
+    has ``len(states) + 1`` entries.  Used by the E3 experiment to measure
+    how formula size evolves during the linear phase.
+    """
+    trace = [formula]
+    remainder = formula
+    for current in states:
+        remainder = progress(remainder, current)
+        trace.append(remainder)
+    return trace
+
+
+def evaluate_state_formula(
+    formula: PTLFormula, current: AbstractSet[Prop]
+) -> bool:
+    """Evaluate a temporal-free PTL formula in a single state.
+
+    Raises
+    ------
+    ValueError
+        If the formula contains a temporal connective.
+    """
+    match formula:
+        case PTLTrue():
+            return True
+        case PTLFalse():
+            return False
+        case Prop():
+            return formula in current
+        case PNot(operand=op):
+            return not evaluate_state_formula(op, current)
+        case PAnd(operands=ops):
+            return all(evaluate_state_formula(op, current) for op in ops)
+        case POr(operands=ops):
+            return any(evaluate_state_formula(op, current) for op in ops)
+        case PImplies(antecedent=a, consequent=c):
+            return not evaluate_state_formula(
+                a, current
+            ) or evaluate_state_formula(c, current)
+        case _:
+            raise ValueError(
+                f"not a state formula: {formula} (temporal connective)"
+            )

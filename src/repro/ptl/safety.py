@@ -1,0 +1,166 @@
+"""Semantic safety and liveness analysis for PTL formulas.
+
+Section 2 of the paper restricts integrity constraints to *safety* formulas
+(Alpern–Schneider): if every prefix of a sequence extends to a model, the
+sequence itself is a model.  *Liveness* formulas (every finite sequence
+extends to a model) are useless as constraints — they are always potentially
+satisfied.
+
+For propositional TL both notions are decidable (the paper cites Sistla
+1985).  This module decides them by automaton analysis:
+
+* ``closure(L)`` — the *safety closure* of a property: all words every
+  prefix of which is a prefix of some word in ``L``.  It is recognized by
+  the formula's Büchi automaton **trimmed to live states** (states with
+  non-empty language) and read with the trivial acceptance condition
+  (König's lemma makes the trim sound for nondeterministic automata).
+* ``phi`` is a **safety** formula   iff  ``closure(L(phi))`` ∩ ``L(!phi)``
+  is empty (the closure adds nothing outside ``L``).
+* ``phi`` is a **liveness** formula iff every finite word is a prefix of a
+  model, i.e. the prefix automaton of the trim is universal — decided by
+  subset construction over the concrete alphabet of the formula's letters.
+
+These semantic checks validate the syntactic recognizer in
+:mod:`repro.logic.safety` (soundness is tested on random formulas) and
+power experiment E9.
+"""
+
+from __future__ import annotations
+
+from itertools import chain, combinations
+
+from .buchi import GeneralizedBuchi, build_automaton, product
+from .formulas import PTLFormula, pnot, Prop
+from .nnf import ptl_nnf
+
+
+def _live_states(automaton: GeneralizedBuchi) -> frozenset[int]:
+    """States with non-empty language: states that can reach a cyclic SCC
+    intersecting every acceptance set."""
+    everything = automaton.states
+    accepting_cores: set[int] = set()
+    for component in automaton._sccs(everything):
+        if not automaton._is_cyclic_scc(component):
+            continue
+        if all(component & accept for accept in automaton.acceptance):
+            accepting_cores |= component
+    # Backward reachability to the accepting cores.
+    predecessors: dict[int, set[int]] = {s: set() for s in everything}
+    for source, targets in automaton.transitions.items():
+        for target in targets:
+            predecessors.setdefault(target, set()).add(source)
+    live = set(accepting_cores)
+    frontier = list(accepting_cores)
+    while frontier:
+        node = frontier.pop()
+        for pred in predecessors.get(node, set()):
+            if pred not in live:
+                live.add(pred)
+                frontier.append(pred)
+    return frozenset(live)
+
+
+def trim(automaton: GeneralizedBuchi) -> GeneralizedBuchi:
+    """Restrict to live states (every remaining state has non-empty language)."""
+    live = _live_states(automaton)
+    return GeneralizedBuchi(
+        states=live,
+        initial=automaton.initial & live,
+        transitions={
+            s: automaton.transitions.get(s, frozenset()) & live for s in live
+        },
+        labels={s: automaton.labels[s] for s in live},
+        acceptance=tuple(
+            accept & live for accept in automaton.acceptance
+        ),
+    )
+
+
+def closure_automaton(formula: PTLFormula) -> GeneralizedBuchi:
+    """A Büchi automaton for the safety closure of the formula's property.
+
+    The trimmed automaton with the trivial acceptance condition: an infinite
+    word is accepted iff it has an infinite run through live states, which
+    (König) happens iff each of its prefixes is a prefix of some model.
+    """
+    trimmed = trim(build_automaton(formula))
+    return GeneralizedBuchi(
+        states=trimmed.states,
+        initial=trimmed.initial,
+        transitions=trimmed.transitions,
+        labels=trimmed.labels,
+        acceptance=(),
+    )
+
+
+def is_safety(formula: PTLFormula) -> bool:
+    """Semantic safety check: does the formula define a safety property?
+
+    >>> from .convert import parse_ptl
+    >>> is_safety(parse_ptl("G (p -> X q)"))
+    True
+    >>> is_safety(parse_ptl("F p"))
+    False
+    """
+    closure = closure_automaton(formula)
+    negation = build_automaton(pnot(formula))
+    return product(closure, negation).is_empty()
+
+
+def is_liveness(formula: PTLFormula) -> bool:
+    """Semantic liveness check: can every finite sequence be extended to a
+    model of the formula?
+
+    Decided by subset construction: read every concrete letter (over the
+    formula's own letters) through the trimmed automaton; the formula is
+    liveness iff no reachable subset is empty.
+
+    >>> from .convert import parse_ptl
+    >>> is_liveness(parse_ptl("F p"))
+    True
+    >>> is_liveness(parse_ptl("G p"))
+    False
+    """
+    trimmed = trim(build_automaton(formula))
+    letters = _alphabet(formula)
+
+    def matches(state: int, letter: frozenset[Prop]) -> bool:
+        positive, negative = trimmed.labels[state]
+        return positive <= letter and not (negative & letter)
+
+    start = frozenset(trimmed.initial)
+    if not start:
+        return False  # unsatisfiable: no finite word extends to a model
+    seen: set[frozenset[int]] = set()
+    worklist = [start]
+    while worklist:
+        subset = worklist.pop()
+        if subset in seen:
+            continue
+        seen.add(subset)
+        for letter in letters:
+            readable = frozenset(
+                s for s in subset if matches(s, letter)
+            )
+            if not readable:
+                return False
+            successors = frozenset(
+                chain.from_iterable(
+                    trimmed.transitions.get(s, frozenset()) for s in readable
+                )
+            )
+            if not successors:
+                return False
+            if successors not in seen:
+                worklist.append(successors)
+    return True
+
+
+def _alphabet(formula: PTLFormula) -> list[frozenset[Prop]]:
+    """All concrete letters over the formula's propositional letters."""
+    props = sorted(ptl_nnf(formula).propositions(), key=lambda p: str(p.name))
+    letters: list[frozenset[Prop]] = []
+    for size in range(len(props) + 1):
+        for chosen in combinations(props, size):
+            letters.append(frozenset(chosen))
+    return letters

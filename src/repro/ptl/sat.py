@@ -1,0 +1,74 @@
+"""Satisfiability, validity, and equivalence for PTL.
+
+A thin facade over the two engines:
+
+* ``method="buchi"`` — the GPVW automaton (:mod:`repro.ptl.buchi`);
+  constructive (can return a lasso model), the default.
+* ``method="tableau"`` — the atom-graph tableau (:mod:`repro.ptl.tableau`);
+  closer to the Sistla–Clarke procedure the paper cites, used as an
+  independent oracle and in ablation A2.
+"""
+
+from __future__ import annotations
+
+from .buchi import LassoModel, find_lasso_model, is_satisfiable_buchi
+from .formulas import PTLFormula, pand, pnot, por
+from .lasso import evaluate_lasso
+from .tableau import is_satisfiable_tableau
+
+_METHODS = ("buchi", "tableau")
+
+#: The "nothing ever happens again" model: every letter false forever.
+_EMPTY_LASSO = LassoModel(stem=(), loop=(frozenset(),))
+
+
+def quick_model_check(formula: PTLFormula) -> bool:
+    """Sound satisfiability fast path: try the all-false extension.
+
+    Most monitoring remainders — conjunctions of ``G``-guarded prohibitions
+    plus progressed residues — are satisfied by the quiescent future in
+    which no further fact ever holds.  Evaluating that one candidate is
+    linear in the formula, versus the exponential automaton construction.
+    True means definitely satisfiable; False means only that this candidate
+    failed.
+    """
+    return evaluate_lasso(formula, _EMPTY_LASSO)
+
+
+def is_satisfiable(
+    formula: PTLFormula, method: str = "buchi", quick: bool = False
+) -> bool:
+    """True iff some infinite sequence of propositional states satisfies the
+    formula at instant 0.
+
+    With ``quick=True`` the all-false candidate model is tried first (see
+    :func:`quick_model_check`) — a pure optimization with identical answers.
+    """
+    if quick and quick_model_check(formula):
+        return True
+    if method == "buchi":
+        return is_satisfiable_buchi(formula)
+    if method == "tableau":
+        return is_satisfiable_tableau(formula)
+    raise ValueError(f"unknown method {method!r}; expected one of {_METHODS}")
+
+
+def find_model(formula: PTLFormula) -> LassoModel | None:
+    """An ultimately-periodic model of the formula, or None if unsatisfiable."""
+    return find_lasso_model(formula)
+
+
+def is_valid(formula: PTLFormula, method: str = "buchi") -> bool:
+    """True iff every infinite sequence satisfies the formula."""
+    return not is_satisfiable(pnot(formula), method=method)
+
+
+def equivalent(
+    left: PTLFormula, right: PTLFormula, method: str = "buchi"
+) -> bool:
+    """True iff the two formulas have the same models."""
+    difference = por(
+        pand(left, pnot(right)),
+        pand(right, pnot(left)),
+    )
+    return not is_satisfiable(difference, method=method)

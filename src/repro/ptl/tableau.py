@@ -1,0 +1,234 @@
+"""PTL satisfiability by the classical atom-graph tableau.
+
+This is the textbook construction behind the Sistla–Clarke PSPACE result the
+paper cites in Lemma 4.2: enumerate *atoms* — truth assignments to the
+"base" subformulas (propositions, ``X``-, ``U``- and ``R``-subformulas) —
+connect two atoms when the one-step expansion laws of ``until``/``release``
+and the ``next`` obligations are consistent, and look for a reachable cycle
+fulfilling every eventuality.
+
+It is deliberately implemented *independently* of the GPVW construction in
+:mod:`repro.ptl.buchi` (different state space, different bookkeeping) so the
+two engines can serve as mutual oracles: the test suite checks they agree on
+large sets of random formulas, and ablation A2 compares their performance.
+
+The construction is exponential in the number of base subformulas by design
+(that is the theorem); :func:`is_satisfiable_tableau` refuses formulas whose
+base exceeds ``max_base`` to keep accidental blowups out of test runs.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from .buchi import GeneralizedBuchi
+from .formulas import (
+    PAlways,
+    PAnd,
+    PEventually,
+    PNext,
+    PNot,
+    POr,
+    PRelease,
+    PTLFalse,
+    PTLFormula,
+    PTLTrue,
+    PUntil,
+    Prop,
+)
+from .nnf import ptl_nnf
+
+Atom = frozenset[PTLFormula]
+
+
+def _base_subformulas(normal: PTLFormula) -> list[PTLFormula]:
+    """Propositions and temporal subformulas, in first-seen order."""
+    base: list[PTLFormula] = []
+    seen: set[PTLFormula] = set()
+    for node in normal.walk():
+        if isinstance(node, (Prop, PNext, PUntil, PRelease, PEventually, PAlways)):
+            if node not in seen:
+                seen.add(node)
+                base.append(node)
+    return base
+
+
+def _holds(node: PTLFormula, atom: Atom) -> bool:
+    """Truth of an NNF-core formula under an atom (assignment to the base)."""
+    match node:
+        case PTLTrue():
+            return True
+        case PTLFalse():
+            return False
+        case Prop() | PNext() | PUntil() | PRelease() | PEventually() | PAlways():
+            return node in atom
+        case PNot(operand=op):
+            return not _holds(op, atom)
+        case PAnd(operands=ops):
+            return all(_holds(op, atom) for op in ops)
+        case POr(operands=ops):
+            return any(_holds(op, atom) for op in ops)
+        case _:
+            raise TypeError(f"not an NNF core formula: {node!r}")
+
+
+def build_tableau(
+    formula: PTLFormula, max_base: int = 16
+) -> GeneralizedBuchi:
+    """Build the atom-graph tableau of a formula as a generalized Büchi
+    automaton over the atoms reachable from the initial ones.
+
+    Raises
+    ------
+    ValueError
+        If the formula has more than ``max_base`` base subformulas (the
+        construction would need more than ``2**max_base`` atoms).
+    """
+    normal = ptl_nnf(formula)
+    if isinstance(normal, PTLTrue):
+        # One atom with a self loop, no obligations.
+        return GeneralizedBuchi(
+            states=frozenset({1}),
+            initial=frozenset({1}),
+            transitions={1: frozenset({1})},
+            labels={1: (frozenset(), frozenset())},
+            acceptance=(),
+        )
+    if isinstance(normal, PTLFalse):
+        return GeneralizedBuchi(
+            states=frozenset(),
+            initial=frozenset(),
+            transitions={},
+            labels={},
+            acceptance=(),
+        )
+
+    base = _base_subformulas(normal)
+    if len(base) > max_base:
+        raise ValueError(
+            f"tableau base has {len(base)} subformulas; "
+            f"2^{len(base)} atoms exceeds the max_base={max_base} limit"
+        )
+
+    atoms: list[Atom] = []
+    for size in range(len(base) + 1):
+        for chosen in combinations(base, size):
+            atoms.append(frozenset(chosen))
+    atom_id = {atom: index + 1 for index, atom in enumerate(atoms)}
+
+    def local_consistent(atom: Atom) -> bool:
+        """Expansion laws decidable within one atom.
+
+        ``until``: if the eventuality is claimed, B now or A now must hold;
+        if not claimed, B must be false now.  ``release``: dually.
+        """
+        for node in base:
+            match node:
+                case PUntil(left=left, right=right):
+                    claimed = node in atom
+                    b_now = _holds(right, atom)
+                    a_now = _holds(left, atom)
+                    if claimed and not (b_now or a_now):
+                        return False
+                    if not claimed and b_now:
+                        return False
+                case PRelease(left=left, right=right):
+                    claimed = node in atom
+                    b_now = _holds(right, atom)
+                    a_now = _holds(left, atom)
+                    if claimed and not b_now:
+                        return False
+                    if not claimed and b_now and a_now:
+                        return False
+                case PEventually(body=body):
+                    if node not in atom and _holds(body, atom):
+                        return False
+                case PAlways(body=body):
+                    if node in atom and not _holds(body, atom):
+                        return False
+        return True
+
+    consistent_atoms = [atom for atom in atoms if local_consistent(atom)]
+
+    def step_allowed(current: Atom, succ: Atom) -> bool:
+        for node in base:
+            match node:
+                case PNext(body=body):
+                    if (node in current) != _holds(body, succ):
+                        return False
+                case PUntil(left=left, right=right):
+                    expanded = _holds(right, current) or (
+                        _holds(left, current) and node in succ
+                    )
+                    if (node in current) != expanded:
+                        return False
+                case PRelease(left=left, right=right):
+                    expanded = _holds(right, current) and (
+                        _holds(left, current) or node in succ
+                    )
+                    if (node in current) != expanded:
+                        return False
+                case PEventually(body=body):
+                    expanded = _holds(body, current) or node in succ
+                    if (node in current) != expanded:
+                        return False
+                case PAlways(body=body):
+                    expanded = _holds(body, current) and node in succ
+                    if (node in current) != expanded:
+                        return False
+        return True
+
+    initial = [atom for atom in consistent_atoms if _holds(normal, atom)]
+
+    # On-the-fly reachability: only explore atoms reachable from initials.
+    transitions: dict[int, frozenset[int]] = {}
+    labels: dict[int, tuple[frozenset[Prop], frozenset[Prop]]] = {}
+    props = [p for p in base if isinstance(p, Prop)]
+    worklist = list(initial)
+    visited: set[Atom] = set()
+    while worklist:
+        atom = worklist.pop()
+        if atom in visited:
+            continue
+        visited.add(atom)
+        positive = frozenset(p for p in props if p in atom)
+        negative = frozenset(p for p in props if p not in atom)
+        labels[atom_id[atom]] = (positive, negative)
+        successors = set()
+        for succ in consistent_atoms:
+            if step_allowed(atom, succ):
+                successors.add(atom_id[succ])
+                if succ not in visited:
+                    worklist.append(succ)
+        transitions[atom_id[atom]] = frozenset(successors)
+
+    states = frozenset(atom_id[a] for a in visited)
+    eventualities = [
+        node for node in base if isinstance(node, (PUntil, PEventually))
+    ]
+    acceptance = tuple(
+        frozenset(
+            atom_id[atom]
+            for atom in visited
+            if node not in atom
+            or _holds(
+                node.right if isinstance(node, PUntil) else node.body, atom
+            )
+        )
+        for node in eventualities
+    )
+    return GeneralizedBuchi(
+        states=states,
+        initial=frozenset(atom_id[a] for a in initial),
+        transitions=transitions,
+        labels=labels,
+        acceptance=acceptance,
+    )
+
+
+def is_satisfiable_tableau(formula: PTLFormula, max_base: int = 16) -> bool:
+    """PTL satisfiability by atom-graph tableau nonemptiness.
+
+    Independent oracle for :func:`repro.ptl.buchi.is_satisfiable_buchi`.
+    """
+    return not build_tableau(formula, max_base=max_base).is_empty()

@@ -1,0 +1,99 @@
+"""The Section 3 machinery: Turing machines, encodings, and the
+undecidability constructions, plus the Section 6 lower bound.
+
+* :mod:`repro.turing.machine` — deterministic TM simulator.
+* :mod:`repro.turing.zoo` — concrete machines with computable repeating
+  behaviour (ground truth for the encoding tests).
+* :mod:`repro.turing.encoding` — configurations <-> database states.
+* :mod:`repro.turing.formula` — the Proposition 3.1 formula ``phi``.
+* :mod:`repro.turing.check` — fast direct checking of run encodings.
+* :mod:`repro.turing.wordering` — the W-ordering transform (``phi~``) and
+  Section 4's finite-universe example.
+* :mod:`repro.turing.repeating` — bounded semi-decision procedures
+  (the computable face of the Pi^0_2-completeness).
+* :mod:`repro.turing.sat_reduction` — Section 6: SAT as an extension
+  problem over a fixed universal safety formula.
+"""
+
+from .check import EncodingReport, check_encoding, origin_visits
+from .encoding import MachineEncoding
+from .formula import HALT, STUCK, Phi, PhiBuilder, build_phi, next_symbol, window_rules
+from .machine import (
+    BLANK,
+    LEFT,
+    RIGHT,
+    Configuration,
+    RunResult,
+    Transition,
+    TuringMachine,
+    run,
+    step,
+    trace,
+)
+from .repeating import (
+    BoundedResult,
+    Verdict,
+    bounded_extension_search,
+    bounded_repeating,
+    visit_growth,
+)
+from .wordering import (
+    PhiTilde,
+    build_phi_tilde,
+    finite_universe_formula,
+    leq_w,
+    relativize,
+    succ_w,
+    w1,
+    w2,
+    w3,
+    w4,
+    zero_w,
+)
+from .zoo import ALL_MACHINES, bouncer, halter, is_repeating_parity, parity, runaway
+
+__all__ = [
+    "ALL_MACHINES",
+    "BLANK",
+    "BoundedResult",
+    "Configuration",
+    "EncodingReport",
+    "HALT",
+    "LEFT",
+    "MachineEncoding",
+    "Phi",
+    "PhiBuilder",
+    "PhiTilde",
+    "RIGHT",
+    "RunResult",
+    "STUCK",
+    "Transition",
+    "TuringMachine",
+    "Verdict",
+    "bounded_extension_search",
+    "bounded_repeating",
+    "bouncer",
+    "build_phi",
+    "build_phi_tilde",
+    "check_encoding",
+    "finite_universe_formula",
+    "halter",
+    "is_repeating_parity",
+    "leq_w",
+    "next_symbol",
+    "origin_visits",
+    "parity",
+    "relativize",
+    "run",
+    "runaway",
+    "step",
+    "succ_w",
+    "trace",
+    "visit_growth",
+    "w1",
+    "w2",
+    "w3",
+    "w4",
+    "window_rules",
+    "zero_w",
+]

@@ -1,0 +1,164 @@
+"""Direct semantic checking of run encodings.
+
+The generic FOTL evaluator can check the Proposition 3.1 formula on a
+history, but its cost is ``|domain|^4`` per window rule — fine for the tiny
+cross-validation machines, hopeless for longer runs.  This module checks
+the *same conditions* directly on the database states, in time linear in
+the history size.  It shares :func:`repro.turing.formula.window_rules`
+with the formula builder, so the two views of the encoding cannot drift
+apart; the test suite additionally cross-validates them with the generic
+evaluator on small instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..database.history import History
+from ..database.state import DatabaseState
+from .encoding import MachineEncoding
+from .formula import HALT, STUCK, next_symbol
+from .machine import BLANK, TuringMachine
+
+
+@dataclass(frozen=True)
+class EncodingReport:
+    """Outcome of checking a history against the encoding conditions.
+
+    ``ok`` summarizes; the individual flags say which of the Appendix
+    conditions failed, and ``detail`` points at the first offence.
+    """
+
+    ok: bool
+    uniqueness: bool
+    initial: bool
+    transitions: bool
+    detail: str = ""
+
+
+def _string_of(
+    state: DatabaseState, encoding: MachineEncoding, width: int
+) -> tuple[str, ...] | None:
+    """The configuration string a state encodes, or None on a clash."""
+    by_position: dict[int, str] = {}
+    for symbol, predicate in list(
+        encoding.state_predicate.items()
+    ) + list(encoding.symbol_predicate.items()):
+        for (position,) in state.relation(predicate):
+            if position in by_position:
+                return None
+            by_position[position] = symbol
+    return tuple(by_position.get(i, BLANK) for i in range(width))
+
+
+def check_encoding(
+    history: History, encoding: MachineEncoding
+) -> EncodingReport:
+    """Check the safety conditions of Proposition 3.1 on a finite history.
+
+    Verifies (1) per-position uniqueness, (2) that state 0 encodes an
+    initial configuration, and (3) that consecutive states are related by
+    the machine's window rules.  (The repeating condition (4) is a property
+    of infinite databases; see :mod:`repro.turing.repeating` for the
+    bounded analysis.)
+    """
+    machine = encoding.machine
+    width = max(history.relevant_elements(), default=0) + 3
+    strings: list[tuple[str, ...]] = []
+    for instant, state in enumerate(history.states):
+        string = _string_of(state, encoding, width)
+        if string is None:
+            return EncodingReport(
+                ok=False,
+                uniqueness=False,
+                initial=True,
+                transitions=True,
+                detail=f"two symbols at one position at instant {instant}",
+            )
+        strings.append(string)
+
+    initial_ok, detail = _check_initial(strings[0], machine)
+    if not initial_ok:
+        return EncodingReport(
+            ok=False,
+            uniqueness=True,
+            initial=False,
+            transitions=True,
+            detail=detail,
+        )
+
+    return _check_transitions(strings, machine)
+
+
+def _check_initial(
+    string: tuple[str, ...], machine: TuringMachine
+) -> tuple[bool, str]:
+    if not string or string[0] != machine.initial:
+        return False, "position 0 of state 0 is not the initial state"
+    seen_blank = False
+    for position, symbol in enumerate(string[1:], start=1):
+        if symbol == BLANK:
+            seen_blank = True
+            continue
+        if symbol not in ("0", "1"):
+            return (
+                False,
+                f"state 0 has non-input symbol {symbol!r} at {position}",
+            )
+        if seen_blank:
+            return False, "state 0 has a blank gap inside the input word"
+    return True, ""
+
+
+def _check_transitions(
+    strings: list[tuple[str, ...]], machine: TuringMachine
+) -> EncodingReport:
+    width = len(strings[0])
+    for instant in range(len(strings) - 1):
+        current = strings[instant]
+        nxt = strings[instant + 1]
+        for position in range(width):
+            left = current[position - 1] if position > 0 else None
+            here = current[position]
+            right = current[position + 1] if position + 1 < width else BLANK
+            beyond = (
+                current[position + 2] if position + 2 < width else BLANK
+            )
+            forced = next_symbol(machine, left, here, right, beyond)
+            if forced in (HALT, STUCK):
+                return EncodingReport(
+                    ok=False,
+                    uniqueness=True,
+                    initial=True,
+                    transitions=False,
+                    detail=(
+                        f"instant {instant} encodes a configuration with "
+                        "no legal successor (halt or stuck head) but the "
+                        "history continues"
+                    ),
+                )
+            if nxt[position] != forced:
+                return EncodingReport(
+                    ok=False,
+                    uniqueness=True,
+                    initial=True,
+                    transitions=False,
+                    detail=(
+                        f"position {position} at instant {instant + 1} is "
+                        f"{nxt[position]!r}, window rule forces {forced!r}"
+                    ),
+                )
+    return EncodingReport(
+        ok=True, uniqueness=True, initial=True, transitions=True
+    )
+
+
+def origin_visits(history: History, encoding: MachineEncoding) -> int:
+    """How many states have the head at the origin (state symbol at 0)."""
+    count = 0
+    for state in history.states:
+        for predicate in encoding.state_predicate.values():
+            if (0,) in state.relation(predicate):
+                count += 1
+                break
+    return count

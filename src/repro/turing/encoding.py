@@ -1,0 +1,167 @@
+"""Encoding machine configurations as database states (Section 3).
+
+The paper's encoding: the vocabulary has a monadic predicate ``P_q`` for
+every control state ``q`` and ``P_sigma`` for every tape symbol except the
+blank.  A database state encodes the configuration string ``alpha q beta``
+by making, for each position ``i``, exactly the predicate of the ``i``-th
+string symbol true about ``i`` — blanks are encoded by *no* predicate being
+true (``P_B(x)`` abbreviates the conjunction of the negations), which is
+what keeps every relation finite even though configurations are infinite
+strings.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..database.history import History
+from ..database.state import DatabaseState, Fact
+from ..database.vocabulary import Vocabulary
+from ..errors import MachineError
+from .machine import BLANK, Configuration, RunResult, TuringMachine, run
+
+
+def _sanitize(symbol: str) -> str:
+    # Predicate names are built as S_<state> / T_<symbol>, so the cleaned
+    # fragment only needs to be identifier-safe, not identifier-leading.
+    cleaned = re.sub(r"[^A-Za-z0-9_]", "_", symbol)
+    return cleaned or "_"
+
+
+@dataclass(frozen=True)
+class MachineEncoding:
+    """Predicate naming scheme and vocabulary for one machine.
+
+    ``P_q`` predicates are named ``S_<state>``, ``P_sigma`` predicates
+    ``T_<symbol>`` (sanitized); the blank has no predicate.
+    """
+
+    machine: TuringMachine
+    vocabulary: Vocabulary
+    state_predicate: dict[str, str]
+    symbol_predicate: dict[str, str]
+
+    @classmethod
+    def for_machine(cls, machine: TuringMachine) -> "MachineEncoding":
+        state_predicate = {q: f"S_{_sanitize(q)}" for q in sorted(machine.states)}
+        symbol_predicate = {
+            s: f"T_{_sanitize(s)}"
+            for s in sorted(machine.tape_alphabet)
+            if s != BLANK
+        }
+        names = list(state_predicate.values()) + list(
+            symbol_predicate.values()
+        )
+        if len(set(names)) != len(names):
+            raise MachineError(
+                "state/symbol names collide after sanitization"
+            )
+        vocabulary = Vocabulary(
+            predicates={name: 1 for name in names}
+        )
+        return cls(
+            machine=machine,
+            vocabulary=vocabulary,
+            state_predicate=state_predicate,
+            symbol_predicate=symbol_predicate,
+        )
+
+    def predicate_for(self, symbol: str) -> str | None:
+        """The predicate encoding one string symbol (None for the blank)."""
+        if symbol == BLANK:
+            return None
+        if symbol in self.state_predicate:
+            return self.state_predicate[symbol]
+        if symbol in self.symbol_predicate:
+            return self.symbol_predicate[symbol]
+        raise MachineError(f"unknown configuration symbol {symbol!r}")
+
+    def all_letter_predicates(self) -> tuple[str, ...]:
+        """Every ``P_z`` predicate, i.e. everything ``P_B`` negates."""
+        return tuple(
+            sorted(
+                set(self.state_predicate.values())
+                | set(self.symbol_predicate.values())
+            )
+        )
+
+    # -- configuration <-> state ------------------------------------------
+
+    def encode_configuration(
+        self, configuration: Configuration, length: int | None = None
+    ) -> DatabaseState:
+        """The database state encoding a configuration string."""
+        string = configuration.string(length)
+        facts: list[Fact] = []
+        for position, symbol in enumerate(string):
+            predicate = self.predicate_for(symbol)
+            if predicate is not None:
+                facts.append((predicate, (position,)))
+        return DatabaseState.from_facts(self.vocabulary, facts)
+
+    def decode_state(self, state: DatabaseState) -> Configuration:
+        """Parse a database state back into a configuration.
+
+        Raises :class:`MachineError` if the state is not a valid encoding
+        (a position with two predicates, or not exactly one state symbol).
+        """
+        by_position: dict[int, str] = {}
+        for symbol, predicate in list(self.state_predicate.items()) + list(
+            self.symbol_predicate.items()
+        ):
+            for (position,) in state.relation(predicate):
+                if position in by_position:
+                    raise MachineError(
+                        f"position {position} carries two symbols "
+                        f"({by_position[position]!r} and {symbol!r})"
+                    )
+                by_position[position] = symbol
+        if not by_position:
+            raise MachineError("empty state encodes no configuration")
+        width = max(by_position) + 1
+        string = tuple(
+            by_position.get(position, BLANK) for position in range(width)
+        )
+        return Configuration.from_string(string, self.machine)
+
+    # -- runs <-> histories -------------------------------------------------
+
+    def encode_run(
+        self, word: str, steps: int, length: int | None = None
+    ) -> tuple[History, RunResult]:
+        """Simulate ``steps`` moves and encode the configurations.
+
+        All states are padded to a common string length so that positional
+        predicates line up across time.  Returns the history together with
+        the simulation result (halting / origin-visit statistics).
+        """
+        result = run(self.machine, word, steps)
+        width = length
+        if width is None:
+            width = max(
+                len(configuration.string())
+                for configuration in result.configurations
+            )
+        states = tuple(
+            self.encode_configuration(configuration, width)
+            for configuration in result.configurations
+        )
+        history = History(vocabulary=self.vocabulary, states=states)
+        return history, result
+
+    def decode_history(self, history: History) -> list[Configuration]:
+        """Decode every state of a history."""
+        return [self.decode_state(state) for state in history.states]
+
+    def evaluation_domain(self, history: History) -> frozenset[int]:
+        """A quantifier domain adequate for the Section 3 formulas.
+
+        All tape positions mentioned anywhere, plus a margin of two blank
+        positions: beyond the margin every predicate is false and every
+        window consists of blanks, which the formulas handle uniformly, so
+        truth over this finite domain coincides with truth over the
+        naturals.
+        """
+        top = max(history.relevant_elements(), default=0)
+        return frozenset(range(top + 3))

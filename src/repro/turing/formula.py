@@ -1,0 +1,291 @@
+"""The formula phi of Proposition 3.1: forcing databases to encode runs.
+
+Following the paper's Appendix, ``phi`` is a conjunction of universal
+formulas over the extended vocabulary (``leq``, ``succ``, ``Zero``) saying:
+
+1. **Uniqueness** — at most one letter predicate per position, always.
+2. **Initial configuration** — state 0 encodes ``q0 w B^omega`` for some
+   input word ``w``.
+3. **Transitions** — consecutive states encode consecutive configurations.
+4. **Repeating** — the head visits the origin infinitely often
+   (``forall x . G (Zero(x) -> F <state at x>)``).
+
+One deliberate deviation, documented here and in DESIGN.md: the paper
+asserts that three consecutive string symbols determine the middle symbol's
+successor.  For machines with left moves this is not quite enough — when
+the state symbol is the *right* neighbour of a window and the machine moves
+left, the incoming state depends on the scanned symbol one cell further
+right.  We therefore use **four**-cell windows (``forall x1 x2 x3 x4``),
+which determine everything for arbitrary deterministic machines; the
+construction is otherwise the paper's.  (The paper's complexity claims only
+need *some* fixed number of universal quantifiers.)
+
+The window-rule generator :func:`window_rules` is shared with the direct
+semantic checker in :mod:`repro.turing.check`, so the formula and the fast
+checker cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product as cartesian
+from typing import Iterator
+
+from ..logic.builders import (
+    always,
+    and_,
+    atom,
+    conj,
+    disj,
+    eventually,
+    forall,
+    implies,
+    next_,
+    not_,
+    var,
+)
+from ..logic.formulas import FALSE, Formula
+from ..logic.terms import Variable
+from ..logic.transform import merge_universal_conjunction
+from .encoding import MachineEncoding
+from .machine import BLANK, RIGHT, TuringMachine
+
+#: Marker effects for window rules.
+HALT = "__halt__"
+STUCK = "__stuck__"  # left move at the tape origin
+
+
+def _letters(machine: TuringMachine) -> tuple[str, ...]:
+    """All configuration-string symbols: tape symbols plus states."""
+    return tuple(sorted(machine.tape_alphabet)) + tuple(
+        sorted(machine.states)
+    )
+
+
+def next_symbol(
+    machine: TuringMachine,
+    left: str | None,
+    here: str,
+    right: str,
+    beyond: str,
+) -> str:
+    """The forced next-step symbol at a window's ``here`` position.
+
+    ``left`` is None at the tape origin.  Returns the next configuration
+    string symbol, or :data:`HALT` when the window shows a halting head, or
+    :data:`STUCK` when the head would move left at the origin.
+    Windows that cannot occur in a valid configuration (two state symbols)
+    return ``here`` unchanged — the corresponding guard is unsatisfiable
+    for encodings, so the value is irrelevant but must be total.
+    """
+    states = machine.states
+    if here in states:
+        transition = machine.transitions.get((here, right))
+        if transition is None:
+            return HALT
+        if transition.move == RIGHT:
+            return transition.write
+        if left is None:
+            return STUCK
+        return left
+    if left is not None and left in states:
+        transition = machine.transitions.get((left, here))
+        if transition is None:
+            return HALT
+        return transition.state if transition.move == RIGHT else transition.write
+    if right in states:
+        transition = machine.transitions.get((right, beyond))
+        if transition is None:
+            return HALT
+        return here if transition.move == RIGHT else transition.state
+    return here
+
+
+def window_rules(
+    machine: TuringMachine, interior: bool
+) -> Iterator[tuple[tuple[str, ...], str]]:
+    """All (window, forced next middle symbol) rules.
+
+    Interior windows are 4-tuples ``(left, here, right, beyond)`` applying
+    at positions >= 1; origin windows are 3-tuples ``(here, right, beyond)``
+    applying at position 0.  Windows with more than one state symbol are
+    skipped (impossible in an encoding).
+    """
+    letters = _letters(machine)
+    width = 4 if interior else 3
+    for window in cartesian(letters, repeat=width):
+        if sum(1 for symbol in window if symbol in machine.states) > 1:
+            continue
+        if interior:
+            left, here, right, beyond = window
+            yield window, next_symbol(machine, left, here, right, beyond)
+        else:
+            here, right, beyond = window
+            yield window, next_symbol(machine, None, here, right, beyond)
+
+
+@dataclass(frozen=True)
+class Phi:
+    """The components of the Proposition 3.1 formula."""
+
+    uniqueness: Formula
+    initial: Formula
+    transitions: Formula
+    repeating: Formula
+
+    def conjunction(self) -> Formula:
+        """The full ``phi``, prenexed to ``forall x1..x4 psi`` form."""
+        return merge_universal_conjunction(
+            and_(
+                self.uniqueness,
+                self.initial,
+                self.transitions,
+                self.repeating,
+            )
+        )
+
+    def safety_part(self) -> Formula:
+        """``phi`` without the repeating condition, prenexed.
+
+        The repeating conjunct is the one with genuine liveness content;
+        the rest ("is an encoding of a run prefix") is safety and is what
+        finite histories can be checked against directly.
+        """
+        return merge_universal_conjunction(
+            and_(self.uniqueness, self.initial, self.transitions)
+        )
+
+
+class PhiBuilder:
+    """Builds the Proposition 3.1 formula for one machine encoding."""
+
+    def __init__(self, encoding: MachineEncoding):
+        self._encoding = encoding
+        self._machine = encoding.machine
+
+    # -- symbol atoms ---------------------------------------------------------
+
+    def letter_atom(self, symbol: str, variable: Variable) -> Formula:
+        """``P_z(x)`` — or the ``P_B`` abbreviation for the blank."""
+        if symbol == BLANK:
+            return conj(
+                not_(atom(predicate, variable))
+                for predicate in self._encoding.all_letter_predicates()
+            )
+        predicate = self._encoding.predicate_for(symbol)
+        assert predicate is not None
+        return atom(predicate, variable)
+
+    def _state_atom(self, variable: Variable) -> Formula:
+        """``some control state at x``: the disjunction over ``P_q``."""
+        return disj(
+            atom(predicate, variable)
+            for predicate in sorted(self._encoding.state_predicate.values())
+        )
+
+    # -- the four components ---------------------------------------------------
+
+    def uniqueness(self) -> Formula:
+        x = var("x")
+        predicates = self._encoding.all_letter_predicates()
+        clauses = [
+            not_(and_(atom(a, x), atom(b, x)))
+            for index, a in enumerate(predicates)
+            for b in predicates[index + 1 :]
+        ]
+        return forall(x, always(conj(clauses)))
+
+    def initial(self) -> Formula:
+        x, y = var("x"), var("y")
+        q0 = self._encoding.state_predicate[self._machine.initial]
+        zero_is_state = implies(atom("Zero", x), atom(q0, x))
+        input_01 = lambda v: disj(
+            [
+                self.letter_atom(symbol, v)
+                for symbol in ("0", "1")
+                if symbol in self._machine.tape_alphabet
+            ]
+        )
+        contiguous = implies(
+            and_(
+                not_(atom("Zero", x)),
+                atom("leq", x, y),
+                not_(self.letter_atom(BLANK, y)),
+            ),
+            and_(input_01(y), input_01(x)),
+        )
+        return forall((x, y), and_(zero_is_state, contiguous))
+
+    def transitions(self) -> Formula:
+        """The window rules, interior (4 cells) and origin (3 cells)."""
+        x1, x2, x3, x4 = (var(f"x{i}") for i in range(1, 5))
+        conjuncts: list[Formula] = []
+        # Interior windows: x1 x2 x3 x4 consecutive, rule forces x2's next.
+        chain4 = and_(
+            atom("succ", x1, x2), atom("succ", x2, x3), atom("succ", x3, x4)
+        )
+        for window, effect in window_rules(self._machine, interior=True):
+            left, here, right, beyond = window
+            guard = and_(
+                chain4,
+                self.letter_atom(left, x1),
+                self.letter_atom(here, x2),
+                self.letter_atom(right, x3),
+                self.letter_atom(beyond, x4),
+            )
+            conjuncts.append(self._rule(guard, effect, x2))
+        # Origin windows: Zero(x1), x1 x2 x3 consecutive, force x1's next.
+        chain3 = and_(
+            atom("Zero", x1), atom("succ", x1, x2), atom("succ", x2, x3)
+        )
+        for window, effect in window_rules(self._machine, interior=False):
+            here, right, beyond = window
+            guard = and_(
+                chain3,
+                self.letter_atom(here, x1),
+                self.letter_atom(right, x2),
+                self.letter_atom(beyond, x3),
+            )
+            conjuncts.append(self._rule(guard, effect, x1))
+        return forall((x1, x2, x3, x4), always(conj(conjuncts)))
+
+    def _rule(
+        self, guard: Formula, effect: str, position: Variable
+    ) -> Formula:
+        if effect in (HALT, STUCK):
+            # No legal successor configuration: over infinite time this
+            # makes the guard unsatisfiable (X false is never true).
+            return implies(guard, next_(FALSE))
+        return implies(guard, next_(self.letter_atom(effect, position)))
+
+    def repeating(self) -> Formula:
+        x = var("x")
+        return forall(
+            x,
+            always(
+                implies(
+                    atom("Zero", x), eventually(self._state_atom(x))
+                )
+            ),
+        )
+
+    def build(self) -> Phi:
+        return Phi(
+            uniqueness=self.uniqueness(),
+            initial=self.initial(),
+            transitions=self.transitions(),
+            repeating=self.repeating(),
+        )
+
+
+def build_phi(encoding: MachineEncoding) -> Phi:
+    """The Proposition 3.1 formula for a machine.
+
+    >>> from .zoo import runaway
+    >>> from .encoding import MachineEncoding
+    >>> phi = build_phi(MachineEncoding.for_machine(runaway()))
+    >>> from ..logic.classify import classify
+    >>> classify(phi.conjunction()).is_universal
+    True
+    """
+    return PhiBuilder(encoding).build()

@@ -1,0 +1,259 @@
+"""Deterministic Turing machines (single tape, infinite to the right).
+
+Section 3 of the paper encodes computations of such machines into temporal
+databases to prove the extension problem Pi^0_2-complete.  This module is
+the machine substrate: definitions, configurations in the paper's *string*
+convention (the state symbol inserted immediately before the scanned cell),
+and a step-by-step simulator that records the statistics the paper's
+*repeating behaviour* notion needs (head visits to the leftmost cell).
+
+The machines in :mod:`repro.turing.zoo` instantiate the behaviours the
+Section 3 experiments exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from ..errors import MachineError
+
+BLANK = "B"
+LEFT = "L"
+RIGHT = "R"
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One machine move: write ``write``, move the head, enter ``state``."""
+
+    state: str
+    write: str
+    move: str
+
+    def __post_init__(self) -> None:
+        if self.move not in (LEFT, RIGHT):
+            raise MachineError(f"move must be L or R, got {self.move!r}")
+
+
+@dataclass(frozen=True)
+class TuringMachine:
+    """A deterministic single-tape Turing machine.
+
+    Attributes
+    ----------
+    states:
+        All control states.
+    initial:
+        The initial state ``q0``.
+    transitions:
+        ``(state, scanned symbol) -> Transition``; a missing entry halts
+        the machine.
+    tape_alphabet:
+        All tape symbols, including the blank ``B``; the input alphabet is
+        ``{"0", "1"}`` per the paper.
+    accepting:
+        States in which halting counts as acceptance (used by the
+        Lemma 3.1 search machines).
+    """
+
+    name: str
+    states: frozenset[str]
+    initial: str
+    transitions: Mapping[tuple[str, str], Transition]
+    tape_alphabet: frozenset[str]
+    accepting: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "transitions", dict(self.transitions))
+        if BLANK not in self.tape_alphabet:
+            raise MachineError("tape alphabet must contain the blank 'B'")
+        if self.initial not in self.states:
+            raise MachineError(f"initial state {self.initial!r} undeclared")
+        if not self.accepting <= self.states:
+            raise MachineError("accepting states must be declared states")
+        if self.states & self.tape_alphabet:
+            raise MachineError(
+                "state names and tape symbols must be disjoint "
+                f"(overlap: {sorted(self.states & self.tape_alphabet)})"
+            )
+        for (state, symbol), transition in self.transitions.items():
+            if state not in self.states:
+                raise MachineError(f"transition from undeclared {state!r}")
+            if symbol not in self.tape_alphabet:
+                raise MachineError(f"transition on undeclared {symbol!r}")
+            if transition.state not in self.states:
+                raise MachineError(f"transition to undeclared {transition.state!r}")
+            if transition.write not in self.tape_alphabet:
+                raise MachineError(f"transition writes undeclared {transition.write!r}")
+
+    def symbols(self) -> tuple[str, ...]:
+        """Tape symbols in sorted order."""
+        return tuple(sorted(self.tape_alphabet))
+
+    def halted(self, configuration: "Configuration") -> bool:
+        return (
+            configuration.state,
+            configuration.scanned,
+        ) not in self.transitions
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """A machine configuration in the paper's string convention.
+
+    The configuration *string* is ``alpha q beta B^omega``: the tape content
+    with the control state inserted immediately before the scanned cell.
+    ``cells`` stores the non-blank prefix of the *tape*; ``head`` is the
+    scanned tape cell; ``state`` the control state.
+    """
+
+    state: str
+    cells: tuple[str, ...]
+    head: int
+
+    def __post_init__(self) -> None:
+        if self.head < 0:
+            raise MachineError("head position cannot be negative")
+
+    def symbol_at(self, cell: int) -> str:
+        if cell < len(self.cells):
+            return self.cells[cell]
+        return BLANK
+
+    @property
+    def scanned(self) -> str:
+        return self.symbol_at(self.head)
+
+    def string(self, length: int | None = None) -> tuple[str, ...]:
+        """The configuration string ``alpha q beta`` padded with blanks.
+
+        Position ``head`` of the string holds the state symbol; tape cells
+        at and beyond the head shift one position right.
+        """
+        width = max(len(self.cells) + 1, self.head + 2)
+        if length is not None:
+            width = max(width, length)
+        result: list[str] = []
+        for position in range(width):
+            if position < self.head:
+                result.append(self.symbol_at(position))
+            elif position == self.head:
+                result.append(self.state)
+            else:
+                result.append(self.symbol_at(position - 1))
+        if length is not None:
+            result = result[:length]
+        return tuple(result)
+
+    @classmethod
+    def initial(cls, machine: TuringMachine, word: str) -> "Configuration":
+        """The initial configuration ``q0 w B^omega``."""
+        for symbol in word:
+            if symbol not in ("0", "1"):
+                raise MachineError(
+                    f"input words are over {{0,1}}; got {symbol!r}"
+                )
+        return cls(state=machine.initial, cells=tuple(word), head=0)
+
+    @classmethod
+    def from_string(cls, string: tuple[str, ...], machine: TuringMachine) -> "Configuration":
+        """Parse a configuration string back into a configuration."""
+        state_positions = [
+            index for index, symbol in enumerate(string)
+            if symbol in machine.states
+        ]
+        if len(state_positions) != 1:
+            raise MachineError(
+                f"configuration string must contain exactly one state "
+                f"symbol, found {len(state_positions)}"
+            )
+        head = state_positions[0]
+        cells = tuple(string[:head]) + tuple(string[head + 1:])
+        while cells and cells[-1] == BLANK:
+            cells = cells[:-1]
+        return cls(state=string[head], cells=cells, head=head)
+
+
+def step(machine: TuringMachine, configuration: Configuration) -> Configuration | None:
+    """One machine move; None if the machine halts in this configuration.
+
+    A left move in the leftmost cell is a machine error (the paper's
+    machines are constructed never to do that).
+    """
+    transition = machine.transitions.get(
+        (configuration.state, configuration.scanned)
+    )
+    if transition is None:
+        return None
+    cells = list(configuration.cells)
+    while len(cells) <= configuration.head:
+        cells.append(BLANK)
+    cells[configuration.head] = transition.write
+    if transition.move == RIGHT:
+        head = configuration.head + 1
+    else:
+        if configuration.head == 0:
+            raise MachineError(
+                f"machine {machine.name!r} moved left at the tape origin"
+            )
+        head = configuration.head - 1
+    while cells and cells[-1] == BLANK:
+        cells.pop()
+    return Configuration(state=transition.state, cells=tuple(cells), head=head)
+
+
+@dataclass
+class RunResult:
+    """Outcome of a bounded simulation."""
+
+    configurations: list[Configuration] = field(default_factory=list)
+    halted: bool = False
+    accepted: bool = False
+    origin_visits: int = 0
+
+    @property
+    def steps(self) -> int:
+        return len(self.configurations) - 1
+
+
+def run(
+    machine: TuringMachine, word: str, max_steps: int
+) -> RunResult:
+    """Simulate up to ``max_steps`` moves from the initial configuration.
+
+    ``origin_visits`` counts configurations whose string has the state
+    symbol in position 0 — the paper's "head visits the leftmost cell",
+    the quantity whose unboundedness defines *repeating behaviour*.
+    """
+    result = RunResult()
+    configuration = Configuration.initial(machine, word)
+    result.configurations.append(configuration)
+    if configuration.head == 0:
+        result.origin_visits += 1
+    for _ in range(max_steps):
+        successor = step(machine, configuration)
+        if successor is None:
+            result.halted = True
+            result.accepted = configuration.state in machine.accepting
+            return result
+        configuration = successor
+        result.configurations.append(configuration)
+        if configuration.head == 0:
+            result.origin_visits += 1
+    return result
+
+
+def trace(
+    machine: TuringMachine, word: str, steps: int
+) -> Iterator[Configuration]:
+    """Yield configurations until halting or ``steps`` moves, inclusive of
+    the initial one."""
+    configuration = Configuration.initial(machine, word)
+    yield configuration
+    for _ in range(steps):
+        successor = step(machine, configuration)
+        if successor is None:
+            return
+        configuration = successor
+        yield configuration

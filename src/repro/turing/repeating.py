@@ -1,0 +1,149 @@
+"""Repeating behaviour and the bounded extension search (Theorem 3.1/3.2).
+
+A word *induces a repeating behaviour* of a machine if the computation is
+infinite and the head visits the leftmost tape cell infinitely often.
+Lemma 3.1 makes this Sigma^0_2-complete for a suitable machine, hence the
+extension problem for the Section 3 formulas is Pi^0_2-complete —
+undecidable, so no implementation can decide it.
+
+What *is* implementable — and what Theorem 3.1's upper-bound argument is
+built from — is the bounded analysis:
+
+* :func:`bounded_repeating` — simulate ``max_steps`` moves and report
+  evidence: halted (definitely not repeating), or ``n`` origin visits so
+  far (repeating iff this grows without bound, which a bound cannot
+  decide).
+* :func:`bounded_extension_search` — the Theorem 3.1 characterization:
+  a history extends to a model of ``phi`` iff for each ``n`` it has a
+  finite prolongation encoding a run prefix with ``>= n`` origin visits.
+  Determinism makes the prolongation unique, so the search just runs the
+  machine onward and counts.
+
+The growth of the certified-visit count with the step budget — and its
+non-convergence on diverging inputs — is the observable footprint of the
+Pi^0_2-hardness; experiment E4 plots it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..database.history import History
+from .check import check_encoding
+from .encoding import MachineEncoding
+from .machine import Configuration, TuringMachine, run, step
+
+
+class Verdict(Enum):
+    """Outcome of a bounded semi-decision."""
+
+    NOT_REPEATING = "not repeating"  # the machine halted: definite
+    EVIDENCE = "evidence"  # still running; visits so far reported
+    INVALID = "invalid"  # the history is not a run encoding at all
+
+
+@dataclass(frozen=True)
+class BoundedResult:
+    """Evidence gathered within a step budget."""
+
+    verdict: Verdict
+    steps_used: int
+    origin_visits: int
+    detail: str = ""
+
+
+def bounded_repeating(
+    machine: TuringMachine, word: str, max_steps: int
+) -> BoundedResult:
+    """Simulate and report repeating-behaviour evidence.
+
+    ``NOT_REPEATING`` is definitive (the machine halted).  ``EVIDENCE``
+    is all a bound can give for the positive direction: the visit count
+    certified so far.
+    """
+    result = run(machine, word, max_steps)
+    if result.halted:
+        return BoundedResult(
+            verdict=Verdict.NOT_REPEATING,
+            steps_used=result.steps,
+            origin_visits=result.origin_visits,
+            detail="machine halted",
+        )
+    return BoundedResult(
+        verdict=Verdict.EVIDENCE,
+        steps_used=result.steps,
+        origin_visits=result.origin_visits,
+    )
+
+
+def bounded_extension_search(
+    history: History,
+    encoding: MachineEncoding,
+    target_visits: int,
+    max_steps: int,
+) -> BoundedResult:
+    """Theorem 3.1's bounded question: can the history be prolonged to a
+    run-prefix encoding with at least ``target_visits`` origin visits?
+
+    The history must already encode a run prefix (otherwise ``INVALID``).
+    Because the machine is deterministic the prolongation is unique: decode
+    the last configuration and keep stepping.  Returns ``EVIDENCE`` with
+    the visits certified (>= ``target_visits`` on success) or
+    ``NOT_REPEATING`` if the machine halts before reaching the target.
+    """
+    report = check_encoding(history, encoding)
+    if not report.ok:
+        return BoundedResult(
+            verdict=Verdict.INVALID,
+            steps_used=0,
+            origin_visits=0,
+            detail=report.detail,
+        )
+    machine = encoding.machine
+    configurations = encoding.decode_history(history)
+    visits = sum(1 for c in configurations if c.head == 0)
+    current: Configuration | None = configurations[-1]
+    steps_used = 0
+    while steps_used < max_steps and visits < target_visits:
+        assert current is not None
+        current = step(machine, current)
+        if current is None:
+            return BoundedResult(
+                verdict=Verdict.NOT_REPEATING,
+                steps_used=steps_used,
+                origin_visits=visits,
+                detail="machine halted during prolongation",
+            )
+        steps_used += 1
+        if current.head == 0:
+            visits += 1
+    return BoundedResult(
+        verdict=Verdict.EVIDENCE,
+        steps_used=steps_used,
+        origin_visits=visits,
+    )
+
+
+def visit_growth(
+    machine: TuringMachine, word: str, budgets: list[int]
+) -> list[tuple[int, int, bool]]:
+    """Origin-visit counts certified under growing step budgets.
+
+    Returns ``(budget, visits, halted)`` rows — the E4 experiment's series.
+    For repeating inputs the visit column grows without bound; for halting
+    inputs it freezes with ``halted=True``; for diverging non-repeating
+    inputs it freezes without halting, and no bound can tell that apart
+    from "not yet" — the undecidability, made visible.
+    """
+    rows: list[tuple[int, int, bool]] = []
+    for budget in budgets:
+        outcome = bounded_repeating(machine, word, budget)
+        rows.append(
+            (
+                budget,
+                outcome.origin_visits,
+                outcome.verdict is Verdict.NOT_REPEATING,
+            )
+        )
+    return rows

@@ -1,0 +1,578 @@
+"""Section 6: SAT reduces to the extension problem (the |R_D| lower bound).
+
+The paper argues that ``|R_D|`` cannot be removed from the exponent of the
+Theorem 4.2 time bound: encode the initial configuration of a deterministic
+machine deciding SAT into a single database state ``D0``; a *fixed*
+universal safety formula forces every model to simulate the machine, so
+deciding whether ``(D0)`` extends to a model decides SAT — and ``|D0|`` is
+polynomial in the instance.
+
+This module implements that construction with the machine specialized to an
+exhaustive assignment search ("the SAT machine"), realized directly as a
+deterministic temporal rule system rather than via a hand-built Turing
+machine (DESIGN.md documents the substitution; the consequence — a fixed
+universal safety formula whose extension problem decides SAT with the
+instance in ``D0`` — is identical).
+
+**The rule system.**  ``D0`` stores the CNF structure (``Pos``/``Neg``
+literal relations, successor chains over variables and clauses) plus the
+search state: the current assignment ``Val``, a clause pointer ``CPtr``, a
+variable pointer ``VPtr``, a per-clause satisfaction latch ``OK``, phase
+flags ``Scan``/``Inc``/``Done`` on a designated ``Unit`` element, and the
+combinational carry chain ``Carry``.  The formula's rules (all of the form
+``G (guard -> (X p <-> definition))`` — syntactically safe, quantifier-free
+matrices, at most four external universals) force the unique run:
+
+* scan the current clause variable by variable, latching ``OK`` on a
+  satisfied literal;
+* at the end of a clause: satisfied -> next clause (or ``Done`` forever
+  after the last clause — the CNF is satisfiable); unsatisfied -> increment
+  the assignment (binary counter via the carry chain) and restart;
+* incrementing past the all-ones assignment forces ``X false`` — no
+  extension exists (the CNF is unsatisfiable).
+
+Every predicate's next value is forced in both directions, so each history
+has at most one extension — the Proposition 3.2 argument makes the property
+safety, and also yields the only *feasible* decision procedure at this
+scale: :func:`decide_extension` simulates the forced run until it either
+freezes in ``Done`` (extendable), dies on overflow (not extendable), or —
+impossible here, but checked — revisits a state.  The generic Theorem 4.1
+pipeline accepts the formula (it is universal and syntactically safe) but
+its automaton phase is doubly exponential on these instances; experiment E5
+measures the simulation-based decision, whose ``2^n`` growth is the
+lower-bound shape the paper predicts.
+
+The formula and the simulator are cross-validated in the test suite by
+evaluating the formula's rules on simulated run prefixes with the generic
+finite evaluator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..database.history import History
+from ..database.state import DatabaseState, Fact
+from ..database.vocabulary import Vocabulary
+from ..errors import StateError
+from ..logic.builders import (
+    always,
+    and_,
+    atom,
+    forall,
+    iff,
+    implies,
+    next_,
+    not_,
+    or_,
+    var,
+)
+from ..logic.formulas import FALSE, Formula
+from ..logic.transform import merge_universal_conjunction
+
+# ---------------------------------------------------------------------------
+# Instances
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CNF:
+    """A CNF formula in DIMACS convention: literal ``k`` is variable ``k``
+    positive, ``-k`` negative; variables are ``1..num_vars``."""
+
+    num_vars: int
+    clauses: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "clauses", tuple(tuple(clause) for clause in self.clauses)
+        )
+        if self.num_vars < 1:
+            raise StateError("a CNF needs at least one variable")
+        if not self.clauses:
+            raise StateError("a CNF needs at least one clause")
+        for clause in self.clauses:
+            for literal in clause:
+                if literal == 0 or abs(literal) > self.num_vars:
+                    raise StateError(f"literal {literal} out of range")
+
+    def brute_force_satisfiable(self) -> bool:
+        """Ground truth by enumeration (for verification only)."""
+        for assignment in range(2**self.num_vars):
+            values = [
+                bool(assignment >> bit & 1) for bit in range(self.num_vars)
+            ]
+            if all(
+                any(
+                    values[abs(lit) - 1] == (lit > 0)
+                    for lit in clause
+                )
+                for clause in self.clauses
+            ):
+                return True
+        return False
+
+
+#: Vocabulary of the (fixed) reduction formula.
+SAT_VOCABULARY = Vocabulary(
+    predicates={
+        # Static instance structure.
+        "Pos": 2,
+        "Neg": 2,
+        "NextVar": 2,
+        "NextClause": 2,
+        "FirstVar": 1,
+        "LastVar": 1,
+        "FirstClause": 1,
+        "LastClause": 1,
+        "IsVar": 1,
+        "IsClause": 1,
+        "Unit": 1,
+        # Evolving search state.
+        "Val": 1,
+        "Carry": 1,
+        "VPtr": 1,
+        "CPtr": 1,
+        "OK": 1,
+        "Scan": 1,
+        "Inc": 1,
+        "Done": 1,
+    }
+)
+
+_STATIC = (
+    "Pos",
+    "Neg",
+    "NextVar",
+    "NextClause",
+    "FirstVar",
+    "LastVar",
+    "FirstClause",
+    "LastClause",
+    "IsVar",
+    "IsClause",
+    "Unit",
+)
+
+
+def instance_elements(cnf: CNF) -> tuple[int, tuple[int, ...], tuple[int, ...]]:
+    """Element layout: unit 0, variables 1..n, clauses n+1..n+m."""
+    unit = 0
+    variables = tuple(range(1, cnf.num_vars + 1))
+    clauses = tuple(
+        range(cnf.num_vars + 1, cnf.num_vars + 1 + len(cnf.clauses))
+    )
+    return unit, variables, clauses
+
+
+def build_initial_state(cnf: CNF) -> DatabaseState:
+    """``D0``: the CNF structure plus the search's starting state.
+
+    The starting assignment is all-zeros; the carry chain is set
+    accordingly (``Carry`` holds exactly of the first variable); the scan
+    starts at the first clause and first variable.
+    """
+    unit, variables, clauses = instance_elements(cnf)
+    facts: list[Fact] = [("Unit", (unit,))]
+    for v in variables:
+        facts.append(("IsVar", (v,)))
+    facts.append(("FirstVar", (variables[0],)))
+    facts.append(("LastVar", (variables[-1],)))
+    for left, right in zip(variables, variables[1:]):
+        facts.append(("NextVar", (left, right)))
+    for c in clauses:
+        facts.append(("IsClause", (c,)))
+    facts.append(("FirstClause", (clauses[0],)))
+    facts.append(("LastClause", (clauses[-1],)))
+    for left, right in zip(clauses, clauses[1:]):
+        facts.append(("NextClause", (left, right)))
+    for index, clause in enumerate(cnf.clauses):
+        for literal in clause:
+            relation = "Pos" if literal > 0 else "Neg"
+            facts.append((relation, (clauses[index], variables[abs(literal) - 1])))
+    # Search state: assignment all-zeros => Carry only on the first var.
+    facts.append(("Carry", (variables[0],)))
+    facts.append(("VPtr", (variables[0],)))
+    facts.append(("CPtr", (clauses[0],)))
+    facts.append(("Scan", (unit,)))
+    return DatabaseState.from_facts(SAT_VOCABULARY, facts)
+
+
+# ---------------------------------------------------------------------------
+# The fixed formula
+# ---------------------------------------------------------------------------
+
+
+def build_sat_formula() -> Formula:
+    """The fixed universal safety sentence of the Section 6 reduction.
+
+    Instance-independent: the same formula serves every CNF; only ``D0``
+    changes.  Universal (``forall`` x4, quantifier-free tense matrix) and
+    syntactically safe (``G``/``X`` only).
+    """
+    u, v, c, w = var("u"), var("v"), var("c"), var("w")
+    d = var("d")
+
+    def a(pred, *args):
+        return atom(pred, *args)
+
+    rules: list[Formula] = []
+
+    # Static relations are rigid.
+    for pred in _STATIC:
+        arity = SAT_VOCABULARY.arity(pred)
+        args = (v, w)[:arity]
+        rules.append(
+            forall(args, always(iff(a(pred, *args), next_(a(pred, *args)))))
+        )
+
+    # Combinational carry chain (holds in every state).
+    rules.append(forall(w, always(implies(a("Carry", w), a("IsVar", w)))))
+    rules.append(forall(w, always(implies(a("FirstVar", w), a("Carry", w)))))
+    rules.append(
+        forall(
+            (v, w),
+            always(
+                implies(
+                    a("NextVar", v, w),
+                    iff(a("Carry", w), and_(a("Carry", v), a("Val", v))),
+                )
+            ),
+        )
+    )
+
+    # Sort tidiness.
+    rules.append(forall(w, always(implies(a("Val", w), a("IsVar", w)))))
+    rules.append(forall(w, always(implies(a("VPtr", w), a("IsVar", w)))))
+    rules.append(forall(d, always(implies(a("CPtr", d), a("IsClause", d)))))
+    rules.append(
+        forall(
+            w,
+            always(
+                implies(
+                    or_(a("OK", w), a("Scan", w), a("Inc", w), a("Done", w)),
+                    a("Unit", w),
+                )
+            ),
+        )
+    )
+
+    # Situation abbreviations (free: u, v, c).
+    guard = and_(a("Unit", u), a("VPtr", v), a("CPtr", c))
+    hit = or_(
+        and_(a("Pos", c, v), a("Val", v)),
+        and_(a("Neg", c, v), not_(a("Val", v))),
+    )
+    ok_now = or_(a("OK", u), hit)
+    advance = and_(a("Scan", u), not_(a("LastVar", v)))
+    clause_pass = and_(a("Scan", u), a("LastVar", v), ok_now)
+    clause_fail = and_(a("Scan", u), a("LastVar", v), not_(ok_now))
+    next_clause = and_(clause_pass, not_(a("LastClause", c)))
+    success = and_(clause_pass, a("LastClause", c))
+
+    # Phase and latch updates (forced in both directions).
+    rules.append(
+        forall(
+            (u, v, c),
+            always(
+                implies(
+                    guard,
+                    and_(
+                        iff(
+                            next_(a("Scan", u)),
+                            or_(advance, next_clause, a("Inc", u)),
+                        ),
+                        iff(next_(a("Inc", u)), clause_fail),
+                        iff(
+                            next_(a("Done", u)),
+                            or_(a("Done", u), success),
+                        ),
+                        iff(next_(a("OK", u)), and_(advance, ok_now)),
+                    ),
+                )
+            ),
+        )
+    )
+
+    # Variable pointer.
+    rules.append(
+        forall(
+            (u, v, c, w),
+            always(
+                implies(
+                    and_(guard, a("IsVar", w)),
+                    iff(
+                        next_(a("VPtr", w)),
+                        or_(
+                            and_(advance, a("NextVar", v, w)),
+                            and_(
+                                or_(next_clause, clause_fail, a("Inc", u)),
+                                a("FirstVar", w),
+                            ),
+                            and_(
+                                or_(a("Done", u), success), a("VPtr", w)
+                            ),
+                        ),
+                    ),
+                )
+            ),
+        )
+    )
+
+    # Clause pointer.
+    rules.append(
+        forall(
+            (u, v, c, d),
+            always(
+                implies(
+                    and_(guard, a("IsClause", d)),
+                    iff(
+                        next_(a("CPtr", d)),
+                        or_(
+                            and_(next_clause, a("NextClause", c, d)),
+                            and_(
+                                or_(clause_fail, a("Inc", u)),
+                                a("FirstClause", d),
+                            ),
+                            and_(
+                                or_(advance, a("Done", u), success),
+                                a("CPtr", d),
+                            ),
+                        ),
+                    ),
+                )
+            ),
+        )
+    )
+
+    # Assignment update: binary increment in the Inc phase, frozen otherwise.
+    rules.append(
+        forall(
+            (u, w),
+            always(
+                implies(
+                    and_(a("Unit", u), a("IsVar", w)),
+                    iff(
+                        next_(a("Val", w)),
+                        or_(
+                            and_(
+                                a("Inc", u),
+                                not_(iff(a("Val", w), a("Carry", w))),
+                            ),
+                            and_(not_(a("Inc", u)), a("Val", w)),
+                        ),
+                    ),
+                )
+            ),
+        )
+    )
+
+    # Overflow: incrementing the all-ones assignment has no successor state.
+    rules.append(
+        forall(
+            (u, w),
+            always(
+                implies(
+                    and_(
+                        a("Unit", u),
+                        a("Inc", u),
+                        a("LastVar", w),
+                        a("Carry", w),
+                        a("Val", w),
+                    ),
+                    next_(FALSE),
+                )
+            ),
+        )
+    )
+
+    return merge_universal_conjunction(and_(*rules))
+
+
+# ---------------------------------------------------------------------------
+# The deterministic decision procedure (Proposition 3.2 made algorithmic)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SearchOutcome:
+    """Result of running the forced search to completion."""
+
+    satisfiable: bool
+    steps: int
+    assignments_tried: int
+    witness: dict[int, bool] | None = None
+
+
+def _step_search(cnf: CNF, state: "_SearchState") -> "_SearchState | None":
+    """One forced step of the rule system; None on overflow (``X false``)."""
+    n = cnf.num_vars
+    if state.done:
+        return state  # frozen forever
+    if state.inc:
+        # Binary increment via the carry chain.
+        carry = True
+        values = list(state.values)
+        for index in range(n):
+            bit = values[index]
+            new_carry = bit and carry
+            values[index] = bit != carry
+            carry = new_carry
+        if carry:
+            return None  # overflow: X false
+        return _SearchState(
+            values=tuple(values),
+            clause=0,
+            variable=0,
+            ok=False,
+            inc=False,
+            done=False,
+        )
+    # Scan phase.
+    clause = cnf.clauses[state.clause]
+    v_id = state.variable + 1  # DIMACS numbering
+    hit = (v_id in clause and state.values[state.variable]) or (
+        -v_id in clause and not state.values[state.variable]
+    )
+    ok_now = state.ok or hit
+    if state.variable + 1 < n:
+        return _SearchState(
+            values=state.values,
+            clause=state.clause,
+            variable=state.variable + 1,
+            ok=ok_now,
+            inc=False,
+            done=False,
+        )
+    if ok_now:
+        if state.clause + 1 < len(cnf.clauses):
+            return _SearchState(
+                values=state.values,
+                clause=state.clause + 1,
+                variable=0,
+                ok=False,
+                inc=False,
+                done=False,
+            )
+        return _SearchState(
+            values=state.values,
+            clause=state.clause,
+            variable=state.variable,
+            ok=False,
+            inc=False,
+            done=True,
+        )
+    # Clause unsatisfied: abandon the assignment.  Both pointers reset to
+    # the start (matching the formula's clause_fail rules) and the next
+    # step increments the assignment.
+    return _SearchState(
+        values=state.values,
+        clause=0,
+        variable=0,
+        ok=False,
+        inc=True,
+        done=False,
+    )
+
+
+@dataclass(frozen=True)
+class _SearchState:
+    values: tuple[bool, ...]
+    clause: int
+    variable: int
+    ok: bool
+    inc: bool
+    done: bool
+
+
+def _initial_search_state(cnf: CNF) -> _SearchState:
+    return _SearchState(
+        values=(False,) * cnf.num_vars,
+        clause=0,
+        variable=0,
+        ok=False,
+        inc=False,
+        done=False,
+    )
+
+
+def decide_extension(cnf: CNF) -> SearchOutcome:
+    """Decide whether ``(D0)`` extends to a model of the reduction formula.
+
+    Exploits determinism (Proposition 3.2): the history has exactly one
+    candidate extension — the forced run — so simulate it.  ``Done`` means
+    an infinite model exists (freeze forever): the CNF is satisfiable;
+    overflow means no extension: unsatisfiable.
+    """
+    state = _initial_search_state(cnf)
+    steps = 0
+    assignments = 1
+    while True:
+        if state.done:
+            witness = {
+                index + 1: value
+                for index, value in enumerate(state.values)
+            }
+            return SearchOutcome(
+                satisfiable=True,
+                steps=steps,
+                assignments_tried=assignments,
+                witness=witness,
+            )
+        successor = _step_search(cnf, state)
+        if successor is None:
+            return SearchOutcome(
+                satisfiable=False, steps=steps, assignments_tried=assignments
+            )
+        if state.inc and not successor.inc:
+            assignments += 1
+        state = successor
+        steps += 1
+
+
+def search_state_to_db(cnf: CNF, state: _SearchState) -> DatabaseState:
+    """Encode one search state as a database state (shares ``D0``'s static
+    part)."""
+    unit, variables, clauses = instance_elements(cnf)
+    base = build_initial_state(cnf)
+    facts = [
+        (pred, args)
+        for pred, args in base.facts()
+        if pred in _STATIC
+    ]
+    carry = True
+    for index, value in enumerate(state.values):
+        if value:
+            facts.append(("Val", (variables[index],)))
+        if carry:
+            facts.append(("Carry", (variables[index],)))
+        carry = carry and value
+    facts.append(("VPtr", (variables[state.variable],)))
+    facts.append(("CPtr", (clauses[state.clause],)))
+    if state.ok:
+        facts.append(("OK", (unit,)))
+    if state.done:
+        facts.append(("Done", (unit,)))
+    elif state.inc:
+        facts.append(("Inc", (unit,)))
+    else:
+        facts.append(("Scan", (unit,)))
+    return DatabaseState.from_facts(SAT_VOCABULARY, facts)
+
+
+def simulate_history(cnf: CNF, steps: int) -> History:
+    """The first ``steps + 1`` states of the forced run, as a history.
+
+    Used to cross-validate the formula against the simulator: the generic
+    finite evaluator must accept these histories under the weak truncated
+    semantics.
+    """
+    state = _initial_search_state(cnf)
+    states = [search_state_to_db(cnf, state)]
+    for _ in range(steps):
+        successor = _step_search(cnf, state)
+        if successor is None:
+            break
+        state = successor
+        states.append(search_state_to_db(cnf, state))
+    return History(vocabulary=SAT_VOCABULARY, states=tuple(states))

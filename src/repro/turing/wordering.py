@@ -1,0 +1,227 @@
+"""The W-ordering construction: from phi to the monadic formula phi-tilde.
+
+Section 3's second step removes the extended vocabulary (``leq``, ``succ``,
+``Zero``): a fresh monadic predicate ``W`` *enumerates* universe elements
+over time, and the order of enumeration replaces the built-in order of the
+naturals.  The auxiliary formulas:
+
+* ``W1``: at most one element satisfies ``W`` in any state;
+* ``W2``: every state has such an element (``G exists x . W(x)``) — the
+  construction's single internal (existential) quantifier;
+* ``W3``: no element satisfies ``W`` in two states.
+
+Under ``W1 & W2 & W3`` the definable relations::
+
+    x <=_W y   :=   F (W(x) & F W(y))
+    S_W(x, y)  :=   F (W(x) & X W(y))
+    Z_W(x)     :=   W(x)            (at instant 0)
+
+order the enumerated elements in type omega, and ``phi_W`` is ``phi`` with
+every built-in atom replaced by its ``W``-definition and every quantifier
+relativized to enumerated elements (``F W(x_i)``).  The result
+``phi~ = phi_W & W1 & W2 & W3`` is a biquantified formula over monadic
+predicates only, with a single internal quantifier — the class the paper
+proves Pi^0_2-complete.
+
+The module also builds Section 4's finite-universe example (``W4`` and the
+``Q``-chain): a *universal* formula with models of every finite universe
+size but no temporal-database model — the formula that shows why Lemma 4.1
+needs infinite universes and safety.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..database.vocabulary import Vocabulary
+from ..errors import SchemaError
+from ..logic.builders import (
+    always,
+    and_,
+    atom,
+    eq,
+    eventually,
+    exists,
+    forall,
+    implies,
+    next_,
+    not_,
+    until,
+    var,
+)
+from ..logic.formulas import Atom, Eq, Exists, Forall, Formula
+from ..logic.terms import Term
+from ..logic.transform import merge_universal_conjunction, strip_universal_prefix
+from .encoding import MachineEncoding
+from .formula import build_phi
+
+
+def w1(predicate: str = "W") -> Formula:
+    """At most one ``W`` element per state."""
+    x, y = var("x"), var("y")
+    return forall(
+        (x, y),
+        always(
+            implies(and_(atom(predicate, x), atom(predicate, y)), eq(x, y))
+        ),
+    )
+
+
+def w2(predicate: str = "W") -> Formula:
+    """Every state has a ``W`` element — the internal existential."""
+    x = var("x")
+    return always(exists(x, atom(predicate, x)))
+
+
+def w3(predicate: str = "W") -> Formula:
+    """No element is ``W`` twice."""
+    x = var("x")
+    return forall(
+        x,
+        always(
+            implies(
+                atom(predicate, x), next_(always(not_(atom(predicate, x))))
+            )
+        ),
+    )
+
+
+def leq_w(left: Term, right: Term, predicate: str = "W") -> Formula:
+    """``x <=_W y``: x is enumerated no later than y."""
+    return eventually(
+        and_(atom(predicate, left), eventually(atom(predicate, right)))
+    )
+
+
+def succ_w(left: Term, right: Term, predicate: str = "W") -> Formula:
+    """``S_W(x, y)``: y is enumerated immediately after x."""
+    return eventually(
+        and_(atom(predicate, left), next_(atom(predicate, right)))
+    )
+
+
+def zero_w(term: Term, predicate: str = "W") -> Formula:
+    """``Z_W(x)``: x is the first enumerated element (at instant 0)."""
+    return atom(predicate, term)
+
+
+def relativize(formula: Formula, predicate: str = "W") -> Formula:
+    """Replace built-in atoms by their ``W`` definitions and relativize the
+    universal prefix to enumerated elements.
+
+    ``forall x1..xk psi`` becomes
+    ``forall x1..xk (F W(x1) & ... & F W(xk)) -> psi_W``.
+    """
+    prefix, matrix = strip_universal_prefix(formula)
+    transformed = _replace_builtins(matrix, predicate)
+    if prefix:
+        guard = and_(
+            *(eventually(atom(predicate, v)) for v in prefix)
+        )
+        transformed = implies(guard, transformed)
+    result: Formula = transformed
+    for variable in reversed(prefix):
+        result = Forall(variable, result)
+    return result
+
+
+def _replace_builtins(formula: Formula, predicate: str) -> Formula:
+    match formula:
+        case Atom(pred="leq", args=(left, right)):
+            return leq_w(left, right, predicate)
+        case Atom(pred="succ", args=(left, right)):
+            return succ_w(left, right, predicate)
+        case Atom(pred="Zero", args=(term,)):
+            return zero_w(term, predicate)
+        case Atom() | Eq():
+            return formula
+        case Exists(var=v, body=body):
+            return Exists(v, _replace_builtins(body, predicate))
+        case Forall(var=v, body=body):
+            return Forall(v, _replace_builtins(body, predicate))
+        case _:
+            if not formula.children:
+                return formula
+            from ..logic.transform import _rebuild
+
+            children = tuple(
+                _replace_builtins(child, predicate)
+                for child in formula.children
+            )
+            return _rebuild(formula, children)
+
+
+@dataclass(frozen=True)
+class PhiTilde:
+    """The monadic formula ``phi~`` and its pieces."""
+
+    phi_w: Formula
+    w1: Formula
+    w2: Formula
+    w3: Formula
+
+    def conjunction(self) -> Formula:
+        """``phi~`` in the paper's prenex form ``forall x1..xk psi~``."""
+        return merge_universal_conjunction(
+            and_(self.phi_w, self.w1, self.w2, self.w3)
+        )
+
+
+def build_phi_tilde(encoding: MachineEncoding) -> PhiTilde:
+    """Theorem 3.2's formula: monadic vocabulary, one internal quantifier.
+
+    >>> from .zoo import runaway
+    >>> from .encoding import MachineEncoding
+    >>> from ..logic.classify import classify
+    >>> tilde = build_phi_tilde(MachineEncoding.for_machine(runaway()))
+    >>> info = classify(tilde.conjunction())
+    >>> (info.is_biquantified, info.is_universal, info.internal_quantifiers)
+    (True, False, 1)
+    """
+    phi = build_phi(encoding)
+    phi_w = relativize(phi.conjunction())
+    return PhiTilde(phi_w=phi_w, w1=w1(), w2=w2(), w3=w3())
+
+
+def extended_vocabulary(encoding: MachineEncoding) -> Vocabulary:
+    """The monadic vocabulary of ``phi~``: the letter predicates plus ``W``."""
+    predicates = {name: 1 for name in encoding.vocabulary.predicates}
+    if "W" in predicates:
+        raise SchemaError("encoding already uses the predicate name 'W'")
+    predicates["W"] = 1
+    return Vocabulary(predicates=predicates)
+
+
+# ---------------------------------------------------------------------------
+# Section 4's finite-universe example (W4 and the Q chain)
+# ---------------------------------------------------------------------------
+
+
+def w4(predicate: str = "W") -> Formula:
+    """Every element is enumerated exactly once:
+    ``forall x . (!W(x)) U (W(x) & X G !W(x))``."""
+    x = var("x")
+    p = lambda: atom(predicate, x)
+    return forall(
+        x,
+        until(not_(p()), and_(p(), next_(always(not_(p()))))),
+    )
+
+
+def finite_universe_formula() -> Formula:
+    """The paper's universal formula with finite models of every size but no
+    temporal-database (infinite-universe) model.
+
+    ``W`` enumerates the whole universe in some order; ``Q`` enumerates it
+    in the *inverse* order.  Both are possible over a finite universe (read
+    the order backwards) but not over an infinite one (the reverse of an
+    omega-order has no first element).
+    """
+    x, y = var("x"), var("y")
+    inverse = forall(
+        (x, y),
+        implies(leq_w(x, y, "Q"), leq_w(y, x, "W")),
+    )
+    return merge_universal_conjunction(
+        and_(w1("W"), w4("W"), w1("Q"), w4("Q"), inverse)
+    )

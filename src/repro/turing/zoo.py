@@ -1,0 +1,138 @@
+"""Concrete Turing machines for the Section 3 experiments.
+
+Lemma 3.1 fixes a machine whose repeating-behaviour language is
+Sigma^0_2-complete; no implementation can decide such a language, so the
+experiments instantiate the *schema* with machines whose repeating
+behaviour has computable ground truth (so the encodings can be verified end
+to end) plus the unbounded searcher process in :mod:`repro.turing.schema`
+that exhibits the Lemma 3.1 structure itself.
+
+All machines here respect the paper's conventions: single tape, infinite to
+the right, input alphabet ``{0, 1}``, blank ``B``, and no left move at the
+tape origin (they mark the origin cell on their first step, exactly the
+trick the Lemma 3.1 proof uses).
+"""
+
+from __future__ import annotations
+
+from .machine import BLANK, LEFT, RIGHT, Transition, TuringMachine
+
+#: Marked variants of the input/blank symbols (the origin mark).
+_MARK = {"0": "Om", "1": "Im", BLANK: "Bm"}
+_PLAIN = ("0", "1", BLANK)
+
+
+def halter() -> TuringMachine:
+    """Halts immediately on every input.
+
+    Repeating behaviour: never (the computation is finite).
+    """
+    return TuringMachine(
+        name="halter",
+        states=frozenset({"q0"}),
+        initial="q0",
+        transitions={},
+        tape_alphabet=frozenset(_PLAIN),
+    )
+
+
+def runaway() -> TuringMachine:
+    """Moves right forever on every input.
+
+    The computation is infinite but the head visits the origin only in the
+    initial configuration: **not** repeating.  This is the behaviour that
+    separates "infinite computation" from the paper's repeating condition.
+    """
+    transitions = {
+        ("q0", symbol): Transition("q0", symbol, RIGHT) for symbol in _PLAIN
+    }
+    return TuringMachine(
+        name="runaway",
+        states=frozenset({"q0"}),
+        initial="q0",
+        transitions=transitions,
+        tape_alphabet=frozenset(_PLAIN),
+    )
+
+
+def bouncer() -> TuringMachine:
+    """Repeating on every input.
+
+    Marks the origin cell, walks to the end of the input, then ping-pongs
+    between the origin and its right neighbour forever, visiting the origin
+    infinitely often.
+    """
+    transitions: dict[tuple[str, str], Transition] = {}
+    # Mark the origin cell and start walking right.
+    for symbol in _PLAIN:
+        transitions[("q0", symbol)] = Transition("walk", _MARK[symbol], RIGHT)
+    # Walk right over the input word.
+    for symbol in ("0", "1"):
+        transitions[("walk", symbol)] = Transition("walk", symbol, RIGHT)
+    transitions[("walk", BLANK)] = Transition("back", BLANK, LEFT)
+    # Walk left back to the marked origin.
+    for symbol in ("0", "1"):
+        transitions[("back", symbol)] = Transition("back", symbol, LEFT)
+    transitions[("back", BLANK)] = Transition("back", BLANK, LEFT)
+    for marked in _MARK.values():
+        # At the origin: bounce right...
+        transitions[("back", marked)] = Transition("ping", marked, RIGHT)
+    # ... one cell, then return to the origin, forever.
+    for symbol in _PLAIN:
+        transitions[("ping", symbol)] = Transition("back", symbol, LEFT)
+    return TuringMachine(
+        name="bouncer",
+        states=frozenset({"q0", "walk", "back", "ping"}),
+        initial="q0",
+        transitions=transitions,
+        tape_alphabet=frozenset(_PLAIN) | frozenset(_MARK.values()),
+    )
+
+
+def parity() -> TuringMachine:
+    """Repeating iff the input word contains an even number of ``1`` s.
+
+    Scans the word once computing parity; on even parity it enters the
+    bouncer loop (repeating), on odd parity it halts.  Ground truth for
+    any input is trivially computable, which makes this the workhorse of
+    the encoding-correctness tests.
+    """
+    transitions: dict[tuple[str, str], Transition] = {}
+    # Mark origin; parity of the first symbol decides the starting state.
+    transitions[("q0", "0")] = Transition("even", _MARK["0"], RIGHT)
+    transitions[("q0", "1")] = Transition("odd", _MARK["1"], RIGHT)
+    transitions[("q0", BLANK)] = Transition("even", _MARK[BLANK], RIGHT)
+    # Scan right, tracking parity.
+    transitions[("even", "0")] = Transition("even", "0", RIGHT)
+    transitions[("even", "1")] = Transition("odd", "1", RIGHT)
+    transitions[("odd", "0")] = Transition("odd", "0", RIGHT)
+    transitions[("odd", "1")] = Transition("even", "1", RIGHT)
+    # End of word: even parity turns back (repeats); odd parity halts.
+    transitions[("even", BLANK)] = Transition("back", BLANK, LEFT)
+    # Walk back to the origin and ping-pong forever.
+    for symbol in ("0", "1", BLANK):
+        transitions[("back", symbol)] = Transition("back", symbol, LEFT)
+    for marked in _MARK.values():
+        transitions[("back", marked)] = Transition("ping", marked, RIGHT)
+    for symbol in _PLAIN:
+        transitions[("ping", symbol)] = Transition("back", symbol, LEFT)
+    return TuringMachine(
+        name="parity",
+        states=frozenset({"q0", "even", "odd", "back", "ping"}),
+        initial="q0",
+        transitions=transitions,
+        tape_alphabet=frozenset(_PLAIN) | frozenset(_MARK.values()),
+    )
+
+
+def is_repeating_parity(word: str) -> bool:
+    """Ground truth for :func:`parity`: repeating iff evenly many 1s."""
+    return word.count("1") % 2 == 0
+
+
+ALL_MACHINES = {
+    "halter": halter,
+    "runaway": runaway,
+    "bouncer": bouncer,
+    "parity": parity,
+}

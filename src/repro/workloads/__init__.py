@@ -1,0 +1,57 @@
+"""Workload generators: the order domain, random histories, random formulas."""
+
+from .formulas import (
+    ConstraintConfig,
+    PTLConfig,
+    random_ptl,
+    random_ptl_safety,
+    random_universal_constraint,
+)
+from .histories import (
+    HistoryConfig,
+    fixed_domain_history,
+    random_history,
+    random_state,
+    sparse_growing_history,
+)
+from .orders import (
+    ORDER_VOCABULARY,
+    OrderTrace,
+    OrderWorkloadConfig,
+    clean_trace,
+    fifo_fill,
+    fill_after_submit_past,
+    fill_once,
+    generate_orders,
+    no_fill_before_submit,
+    standard_constraints,
+    submit_once,
+    trace_with_duplicate,
+    trace_with_out_of_order_fill,
+)
+
+__all__ = [
+    "ConstraintConfig",
+    "HistoryConfig",
+    "ORDER_VOCABULARY",
+    "OrderTrace",
+    "OrderWorkloadConfig",
+    "PTLConfig",
+    "clean_trace",
+    "fifo_fill",
+    "fill_after_submit_past",
+    "fill_once",
+    "fixed_domain_history",
+    "generate_orders",
+    "no_fill_before_submit",
+    "random_history",
+    "random_ptl",
+    "random_ptl_safety",
+    "random_state",
+    "random_universal_constraint",
+    "sparse_growing_history",
+    "standard_constraints",
+    "submit_once",
+    "trace_with_duplicate",
+    "trace_with_out_of_order_fill",
+]

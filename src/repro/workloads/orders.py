@@ -1,0 +1,197 @@
+"""The paper's running example as a workload: customer orders.
+
+Section 2 motivates temporal constraints with an order database: ``Sub(x)``
+holds at the instants where order ``x`` is submitted, ``Fill(x)`` where it
+is filled.  This module provides the constraints (including the paper's two
+examples verbatim) and a configurable event generator, with controllable
+violation injection so experiments can measure detection behaviour.
+
+States are *event-style*: a fact holds exactly at the instant the event
+occurs (submissions are not persistent tuples).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..database.history import History
+from ..database.state import DatabaseState, Fact
+from ..database.vocabulary import Vocabulary, vocabulary
+from ..logic.formulas import Formula
+from ..logic.parser import parse
+
+#: The schema of the order domain.
+ORDER_VOCABULARY: Vocabulary = vocabulary({"Sub": 1, "Fill": 1})
+
+
+def submit_once() -> Formula:
+    """The paper's first example: "an order can be submitted only once"."""
+    return parse("forall x . G (Sub(x) -> X G !Sub(x))")
+
+
+def fifo_fill() -> Formula:
+    """The paper's second example: "orders are filled in submission order".
+
+    ``forall x y . G !(x != y & Sub(x) &
+    ((!Fill(x)) U (Sub(y) & ((!Fill(x)) U (Fill(y) & !Fill(x))))))`` —
+    there cannot be orders x submitted before y with x unfilled when y is
+    filled.
+    """
+    return parse(
+        "forall x y . G !(x != y & Sub(x) & ((!Fill(x)) U "
+        "(Sub(y) & ((!Fill(x)) U (Fill(y) & !Fill(x))))))"
+    )
+
+
+def fill_once() -> Formula:
+    """An order can be filled at most once (same shape as submit_once)."""
+    return parse("forall x . G (Fill(x) -> X G !Fill(x))")
+
+
+def fill_after_submit_past() -> Formula:
+    """Past form: every fill was preceded by a submission.
+
+    A ``G (past)`` constraint — the Proposition 2.1 shape — usable with the
+    incremental past evaluator.
+    """
+    return parse("forall x . G (Fill(x) -> Y O Sub(x))")
+
+
+def no_fill_before_submit() -> Formula:
+    """Future form of the same audit rule, in the universal class."""
+    return parse("forall x . G !(Fill(x) & ((!Sub(x)) U Sub(x)))")
+
+
+def standard_constraints() -> dict[str, Formula]:
+    """The constraint set used by the order experiments."""
+    return {
+        "submit_once": submit_once(),
+        "fifo_fill": fifo_fill(),
+        "fill_once": fill_once(),
+    }
+
+
+@dataclass(frozen=True)
+class OrderWorkloadConfig:
+    """Parameters of the order event generator.
+
+    Attributes
+    ----------
+    length:
+        Number of time instants to generate.
+    arrival_probability:
+        Chance a new order is submitted at each instant.
+    fill_delay:
+        Mean instants between submission and fill (geometric-ish).
+    duplicate_submit_at:
+        If set, inject a duplicate submission of an existing order at this
+        instant (violates ``submit_once``).
+    out_of_order_at:
+        If set, at this instant fill the *youngest* open order instead of
+        the oldest (violates ``fifo_fill`` when at least two are open).
+    seed:
+        RNG seed (generation is deterministic given the config).
+    """
+
+    length: int = 50
+    arrival_probability: float = 0.5
+    fill_delay: int = 3
+    duplicate_submit_at: int | None = None
+    out_of_order_at: int | None = None
+    seed: int = 0
+
+
+@dataclass
+class OrderTrace:
+    """A generated order trace: per-instant facts plus bookkeeping."""
+
+    facts_per_instant: list[list[Fact]] = field(default_factory=list)
+    submitted: list[tuple[int, int]] = field(default_factory=list)  # (t, id)
+    filled: list[tuple[int, int]] = field(default_factory=list)
+
+    def history(self) -> History:
+        """Materialize the trace as a history over the order vocabulary."""
+        return History.from_facts(ORDER_VOCABULARY, self.facts_per_instant)
+
+    def states(self) -> list[DatabaseState]:
+        """The per-instant states (for feeding a monitor one by one)."""
+        return [
+            DatabaseState.from_facts(ORDER_VOCABULARY, facts)
+            for facts in self.facts_per_instant
+        ]
+
+
+def generate_orders(config: OrderWorkloadConfig) -> OrderTrace:
+    """Generate an order trace per the config.
+
+    FIFO discipline is respected (oldest open order fills first) except at
+    the configured injection points, so the standard constraints hold
+    exactly until an injected violation.
+
+    >>> trace = generate_orders(OrderWorkloadConfig(length=10, seed=1))
+    >>> len(trace.facts_per_instant)
+    10
+    """
+    rng = random.Random(config.seed)
+    trace = OrderTrace()
+    open_orders: list[int] = []  # FIFO queue of submitted, unfilled ids
+    ever_submitted: list[int] = []
+    next_id = 1
+    for instant in range(config.length):
+        facts: list[Fact] = []
+        if instant == config.duplicate_submit_at and ever_submitted:
+            victim = rng.choice(ever_submitted)
+            facts.append(("Sub", (victim,)))
+        elif rng.random() < config.arrival_probability:
+            facts.append(("Sub", (next_id,)))
+            open_orders.append(next_id)
+            ever_submitted.append(next_id)
+            next_id += 1
+        fill_now = open_orders and rng.random() < 1.0 / max(
+            1, config.fill_delay
+        )
+        if instant == config.out_of_order_at and len(open_orders) >= 2:
+            order = open_orders.pop()  # youngest: violates FIFO
+            facts.append(("Fill", (order,)))
+            trace.filled.append((instant, order))
+        elif fill_now:
+            order = open_orders.pop(0)  # oldest: respects FIFO
+            facts.append(("Fill", (order,)))
+            trace.filled.append((instant, order))
+        for pred, args in facts:
+            if pred == "Sub":
+                trace.submitted.append((instant, args[0]))
+        trace.facts_per_instant.append(facts)
+    return trace
+
+
+def clean_trace(length: int, seed: int = 0) -> OrderTrace:
+    """A violation-free trace of the given length."""
+    return generate_orders(OrderWorkloadConfig(length=length, seed=seed))
+
+
+def trace_with_duplicate(
+    length: int, violate_at: int, seed: int = 0
+) -> OrderTrace:
+    """A trace with a duplicate submission injected at ``violate_at``."""
+    return generate_orders(
+        OrderWorkloadConfig(
+            length=length, duplicate_submit_at=violate_at, seed=seed
+        )
+    )
+
+
+def trace_with_out_of_order_fill(
+    length: int, violate_at: int, seed: int = 0
+) -> OrderTrace:
+    """A trace with a FIFO violation injected at ``violate_at``.
+
+    The injection only takes effect if at least two orders are open at that
+    instant; callers can check ``trace.filled`` to confirm.
+    """
+    return generate_orders(
+        OrderWorkloadConfig(
+            length=length, out_of_order_at=violate_at, seed=seed
+        )
+    )

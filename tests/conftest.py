@@ -1,0 +1,126 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.database import History, vocabulary
+from repro.logic import parse
+
+# ---------------------------------------------------------------------------
+# Fixtures: the order domain (the paper's running example)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def order_vocabulary():
+    return vocabulary({"Sub": 1, "Fill": 1})
+
+
+@pytest.fixture
+def submit_once():
+    """The paper's first example constraint."""
+    return parse("forall x . G (Sub(x) -> X G !Sub(x))")
+
+
+@pytest.fixture
+def fifo_fill():
+    """The paper's second example constraint."""
+    return parse(
+        "forall x y . G !(x != y & Sub(x) & ((!Fill(x)) U "
+        "(Sub(y) & ((!Fill(x)) U (Fill(y) & !Fill(x))))))"
+    )
+
+
+@pytest.fixture
+def clean_history(order_vocabulary):
+    """Orders 1 and 2 submitted then filled in FIFO order."""
+    return History.from_facts(
+        order_vocabulary,
+        [
+            [("Sub", (1,))],
+            [("Sub", (2,))],
+            [("Fill", (1,))],
+            [("Fill", (2,))],
+        ],
+    )
+
+
+@pytest.fixture
+def duplicate_history(order_vocabulary):
+    """Order 1 submitted twice — violates submit_once."""
+    return History.from_facts(
+        order_vocabulary,
+        [[("Sub", (1,))], [], [("Sub", (1,))]],
+    )
+
+
+@pytest.fixture
+def out_of_order_history(order_vocabulary):
+    """Order 2 filled before order 1 — violates fifo_fill."""
+    return History.from_facts(
+        order_vocabulary,
+        [[("Sub", (1,))], [("Sub", (2,))], [("Fill", (2,))]],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies
+# ---------------------------------------------------------------------------
+
+
+def ptl_formulas(max_props: int = 3, max_depth: int = 4):
+    """Random PTL formulas over p0..p{max_props-1}."""
+    from repro.ptl import (
+        palways,
+        pand,
+        peventually,
+        pnext,
+        pnot,
+        por,
+        prelease,
+        prop,
+        puntil,
+        pweak_until,
+    )
+
+    atoms = st.sampled_from([prop(f"p{i}") for i in range(max_props)])
+
+    def extend(children):
+        unary = st.one_of(
+            children.map(pnot),
+            children.map(pnext),
+            children.map(palways),
+            children.map(peventually),
+        )
+        binary = st.one_of(
+            st.tuples(children, children).map(lambda p: pand(*p)),
+            st.tuples(children, children).map(lambda p: por(*p)),
+            st.tuples(children, children).map(lambda p: puntil(*p)),
+            st.tuples(children, children).map(lambda p: prelease(*p)),
+            st.tuples(children, children).map(lambda p: pweak_until(*p)),
+        )
+        return st.one_of(unary, binary)
+
+    return st.recursive(atoms, extend, max_leaves=max_depth + 2)
+
+
+def prop_states(max_props: int = 3):
+    """Random propositional states over p0..p{max_props-1}."""
+    from repro.ptl import prop
+
+    props = [prop(f"p{i}") for i in range(max_props)]
+    return st.frozensets(st.sampled_from(props))
+
+
+def lasso_models(max_props: int = 3, max_len: int = 3):
+    """Random small lasso models."""
+    from repro.ptl import LassoModel
+
+    states = prop_states(max_props)
+    return st.builds(
+        LassoModel,
+        stem=st.lists(states, max_size=max_len).map(tuple),
+        loop=st.lists(states, min_size=1, max_size=max_len).map(tuple),
+    )

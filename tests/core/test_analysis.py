@@ -1,0 +1,87 @@
+"""Tests for constraint implication / equivalence analysis."""
+
+import pytest
+
+from repro.core.analysis import (
+    equivalent_universal,
+    implies_universal,
+    redundant_constraints,
+)
+from repro.errors import NotUniversalError
+from repro.logic import parse
+
+
+class TestImplication:
+    def test_stronger_implies_weaker(self):
+        stronger = parse("forall x . G !Sub(x)")
+        weaker = parse("forall x . G (Sub(x) -> X G !Sub(x))")
+        assert implies_universal(stronger, weaker).holds
+        assert not implies_universal(weaker, stronger).holds
+
+    def test_self_implication(self):
+        f = parse("forall x . G (Sub(x) -> X Fill(x))")
+        assert implies_universal(f, f).holds
+
+    def test_conjunct_implied(self):
+        both = parse("forall x . G (!Sub(x) & !Fill(x))")
+        one = parse("forall x . G !Fill(x)")
+        assert implies_universal(both, one).holds
+        assert not implies_universal(one, both).holds
+
+    def test_incomparable(self):
+        a = parse("forall x . G !Sub(x)")
+        b = parse("forall x . G !Fill(x)")
+        assert not implies_universal(a, b).holds
+        assert not implies_universal(b, a).holds
+
+    def test_domain_size_reported(self):
+        a = parse("forall x y . G !(Sub(x) & Fill(y))")
+        b = parse("forall x . G !Sub(x)")
+        result = implies_universal(a, b, domain_size=2)
+        assert result.domain_size == 2
+
+    def test_default_domain_size_sums_quantifiers(self):
+        a = parse("forall x y . G !(Sub(x) & Fill(y))")
+        b = parse("forall x . G !Sub(x)")
+        assert implies_universal(a, b).domain_size == 3
+
+    def test_rejects_non_universal(self):
+        with pytest.raises(NotUniversalError):
+            implies_universal(
+                parse("forall x . G (exists y . Sub(y))"),
+                parse("forall x . G !Sub(x)"),
+            )
+
+
+class TestEquivalence:
+    def test_rewritten_forms(self):
+        a = parse("forall x . G (Sub(x) -> X G !Sub(x))")
+        b = parse("forall x . G !(Sub(x) & X (F Sub(x)))")
+        assert equivalent_universal(a, b).holds
+
+    def test_weak_until_expansion(self):
+        a = parse("forall x . (!Fill(x)) W Sub(x)")
+        b = parse(
+            "forall x . ((!Fill(x)) U Sub(x)) | G !Fill(x)"
+        )
+        # b is not syntactically safe but is universal; analysis only
+        # needs universality.
+        assert equivalent_universal(a, b).holds
+
+    def test_non_equivalent(self):
+        a = parse("forall x . G (Sub(x) -> X Fill(x))")
+        b = parse("forall x . G (Sub(x) -> X X Fill(x))")
+        assert not equivalent_universal(a, b).holds
+
+
+class TestRedundancy:
+    def test_detects_subsumption(self):
+        constraints = {
+            "never": parse("forall x . G !Sub(x)"),
+            "once": parse("forall x . G (Sub(x) -> X G !Sub(x))"),
+            "fills": parse("forall x . G !Fill(x)"),
+        }
+        pairs = redundant_constraints(constraints)
+        assert ("once", "never") in pairs
+        assert ("never", "once") not in pairs
+        assert all("fills" not in pair for pair in pairs)

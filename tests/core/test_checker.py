@@ -1,0 +1,158 @@
+"""Tests for the potential-satisfaction checker (the paper's Theorem 4.2
+procedure, end to end)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import certify, check_extension, potentially_satisfied
+from repro.database import History, vocabulary
+from repro.errors import NotSafetyError, NotUniversalError
+from repro.eval import evaluate_lasso_db
+from repro.logic import parse
+
+V = vocabulary({"Sub": 1, "Fill": 1})
+
+
+class TestPaperExamples:
+    def test_submit_once_clean(self, submit_once, clean_history):
+        assert potentially_satisfied(submit_once, clean_history)
+
+    def test_submit_once_violated(self, submit_once, duplicate_history):
+        assert not potentially_satisfied(submit_once, duplicate_history)
+
+    def test_fifo_clean(self, fifo_fill, clean_history):
+        assert potentially_satisfied(fifo_fill, clean_history)
+
+    def test_fifo_violated(self, fifo_fill, out_of_order_history):
+        assert not potentially_satisfied(fifo_fill, out_of_order_history)
+
+    def test_fifo_pending_is_fine(self, fifo_fill, order_vocabulary):
+        # Sub 1, Sub 2, Fill not yet: order can still be respected.
+        h = History.from_facts(
+            order_vocabulary, [[("Sub", (1,))], [("Sub", (2,))]]
+        )
+        assert potentially_satisfied(fifo_fill, h)
+
+    def test_earliest_detection(self, submit_once, order_vocabulary):
+        # The violation becomes irrecoverable exactly at the duplicate.
+        states = [[("Sub", (1,))], [], [("Sub", (1,))], []]
+        for length in range(1, 5):
+            h = History.from_facts(order_vocabulary, states[:length])
+            expected = length < 3
+            assert potentially_satisfied(submit_once, h) is expected
+
+
+class TestFragmentEnforcement:
+    def test_internal_quantifier_rejected(self):
+        h = History.from_facts(V, [[]])
+        with pytest.raises(NotUniversalError):
+            check_extension(
+                parse("forall x . G (exists y . Sub(y))"), h
+            )
+
+    def test_non_safety_rejected(self):
+        h = History.from_facts(V, [[]])
+        with pytest.raises(NotSafetyError):
+            check_extension(parse("forall x . F Sub(x)"), h)
+
+    def test_assume_safety_overrides(self):
+        h = History.from_facts(V, [[]])
+        result = check_extension(
+            parse("forall x . F Sub(x)"), h, assume_safety=True
+        )
+        # The call goes through (its answer is unreliable by design for
+        # genuinely non-safety formulas; see examples/safety_analysis.py).
+        assert result.remainder is not None
+
+
+class TestWitnesses:
+    def test_certified_witness(self, submit_once, clean_history):
+        result = check_extension(
+            submit_once, clean_history, want_witness=True
+        )
+        assert result.potentially_satisfied
+        assert certify(result, submit_once)
+
+    def test_witness_extends_history(self, submit_once, clean_history):
+        result = check_extension(
+            submit_once, clean_history, want_witness=True
+        )
+        prefix = result.witness.prefix(len(clean_history))
+        assert tuple(prefix.states) == tuple(clean_history.states)
+
+    def test_no_witness_on_violation(self, submit_once, duplicate_history):
+        result = check_extension(
+            submit_once, duplicate_history, want_witness=True
+        )
+        assert result.witness is None
+
+    def test_certify_requires_witness(self, submit_once, clean_history):
+        result = check_extension(submit_once, clean_history)
+        with pytest.raises(ValueError):
+            certify(result, submit_once)
+
+    def test_fifo_witness_satisfies_original_fotl(
+        self, fifo_fill, order_vocabulary
+    ):
+        h = History.from_facts(
+            order_vocabulary, [[("Sub", (1,))], [("Sub", (2,))]]
+        )
+        result = check_extension(fifo_fill, h, want_witness=True)
+        assert result.potentially_satisfied
+        assert evaluate_lasso_db(fifo_fill, result.witness)
+
+
+class TestModes:
+    @pytest.mark.parametrize("method", ["buchi", "tableau"])
+    def test_methods_agree(self, submit_once, duplicate_history, method):
+        assert not potentially_satisfied(
+            submit_once, duplicate_history, method=method
+        )
+
+    def test_quick_agrees_with_full(self, submit_once, clean_history):
+        fast = check_extension(submit_once, clean_history, quick=True)
+        slow = check_extension(submit_once, clean_history, quick=False)
+        assert fast.potentially_satisfied == slow.potentially_satisfied
+
+    @pytest.mark.slow
+    def test_literal_mode_agrees_small(self):
+        v = vocabulary({"Sub": 1})
+        once = parse("forall x . G (Sub(x) -> X G !Sub(x))")
+        good = History.from_facts(v, [[("Sub", (1,))], []])
+        bad = History.from_facts(v, [[("Sub", (1,))], [("Sub", (1,))]])
+        assert check_extension(once, good, fold=False).potentially_satisfied
+        assert not check_extension(
+            once, bad, fold=False
+        ).potentially_satisfied
+
+
+class TestRandomizedCertification:
+    """Property: whatever the history, a positive answer certifies and a
+    negative answer is confirmed by the all-false extension failing."""
+
+    @given(
+        data=st.lists(
+            st.lists(
+                st.tuples(
+                    st.sampled_from(["Sub", "Fill"]),
+                    st.tuples(st.integers(0, 2)),
+                ),
+                max_size=2,
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        seed=st.integers(0, 30),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_positive_answers_certify(self, data, seed):
+        from repro.workloads import ConstraintConfig, random_universal_constraint
+
+        constraint = random_universal_constraint(
+            V, ConstraintConfig(quantifiers=1, size=4, seed=seed)
+        )
+        history = History.from_facts(V, data)
+        result = check_extension(constraint, history, want_witness=True)
+        if result.potentially_satisfied:
+            assert certify(result, constraint)

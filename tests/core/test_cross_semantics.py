@@ -1,0 +1,100 @@
+"""Cross-layer semantic consistency: the Theorem 4.1 translation preserves
+truth, not just satisfiability.
+
+For a universal constraint ``phi`` and a lasso database whose active domain
+is covered by the grounding, the first-order evaluator's verdict on the
+database must equal the propositional evaluator's verdict of ``phi_D`` on
+the translated propositional lasso.  This is the semantic heart of
+Theorem 4.1, checked directly (the checker tests only exercise the
+satisfiability consequence).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reduction import reduce_universal, state_to_props
+from repro.database import History, LassoDatabase, vocabulary
+from repro.eval import evaluate_lasso_db
+from repro.logic import parse
+from repro.logic.classify import require_universal
+from repro.ptl import LassoModel, evaluate_lasso
+from repro.workloads import ConstraintConfig, random_universal_constraint
+
+V = vocabulary({"Sub": 1, "Fill": 1})
+
+CONSTRAINTS = [
+    "forall x . G (Sub(x) -> X G !Sub(x))",
+    "forall x . G !(Sub(x) & Fill(x))",
+    "forall x y . G ((Sub(x) & Sub(y)) -> x = y | X !Sub(x))",
+    "forall x . (!Fill(x)) W Sub(x)",
+]
+
+
+def _translate(db: LassoDatabase, reduction):
+    return LassoModel(
+        stem=tuple(
+            state_to_props(state, reduction.domain, fold=True)
+            for state in db.stem
+        ),
+        loop=tuple(
+            state_to_props(state, reduction.domain, fold=True)
+            for state in db.loop
+        ),
+    )
+
+
+def _lasso_from_facts(stem_facts, loop_facts):
+    stem = [
+        History.from_facts(V, [facts]).states[0] for facts in stem_facts
+    ]
+    loop = [
+        History.from_facts(V, [facts]).states[0] for facts in loop_facts
+    ]
+    return LassoDatabase(vocabulary=V, stem=tuple(stem), loop=tuple(loop))
+
+
+FACTS = st.lists(
+    st.tuples(
+        st.sampled_from(["Sub", "Fill"]), st.tuples(st.integers(0, 2))
+    ),
+    max_size=2,
+)
+
+
+class TestTranslationPreservesTruth:
+    @pytest.mark.parametrize("text", CONSTRAINTS)
+    def test_fixed_lassos(self, text):
+        constraint = parse(text)
+        info = require_universal(constraint)
+        db = _lasso_from_facts(
+            [[("Sub", (1,))], [("Fill", (1,))]],
+            [[("Sub", (2,))], [("Fill", (2,))]],
+        )
+        reduction = reduce_universal(db.prefix(4), info)
+        fotl_truth = evaluate_lasso_db(constraint, db)
+        ptl_truth = evaluate_lasso(
+            reduction.formula, _translate(db, reduction), 0
+        )
+        assert fotl_truth == ptl_truth
+
+    @given(
+        stem=st.lists(FACTS, max_size=2),
+        loop=st.lists(FACTS, min_size=1, max_size=2),
+        seed=st.integers(0, 20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_lassos_and_constraints(self, stem, loop, seed):
+        constraint = random_universal_constraint(
+            V, ConstraintConfig(quantifiers=1, size=4, seed=seed)
+        )
+        info = require_universal(constraint)
+        db = _lasso_from_facts(stem or [[]], loop)
+        # Ground over the lasso's full content (its prefix of quotient
+        # length covers every element).
+        reduction = reduce_universal(db.prefix(db.positions()), info)
+        fotl_truth = evaluate_lasso_db(constraint, db)
+        ptl_truth = evaluate_lasso(
+            reduction.formula, _translate(db, reduction), 0
+        )
+        assert fotl_truth == ptl_truth

@@ -1,0 +1,168 @@
+"""Tests for the grounding machinery (Theorem 4.1's letters and folding)."""
+
+import pytest
+
+from repro.core.grounding import (
+    Anon,
+    EqAtom,
+    GroundContext,
+    RelAtom,
+    build_axioms,
+    decide_equality,
+    eq_prop,
+    ground,
+    rel_prop,
+)
+from repro.errors import ClassificationError, SchemaError
+from repro.logic import parse, var
+from repro.logic.transform import strip_universal_prefix
+from repro.ptl import PFALSE, PTRUE, PAlways, Prop, evaluate_lasso, LassoModel
+
+x, y = var("x"), var("y")
+
+
+def matrix_of(text):
+    _prefix, matrix = strip_universal_prefix(parse(text))
+    return matrix
+
+
+class TestElements:
+    def test_anon_ordering_and_str(self):
+        assert Anon(1) != Anon(2)
+        assert str(Anon(2)) == "z2"
+
+    def test_decide_equality(self):
+        assert decide_equality(3, 3)
+        assert not decide_equality(3, 4)
+        assert not decide_equality(3, Anon(1))
+        assert decide_equality(Anon(1), Anon(1))
+        assert not decide_equality(Anon(1), Anon(2))
+
+    def test_rel_atom_concrete(self):
+        assert RelAtom("p", (1, 2)).is_concrete()
+        assert not RelAtom("p", (1, Anon(1))).is_concrete()
+
+    def test_atom_strings(self):
+        assert str(RelAtom("p", (1, Anon(2)))) == "p(1,z2)"
+        assert str(EqAtom(1, Anon(1))) == "(1=z1)"
+
+
+class TestFoldedGrounding:
+    CONTEXT = GroundContext(constant_bindings={}, fold=True)
+
+    def test_atom_over_concrete_elements(self):
+        m = matrix_of("forall x . G Sub(x)")
+        g = ground(m, {x: 1}, self.CONTEXT)
+        assert isinstance(g, PAlways)
+        assert g.body == Prop(RelAtom("Sub", (1,)))
+
+    def test_atom_with_anonymous_folds_false(self):
+        m = matrix_of("forall x . Sub(x)")
+        assert ground(m, {x: Anon(1)}, self.CONTEXT) == PFALSE
+
+    def test_equality_folds(self):
+        m = matrix_of("forall x y . x = y")
+        assert ground(m, {x: 1, y: 1}, self.CONTEXT) == PTRUE
+        assert ground(m, {x: 1, y: 2}, self.CONTEXT) == PFALSE
+        assert ground(m, {x: Anon(1), y: 1}, self.CONTEXT) == PFALSE
+        assert ground(m, {x: Anon(1), y: Anon(1)}, self.CONTEXT) == PTRUE
+
+    def test_whole_instance_can_fold_to_true(self):
+        # G !(Sub(z1) & ...) folds to true: Sub(z1) is false.
+        m = matrix_of("forall x . G !(Sub(x))")
+        assert ground(m, {x: Anon(1)}, self.CONTEXT) == PTRUE
+
+    def test_constant_resolution(self):
+        context = GroundContext(constant_bindings={"Vip": 7}, fold=True)
+        m = matrix_of("forall x . Sub(Vip)")
+        g = ground(m, {x: 1}, context)
+        assert g == Prop(RelAtom("Sub", (7,)))
+
+    def test_unbound_constant_raises(self):
+        m = matrix_of("forall x . Sub(Vip)")
+        with pytest.raises(SchemaError):
+            ground(m, {x: 1}, self.CONTEXT)
+
+    def test_unassigned_variable_raises(self):
+        m = matrix_of("forall x y . Sub(x) & Sub(y)")
+        with pytest.raises(ClassificationError):
+            ground(m, {x: 1}, self.CONTEXT)
+
+    def test_internal_quantifier_raises(self):
+        m = matrix_of("forall x . G (exists y . q(x, y))")
+        with pytest.raises(ClassificationError):
+            ground(m, {x: 1}, self.CONTEXT)
+
+
+class TestLiteralGrounding:
+    CONTEXT = GroundContext(constant_bindings={}, fold=False)
+
+    def test_equality_stays_symbolic(self):
+        m = matrix_of("forall x y . x = y")
+        g = ground(m, {x: 1, y: 2}, self.CONTEXT)
+        assert g == Prop(EqAtom(1, 2))
+
+    def test_anonymous_atom_stays(self):
+        m = matrix_of("forall x . Sub(x)")
+        g = ground(m, {x: Anon(1)}, self.CONTEXT)
+        assert g == Prop(RelAtom("Sub", (Anon(1),)))
+
+    def test_axioms_fix_equality_letters(self):
+        axioms = build_axioms((1, 2, Anon(1)), {"Sub": 1}, {})
+        # In any model of the axioms, (1=1) holds and (1=2) fails; check on
+        # the intended model directly.
+        intended = frozenset(
+            {eq_prop(1, 1), eq_prop(2, 2), eq_prop(Anon(1), Anon(1))}
+        )
+        model = LassoModel(stem=(), loop=(intended,))
+        assert evaluate_lasso(axioms, model, 0)
+        # A model claiming 1=2 violates the axioms.
+        wrong = LassoModel(
+            stem=(), loop=(intended | {eq_prop(1, 2), eq_prop(2, 1)},)
+        )
+        assert not evaluate_lasso(axioms, wrong, 0)
+
+    def test_axioms_forbid_facts_on_anonymous(self):
+        axioms = build_axioms((1, Anon(1)), {"Sub": 1}, {})
+        identity = frozenset(
+            {eq_prop(1, 1), eq_prop(Anon(1), Anon(1))}
+        )
+        bad = LassoModel(
+            stem=(),
+            loop=(identity | {rel_prop("Sub", (Anon(1),))},),
+        )
+        assert not evaluate_lasso(axioms, bad, 0)
+
+    def test_axioms_fix_every_equality_letter(self):
+        # Like the paper's Axiom_D, the axioms pin the full equality
+        # structure: no model can merge two concrete elements, whatever
+        # facts it adds (congruence never fires because distinctness
+        # already excludes the merge).
+        axioms = build_axioms((1, 2), {"Sub": 1}, {})
+        merged = frozenset(
+            {
+                eq_prop(1, 1),
+                eq_prop(2, 2),
+                eq_prop(1, 2),
+                eq_prop(2, 1),
+                rel_prop("Sub", (1,)),
+                rel_prop("Sub", (2,)),
+            }
+        )
+        assert not evaluate_lasso(
+            axioms, LassoModel(stem=(), loop=(merged,)), 0
+        )
+
+    def test_axioms_tolerate_arbitrary_concrete_facts(self):
+        axioms = build_axioms((1, 2), {"Sub": 1}, {})
+        intended = frozenset(
+            {
+                eq_prop(1, 1),
+                eq_prop(2, 2),
+                rel_prop("Sub", (1,)),
+                rel_prop("Sub", (2,)),
+            }
+        )
+        assert evaluate_lasso(
+            axioms, LassoModel(stem=(), loop=(intended,)), 0
+        )

@@ -1,0 +1,204 @@
+"""Tests for the online integrity monitor (strategies, stats, violations)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import IntegrityMonitor
+from repro.database import DatabaseState, History, Update, vocabulary
+from repro.errors import NotUniversalError
+from repro.logic import parse
+
+V = vocabulary({"Sub": 1, "Fill": 1})
+SUBMIT_ONCE = parse("forall x . G (Sub(x) -> X G !Sub(x))")
+
+
+def monitor_with(constraints, strategy="incremental", **kwargs):
+    return IntegrityMonitor(
+        constraints, History.empty(V), strategy=strategy, **kwargs
+    )
+
+
+class TestBasics:
+    def test_detects_duplicate(self, submit_once):
+        m = monitor_with({"once": submit_once})
+        m.apply(Update.insert(("Sub", (1,))))
+        report = m.apply(Update.insert(("Sub", (1,))))
+        # Update semantics: facts persist, so the duplicate appears at the
+        # second instant already (Sub(1) holds at t=1 and t=2).
+        assert not report.all_satisfied
+
+    def test_event_style_duplicate(self, submit_once):
+        m = monitor_with({"once": submit_once})
+        m.append_state(DatabaseState.from_facts(V, [("Sub", (1,))]))
+        m.append_state(DatabaseState.empty(V))
+        report = m.append_state(
+            DatabaseState.from_facts(V, [("Sub", (1,))])
+        )
+        assert report.new_violations == ("once",)
+        assert m.violations() == {"once": 3}
+
+    def test_clean_run(self, submit_once, fifo_fill):
+        m = monitor_with({"once": submit_once, "fifo": fifo_fill})
+        for facts in ([("Sub", (1,))], [("Sub", (2,))], [("Fill", (1,))],
+                      [("Fill", (2,))]):
+            report = m.append_state(DatabaseState.from_facts(V, facts))
+            assert report.all_satisfied
+        assert m.violations() == {}
+
+    def test_violation_is_sticky(self, submit_once):
+        m = monitor_with({"once": submit_once})
+        m.append_state(DatabaseState.from_facts(V, [("Sub", (1,))]))
+        m.append_state(DatabaseState.from_facts(V, [("Sub", (1,))]))
+        report = m.append_state(DatabaseState.empty(V))
+        assert not report.satisfied["once"]
+        assert report.new_violations == ()
+
+    def test_unnamed_constraints_get_names(self, submit_once):
+        m = monitor_with([submit_once])
+        assert m.is_satisfied("constraint_0")
+
+    def test_unknown_name(self, submit_once):
+        m = monitor_with({"once": submit_once})
+        with pytest.raises(KeyError):
+            m.is_satisfied("nope")
+
+    def test_fragment_enforced_at_construction(self):
+        with pytest.raises(NotUniversalError):
+            monitor_with({"bad": parse("forall x . G (exists y . Sub(y))")})
+
+    def test_invalid_strategy(self, submit_once):
+        with pytest.raises(ValueError):
+            monitor_with({"once": submit_once}, strategy="telepathy")
+
+    def test_spare_requires_folding(self, submit_once):
+        with pytest.raises(ValueError):
+            monitor_with({"once": submit_once}, strategy="spare", fold=False)
+
+    def test_history_property_grows(self, submit_once):
+        m = monitor_with({"once": submit_once})
+        assert m.now == 0
+        m.apply(Update.insert(("Sub", (1,))))
+        assert m.now == 1
+        assert len(m.history) == 2
+
+
+class TestStrategies:
+    TRACES = [
+        # (name, list of per-instant fact lists)
+        ("clean", [[("Sub", (1,))], [("Sub", (2,))], [("Fill", (1,))]]),
+        ("dup", [[("Sub", (1,))], [], [("Sub", (1,))]]),
+        ("fifo_break", [[("Sub", (1,))], [("Sub", (2,))], [("Fill", (2,))]]),
+        ("quiet", [[], [], []]),
+    ]
+
+    @pytest.mark.parametrize("trace_name,trace", TRACES)
+    def test_all_strategies_agree(
+        self, submit_once, fifo_fill, trace_name, trace
+    ):
+        outcomes = {}
+        for strategy in ("scratch", "incremental", "spare"):
+            m = monitor_with(
+                {"once": submit_once, "fifo": fifo_fill},
+                strategy=strategy,
+            )
+            for facts in trace:
+                m.append_state(DatabaseState.from_facts(V, facts))
+            outcomes[strategy] = m.violations()
+        assert outcomes["scratch"] == outcomes["incremental"]
+        assert outcomes["scratch"] == outcomes["spare"]
+
+    def test_incremental_regrounds_only_on_new_elements(self, submit_once):
+        m = monitor_with({"once": submit_once}, strategy="incremental")
+        m.append_state(DatabaseState.from_facts(V, [("Sub", (1,))]))
+        after_first = m.stats()["once"].regrounds
+        # Same element again: no reground needed.
+        m.append_state(DatabaseState.from_facts(V, [("Fill", (1,))]))
+        assert m.stats()["once"].regrounds == after_first
+        # Fresh element: reground.
+        m.append_state(DatabaseState.from_facts(V, [("Sub", (9,))]))
+        assert m.stats()["once"].regrounds == after_first + 1
+
+    def test_scratch_regrounds_every_update(self, submit_once):
+        m = monitor_with({"once": submit_once}, strategy="scratch")
+        base = m.stats()["once"].regrounds
+        for _ in range(3):
+            m.append_state(DatabaseState.empty(V))
+        assert m.stats()["once"].regrounds == base + 3
+
+    def test_spare_avoids_regrounds(self, submit_once):
+        m = monitor_with({"once": submit_once}, strategy="spare", spare=8)
+        base = m.stats()["once"].regrounds
+        for element in range(5):
+            m.append_state(
+                DatabaseState.from_facts(V, [("Sub", (element,))])
+            )
+        assert m.stats()["once"].regrounds == base
+        assert m.violations() == {}
+
+    def test_spare_pool_exhaustion_falls_back(self, submit_once):
+        m = monitor_with({"once": submit_once}, strategy="spare", spare=1)
+        base = m.stats()["once"].regrounds
+        for element in range(60, 64):
+            m.append_state(
+                DatabaseState.from_facts(V, [("Sub", (element,))])
+            )
+        # Pool of 1 cannot absorb 4 fresh elements: must have reground.
+        assert m.stats()["once"].regrounds > base
+        assert m.violations() == {}
+
+    @given(
+        trace=st.lists(
+            st.lists(
+                st.tuples(
+                    st.sampled_from(["Sub", "Fill"]),
+                    st.tuples(st.integers(0, 2)),
+                ),
+                max_size=2,
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_strategies_agree_on_random_traces(self, trace):
+        outcomes = []
+        for strategy in ("scratch", "incremental", "spare"):
+            m = monitor_with({"once": SUBMIT_ONCE}, strategy=strategy)
+            for facts in trace:
+                m.append_state(DatabaseState.from_facts(V, facts))
+            outcomes.append(m.violations())
+        assert outcomes[0] == outcomes[1] == outcomes[2]
+
+
+class TestAgainstChecker:
+    """The monitor's verdicts coincide with from-scratch extension checks
+    at every instant."""
+
+    @given(
+        trace=st.lists(
+            st.lists(
+                st.tuples(
+                    st.sampled_from(["Sub"]),
+                    st.tuples(st.integers(0, 2)),
+                ),
+                max_size=2,
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_monitor_matches_checker(self, trace):
+        from repro.core import potentially_satisfied
+
+        m = monitor_with({"once": SUBMIT_ONCE})
+        states = [DatabaseState.empty(V)]
+        for facts in trace:
+            state = DatabaseState.from_facts(V, facts)
+            states.append(state)
+            report = m.append_state(state)
+            history = History(vocabulary=V, states=tuple(states))
+            assert report.satisfied["once"] == potentially_satisfied(
+                SUBMIT_ONCE, history
+            )

@@ -1,0 +1,102 @@
+"""Tests for finite-time temporal databases (histories)."""
+
+import pytest
+
+from repro.database import DatabaseState, History, Update, vocabulary
+from repro.errors import SchemaError, StateError
+
+V = vocabulary({"p": 1, "edge": 2}, constants=["c"])
+VPLAIN = vocabulary({"p": 1})
+
+
+class TestConstruction:
+    def test_from_facts(self):
+        h = History.from_facts(VPLAIN, [[("p", (1,))], []])
+        assert len(h) == 2
+        assert h[0].holds("p", (1,))
+        assert h.now == 1
+
+    def test_empty_history_rejected(self):
+        with pytest.raises(StateError):
+            History(vocabulary=VPLAIN, states=())
+
+    def test_constants_must_be_bound(self):
+        with pytest.raises(SchemaError, match="without interpretation"):
+            History.from_facts(V, [[]])
+
+    def test_undeclared_constant_rejected(self):
+        with pytest.raises(SchemaError, match="undeclared"):
+            History.from_facts(VPLAIN, [[]], {"nope": 1})
+
+    def test_constant_lookup(self):
+        h = History.from_facts(V, [[]], {"c": 7})
+        assert h.constant("c") == 7
+
+    def test_unbound_constant_lookup(self):
+        h = History.from_facts(VPLAIN, [[]])
+        with pytest.raises(SchemaError):
+            h.constant("c")
+
+
+class TestGrowth:
+    def test_extended(self):
+        h = History.empty(VPLAIN)
+        h2 = h.extended(DatabaseState.from_facts(VPLAIN, [("p", (1,))]))
+        assert len(h) == 1 and len(h2) == 2
+        assert h2.current.holds("p", (1,))
+
+    def test_updated_applies_delta(self):
+        h = History.from_facts(VPLAIN, [[("p", (1,))]])
+        h2 = h.updated(Update.insert(("p", (2,))))
+        assert h2.current.holds("p", (1,))  # persists
+        assert h2.current.holds("p", (2,))
+
+    def test_truncated(self):
+        h = History.from_facts(VPLAIN, [[("p", (1,))], [], []])
+        assert len(h.truncated(2)) == 2
+
+    def test_truncate_bounds(self):
+        h = History.empty(VPLAIN)
+        with pytest.raises(StateError):
+            h.truncated(0)
+        with pytest.raises(StateError):
+            h.truncated(5)
+
+
+class TestRelevantElements:
+    def test_includes_all_states_and_constants(self):
+        h = History.from_facts(
+            V, [[("p", (3,))], [("edge", (5, 6))]], {"c": 9}
+        )
+        assert h.relevant_elements() == {3, 5, 6, 9}
+
+    def test_active_domain_excludes_constants(self):
+        h = History.from_facts(V, [[("p", (3,))]], {"c": 9})
+        assert h.active_domain() == {3}
+
+    def test_fact_count(self):
+        h = History.from_facts(
+            VPLAIN, [[("p", (1,)), ("p", (2,))], [("p", (1,))]]
+        )
+        assert h.fact_count() == 3
+
+
+class TestRestrictionRenaming:
+    def test_restrict_requires_constants(self):
+        h = History.from_facts(V, [[("p", (3,))]], {"c": 9})
+        with pytest.raises(StateError, match="constant"):
+            h.restrict(frozenset({3}))
+
+    def test_restrict(self):
+        h = History.from_facts(
+            V, [[("p", (3,)), ("edge", (3, 4))]], {"c": 9}
+        )
+        r = h.restrict(frozenset({3, 9}))
+        assert r[0].holds("p", (3,))
+        assert not r[0].holds("edge", (3, 4))
+
+    def test_rename_remaps_constants_too(self):
+        h = History.from_facts(V, [[("p", (3,))]], {"c": 3})
+        r = h.rename({3: 30})
+        assert r.constant("c") == 30
+        assert r[0].holds("p", (30,))

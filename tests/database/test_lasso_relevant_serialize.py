@@ -1,0 +1,139 @@
+"""Tests for lasso databases, relevant-domain machinery, and serialization."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.database import (
+    History,
+    LassoDatabase,
+    canonical_form,
+    fresh_elements,
+    history_from_dict,
+    history_to_dict,
+    irrelevant_elements,
+    lasso_from_dict,
+    lasso_to_dict,
+    relevant_elements,
+    vocabulary,
+)
+from repro.errors import StateError
+
+V = vocabulary({"p": 1, "edge": 2})
+
+
+class TestLassoDatabase:
+    def test_state_at_wraps(self):
+        h = History.from_facts(V, [[("p", (1,))], [("p", (2,))]])
+        db = LassoDatabase(
+            vocabulary=V, stem=h.states[:1], loop=h.states[1:]
+        )
+        assert db.state_at(0).holds("p", (1,))
+        assert db.state_at(1).holds("p", (2,))
+        assert db.state_at(7).holds("p", (2,))
+
+    def test_empty_loop_rejected(self):
+        with pytest.raises(StateError):
+            LassoDatabase(vocabulary=V, stem=(), loop=())
+
+    def test_fold_and_successor(self):
+        h = History.from_facts(V, [[], [], []])
+        db = LassoDatabase(vocabulary=V, stem=h.states[:1], loop=h.states[1:])
+        assert db.fold(0) == 0
+        assert db.fold(5) in (1, 2)
+        assert db.successor_position(2) == 1  # wraps into the loop
+
+    def test_prefix_is_history(self):
+        h = History.from_facts(V, [[("p", (1,))]])
+        db = LassoDatabase.constant_extension(h)
+        prefix = db.prefix(4)
+        assert len(prefix) == 4
+        assert all(s.holds("p", (1,)) for s in prefix)
+
+    def test_relevant_elements(self):
+        h = History.from_facts(V, [[("edge", (1, 5))]])
+        db = LassoDatabase.constant_extension(h)
+        assert db.relevant_elements() == {1, 5}
+
+
+class TestRelevant:
+    def test_fresh_elements_disjoint_from_relevant(self):
+        h = History.from_facts(V, [[("p", (0,)), ("p", (2,))]])
+        fresh = fresh_elements(h, 3)
+        assert len(fresh) == 3
+        assert not (set(fresh) & h.relevant_elements())
+        assert fresh == (1, 3, 4)
+
+    def test_irrelevant_elements(self):
+        h = History.from_facts(V, [[("p", (1,))]])
+        assert list(irrelevant_elements(h, 4)) == [0, 2, 3]
+
+    def test_canonical_form_compacts(self):
+        h = History.from_facts(V, [[("edge", (10, 30))], [("p", (20,))]])
+        c = canonical_form(h)
+        assert c.relevant_elements() == {0, 1, 2}
+        assert c[0].holds("edge", (0, 2))
+        assert c[1].holds("p", (1,))
+
+    def test_canonical_form_idempotent(self):
+        h = History.from_facts(V, [[("p", (3,))]])
+        assert canonical_form(canonical_form(h)) == canonical_form(h)
+
+    def test_relevant_elements_function(self):
+        h = History.from_facts(V, [[("p", (4,))]])
+        assert relevant_elements(h) == {4}
+
+
+class TestSerialization:
+    def test_history_roundtrip(self):
+        h = History.from_facts(
+            vocabulary({"p": 1}, constants=["c"]),
+            [[("p", (1,))], []],
+            {"c": 5},
+        )
+        assert history_from_dict(history_to_dict(h)) == h
+
+    def test_dict_is_json_compatible(self):
+        h = History.from_facts(V, [[("edge", (1, 2))]])
+        text = json.dumps(history_to_dict(h))
+        assert history_from_dict(json.loads(text)) == h
+
+    def test_lasso_roundtrip(self):
+        h = History.from_facts(V, [[("p", (1,))], [("p", (2,))]])
+        db = LassoDatabase(vocabulary=V, stem=h.states[:1], loop=h.states[1:])
+        back = lasso_from_dict(lasso_to_dict(db))
+        assert back.stem == db.stem and back.loop == db.loop
+
+    def test_empty_serialized_history_rejected(self):
+        with pytest.raises(StateError):
+            history_from_dict(
+                {"vocabulary": {"predicates": {}}, "states": []}
+            )
+
+    @given(
+        data=st.lists(
+            st.lists(
+                st.tuples(
+                    st.sampled_from(["p"]),
+                    st.tuples(st.integers(0, 5)),
+                ),
+                max_size=4,
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_roundtrip(self, data):
+        h = History.from_facts(vocabulary({"p": 1}), data)
+        assert history_from_dict(history_to_dict(h)) == h
+
+    def test_file_roundtrip(self, tmp_path):
+        from repro.database import dump_history, load_history
+
+        h = History.from_facts(V, [[("p", (1,))]])
+        path = tmp_path / "history.json"
+        dump_history(h, str(path))
+        assert load_history(str(path)) == h

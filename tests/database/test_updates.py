@@ -1,0 +1,78 @@
+"""Tests for updates, update logs, and state diffs."""
+
+import pytest
+
+from repro.database import (
+    DatabaseState,
+    Update,
+    UpdateLog,
+    diff_states,
+    vocabulary,
+)
+from repro.errors import StateError
+
+V = vocabulary({"p": 1})
+
+
+def state(*facts):
+    return DatabaseState.from_facts(V, facts)
+
+
+class TestUpdate:
+    def test_insert_delete_apply(self):
+        s = state(("p", (1,)))
+        u = Update(
+            inserts=frozenset({("p", (2,))}),
+            deletes=frozenset({("p", (1,))}),
+        )
+        s2 = u.apply(s)
+        assert s2.holds("p", (2,)) and not s2.holds("p", (1,))
+
+    def test_conflicting_update_rejected(self):
+        with pytest.raises(StateError, match="inserts and deletes"):
+            Update(
+                inserts=frozenset({("p", (1,))}),
+                deletes=frozenset({("p", (1,))}),
+            )
+
+    def test_noop(self):
+        assert Update.noop().is_noop()
+        s = state(("p", (1,)))
+        assert Update.noop().apply(s) == s
+
+    def test_touched_elements(self):
+        u = Update.insert(("p", (3,))) | Update.delete(("p", (9,)))
+        assert u.touched_elements() == {3, 9}
+
+    def test_merge_operator(self):
+        u = Update.insert(("p", (1,))) | Update.insert(("p", (2,)))
+        assert len(u.inserts) == 2
+
+    def test_merge_conflict_raises(self):
+        with pytest.raises(StateError):
+            Update.insert(("p", (1,))) | Update.delete(("p", (1,)))
+
+
+class TestUpdateLog:
+    def test_replay(self):
+        log = UpdateLog(initial=state())
+        log.append(Update.insert(("p", (1,))))
+        log.append(Update.insert(("p", (2,))))
+        log.append(Update.delete(("p", (1,))))
+        states = log.replay()
+        assert len(states) == 4
+        assert states[-1].holds("p", (2,))
+        assert not states[-1].holds("p", (1,))
+        assert len(log) == 3
+
+
+class TestDiff:
+    def test_diff_roundtrip(self):
+        a = state(("p", (1,)), ("p", (2,)))
+        b = state(("p", (2,)), ("p", (3,)))
+        u = diff_states(a, b)
+        assert u.apply(a) == b
+
+    def test_diff_of_equal_states_is_noop(self):
+        a = state(("p", (1,)))
+        assert diff_states(a, a).is_noop()

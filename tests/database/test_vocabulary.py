@@ -1,0 +1,79 @@
+"""Tests for vocabularies and schema validation."""
+
+import pytest
+
+from repro.database import BUILTIN_PREDICATES, Vocabulary, vocabulary
+from repro.errors import SchemaError
+from repro.logic import parse
+
+
+class TestConstruction:
+    def test_basic(self):
+        v = vocabulary({"Sub": 1, "edge": 2}, constants=["vip"])
+        assert v.arity("Sub") == 1
+        assert v.arity("edge") == 2
+        assert "vip" in v.constant_symbols
+
+    def test_zero_arity_rejected(self):
+        with pytest.raises(SchemaError, match="arity"):
+            vocabulary({"p": 0})
+
+    def test_builtin_names_reserved(self):
+        for name in BUILTIN_PREDICATES:
+            with pytest.raises(SchemaError, match="reserved"):
+                vocabulary({name: 2})
+
+    def test_unknown_predicate(self):
+        v = vocabulary({"p": 1})
+        with pytest.raises(SchemaError, match="unknown"):
+            v.arity("q")
+
+
+class TestFactChecking:
+    def test_valid_fact(self):
+        vocabulary({"p": 2}).check_fact("p", (0, 5))
+
+    def test_wrong_arity(self):
+        with pytest.raises(SchemaError, match="arity"):
+            vocabulary({"p": 2}).check_fact("p", (1,))
+
+    def test_negative_element(self):
+        with pytest.raises(SchemaError, match="natural"):
+            vocabulary({"p": 1}).check_fact("p", (-3,))
+
+    def test_non_integer_element(self):
+        with pytest.raises(SchemaError):
+            vocabulary({"p": 1}).check_fact("p", ("a",))
+
+
+class TestDerived:
+    def test_max_arity(self):
+        assert vocabulary({"p": 1, "q": 3}).max_arity() == 3
+        assert Vocabulary().max_arity() == 1
+
+    def test_merge(self):
+        a = vocabulary({"p": 1})
+        b = vocabulary({"q": 2}, constants=["c"])
+        merged = a.merge(b)
+        assert merged.arity("p") == 1 and merged.arity("q") == 2
+        assert "c" in merged.constant_symbols
+
+    def test_merge_conflict(self):
+        with pytest.raises(SchemaError, match="arities"):
+            vocabulary({"p": 1}).merge(vocabulary({"p": 2}))
+
+    def test_from_formula(self):
+        f = parse("forall x . G (Sub(x) -> edge(x, Vip))")
+        v = Vocabulary.from_formula(f)
+        assert v.arity("Sub") == 1 and v.arity("edge") == 2
+        assert v.constant_symbols == {"Vip"}
+
+    def test_from_formula_skips_builtins(self):
+        f = parse("forall x y . succ(x, y) -> p(x)")
+        v = Vocabulary.from_formula(f)
+        assert not v.has_predicate("succ")
+        assert v.has_predicate("p")
+
+    def test_from_formula_arity_conflict(self):
+        with pytest.raises(SchemaError):
+            Vocabulary.from_formula(parse("p(x) & p(x, y)"))

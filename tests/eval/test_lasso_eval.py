@@ -1,0 +1,130 @@
+"""Tests for exact FOTL evaluation on lasso databases."""
+
+import pytest
+
+from repro.database import History, LassoDatabase, vocabulary
+from repro.errors import EvaluationError
+from repro.eval import evaluate_lasso_db, models
+from repro.logic import parse
+
+V = vocabulary({"Sub": 1, "Fill": 1})
+
+
+def db(stem_facts, loop_facts):
+    stem = History.from_facts(V, stem_facts) if stem_facts else None
+    loop = History.from_facts(V, loop_facts)
+    return LassoDatabase(
+        vocabulary=V,
+        stem=stem.states if stem else (),
+        loop=loop.states,
+    )
+
+
+class TestQuantifiersOnLassos:
+    def test_exists_in_loop(self):
+        d = db([[]], [[("Sub", (1,))]])
+        assert evaluate_lasso_db(parse("F (exists x . Sub(x))"), d)
+
+    def test_forall_with_fresh_element(self):
+        d = db([], [[("Sub", (1,))]])
+        # Not all elements are ever submitted (fresh elements never are).
+        assert not evaluate_lasso_db(parse("forall x . F Sub(x)"), d)
+
+    def test_negated_quantification(self):
+        d = db([], [[]])
+        assert evaluate_lasso_db(parse("G (forall x . !Sub(x))"), d)
+
+
+class TestPaperConstraintsOnLassos:
+    def test_submit_once_positive(self, submit_once):
+        d = db([[("Sub", (1,))], [("Sub", (2,))]], [[]])
+        assert models(d, submit_once)
+
+    def test_submit_once_negative(self, submit_once):
+        d = db([[("Sub", (1,))], [("Sub", (1,))]], [[]])
+        assert not models(d, submit_once)
+
+    def test_submit_once_loop_violation(self, submit_once):
+        # Submitting in the loop violates: the loop repeats forever.
+        d = db([], [[("Sub", (1,))]])
+        assert not models(d, submit_once)
+
+    def test_fifo_positive(self, fifo_fill):
+        d = db(
+            [[("Sub", (1,))], [("Sub", (2,))], [("Fill", (1,))],
+             [("Fill", (2,))]],
+            [[]],
+        )
+        assert models(d, fifo_fill)
+
+    def test_fifo_negative(self, fifo_fill):
+        d = db(
+            [[("Sub", (1,))], [("Sub", (2,))], [("Fill", (2,))]],
+            [[]],
+        )
+        assert not models(d, fifo_fill)
+
+
+class TestRestrictions:
+    def test_past_rejected(self):
+        d = db([], [[]])
+        with pytest.raises(EvaluationError, match="past"):
+            evaluate_lasso_db(parse("G (exists x . O Sub(x))"), d)
+
+    def test_builtins_need_domain(self):
+        d = db([], [[("Sub", (0,))]])
+        with pytest.raises(EvaluationError, match="domain"):
+            evaluate_lasso_db(parse("exists x . Zero(x) & Sub(x)"), d)
+
+    def test_builtins_with_domain(self):
+        d = db([], [[("Sub", (0,))]])
+        assert evaluate_lasso_db(
+            parse("exists x . Zero(x) & F Sub(x)"),
+            d,
+            domain=frozenset(range(2)),
+        )
+
+
+class TestInstants:
+    def test_evaluation_at_later_instant(self):
+        d = db([[("Sub", (1,))]], [[]])
+        f = parse("exists x . Sub(x)")
+        assert evaluate_lasso_db(f, d, instant=0)
+        assert not evaluate_lasso_db(f, d, instant=1)
+        assert not evaluate_lasso_db(f, d, instant=100)
+
+    def test_negative_instant_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_lasso_db(parse("true"), db([], [[]]), instant=-1)
+
+
+class TestAgainstFinitePrefix:
+    """Lasso truth of past-free formulas is bracketed by strong/weak
+    truncated evaluation on prefixes."""
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "G (exists x . Sub(x) -> X (exists y . Fill(y)))",
+            "F (exists x . Fill(x))",
+            "forall x . G (Sub(x) -> X G !Sub(x))",
+            "exists x . Sub(x) U Fill(x)",
+        ],
+    )
+    @pytest.mark.parametrize("prefix_len", [1, 3, 6])
+    def test_bracket(self, text, prefix_len):
+        from repro.eval import evaluate_finite
+
+        f = parse(text)
+        d = db(
+            [[("Sub", (1,))], [("Fill", (1,))]],
+            [[("Sub", (2,))], [("Fill", (2,))]],
+        )
+        truth = evaluate_lasso_db(f, d)
+        prefix = d.prefix(prefix_len)
+        strong = evaluate_finite(f, prefix, future="strong")
+        weak = evaluate_finite(f, prefix, future="weak")
+        if strong:
+            assert truth
+        if truth:
+            assert weak

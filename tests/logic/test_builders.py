@@ -1,0 +1,131 @@
+"""Tests for the smart constructors (repro.logic.builders)."""
+
+import pytest
+
+from repro.logic import (
+    FALSE,
+    TRUE,
+    And,
+    Always,
+    Atom,
+    Constant,
+    Eventually,
+    Forall,
+    Not,
+    Or,
+    Variable,
+    and_,
+    atom,
+    conj,
+    disj,
+    eq,
+    eventually,
+    forall,
+    iff,
+    implies,
+    neq,
+    not_,
+    or_,
+    var,
+)
+from repro.logic.builders import _as_term
+
+x, y = var("x"), var("y")
+p, q, r = atom("p"), atom("q"), atom("r")
+
+
+class TestTermCoercion:
+    def test_lowercase_string_is_variable(self):
+        assert _as_term("order") == Variable("order")
+
+    def test_capitalized_string_is_constant(self):
+        assert _as_term("Vip") == Constant("Vip")
+
+    def test_underscore_is_variable(self):
+        assert _as_term("_x") == Variable("_x")
+
+    def test_int_becomes_named_constant(self):
+        assert _as_term(5) == Constant("n5")
+
+    def test_negative_int_rejected(self):
+        with pytest.raises(ValueError):
+            _as_term(-1)
+
+    def test_term_passthrough(self):
+        assert _as_term(x) is x
+
+
+class TestNot:
+    def test_double_negation_cancels(self):
+        assert not_(not_(p)) == p
+
+    def test_constants_fold(self):
+        assert not_(TRUE) == FALSE
+        assert not_(FALSE) == TRUE
+
+    def test_plain_negation(self):
+        assert not_(p) == Not(p)
+
+
+class TestAndOr:
+    def test_and_flattens(self):
+        f = and_(and_(p, q), r)
+        assert isinstance(f, And)
+        assert f.operands == (p, q, r)
+
+    def test_and_drops_true(self):
+        assert and_(p, TRUE, q) == and_(p, q)
+
+    def test_and_short_circuits_false(self):
+        assert and_(p, FALSE, q) == FALSE
+
+    def test_and_empty_is_true(self):
+        assert and_() == TRUE
+
+    def test_and_single_passthrough(self):
+        assert and_(p) == p
+
+    def test_or_flattens_and_folds(self):
+        assert or_(or_(p, q), FALSE) == or_(p, q)
+        assert or_(p, TRUE) == TRUE
+        assert or_() == FALSE
+
+    def test_conj_disj_iterables(self):
+        assert conj([p, q]) == and_(p, q)
+        assert disj([p, q]) == or_(p, q)
+
+
+class TestImplies:
+    def test_true_antecedent(self):
+        assert implies(TRUE, p) == p
+
+    def test_false_antecedent(self):
+        assert implies(FALSE, p) == TRUE
+
+    def test_false_consequent_negates(self):
+        assert implies(p, FALSE) == Not(p)
+
+    def test_true_consequent(self):
+        assert implies(p, TRUE) == TRUE
+
+
+class TestQuantifiers:
+    def test_forall_multiple(self):
+        f = forall((x, y), p)
+        assert isinstance(f, Forall)
+        assert f.var == x
+        assert isinstance(f.body, Forall)
+        assert f.body.var == y
+
+    def test_forall_single_variable(self):
+        f = forall(x, p)
+        assert isinstance(f, Forall)
+
+
+class TestDerived:
+    def test_neq(self):
+        assert neq(x, y) == not_(eq(x, y))
+
+    def test_eventually_and_always_nodes(self):
+        assert isinstance(eventually(p), Eventually)
+        assert isinstance(iff(p, q).children, tuple)

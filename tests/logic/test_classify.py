@@ -1,0 +1,145 @@
+"""Tests for the formula taxonomy (repro.logic.classify)."""
+
+import pytest
+
+from repro.errors import NotUniversalError
+from repro.logic import (
+    classify,
+    is_future_formula,
+    is_past_formula,
+    is_pure_first_order,
+    is_quantifier_free,
+    parse,
+    quantifier_count,
+    require_universal,
+    sigma_pi_level,
+    uses_future,
+    uses_past,
+)
+from repro.logic.classify import fo_islands
+
+
+class TestTenseDirection:
+    def test_pure_first_order(self):
+        f = parse("forall x . p(x) -> q(x)")
+        assert is_pure_first_order(f)
+        assert is_future_formula(f) and is_past_formula(f)
+
+    def test_future_only(self):
+        f = parse("G (p -> X q)")
+        assert uses_future(f) and not uses_past(f)
+        assert is_future_formula(f) and not is_past_formula(f)
+
+    def test_past_only(self):
+        f = parse("H (p -> Y q)")
+        assert uses_past(f) and not uses_future(f)
+
+    def test_mixed(self):
+        f = parse("G (p -> O q)")
+        assert uses_past(f) and uses_future(f)
+
+
+class TestSigmaPi:
+    def test_quantifier_free_is_level_zero(self):
+        assert sigma_pi_level(parse("p(x) & !q(y)")) == (0, 0)
+
+    def test_single_existential_block(self):
+        sigma, pi = sigma_pi_level(parse("exists x y . p(x, y)"))
+        assert sigma == 1 and pi == 2
+
+    def test_single_universal_block(self):
+        sigma, pi = sigma_pi_level(parse("forall x . p(x)"))
+        assert pi == 1 and sigma == 2
+
+    def test_forall_exists_alternation(self):
+        sigma, pi = sigma_pi_level(parse("forall x . exists y . p(x, y)"))
+        assert pi == 2
+
+    def test_negation_flips(self):
+        sigma, pi = sigma_pi_level(parse("!(exists x . p(x))"))
+        assert pi == 1
+
+    def test_temporal_rejected(self):
+        with pytest.raises(ValueError):
+            sigma_pi_level(parse("G p"))
+
+
+class TestClassify:
+    def test_paper_example_one_universal(self, submit_once):
+        info = classify(submit_once)
+        assert info.is_biquantified
+        assert info.is_universal
+        assert info.internal_quantifiers == 0
+        assert len(info.external_universals) == 1
+
+    def test_paper_example_two_universal(self, fifo_fill):
+        info = classify(fifo_fill)
+        assert info.is_universal
+        assert len(info.external_universals) == 2
+
+    def test_internal_existential_is_sigma1(self):
+        f = parse("forall x . G (p(x) -> F (exists y . q(x, y)))")
+        info = classify(f)
+        assert info.is_biquantified
+        assert not info.is_universal
+        assert info.internal_quantifiers == 1
+        assert info.internal_sigma_level == 1
+
+    def test_internal_universal_also_level_one(self):
+        f = parse("forall x . G (forall y . q(x, y))")
+        info = classify(f)
+        assert info.is_biquantified
+        assert info.internal_sigma_level == 1
+
+    def test_quantifier_under_temporal_not_biquantified(self):
+        # The quantifier has a temporal operator in its scope.
+        f = parse("forall x . exists y . G q(x, y)")
+        info = classify(f)
+        assert not info.is_biquantified
+
+    def test_pure_fo_info(self):
+        info = classify(parse("forall x . p(x)"))
+        assert info.is_pure_first_order
+        assert info.is_universal
+
+    def test_fo_islands_are_maximal(self):
+        # The whole conjunction is temporal-free, hence a single island.
+        f = parse("G ((exists y . p(y)) & q(x))")
+        assert len(fo_islands(f)) == 1
+
+    def test_fo_islands_split_by_temporal(self):
+        f = parse("G ((exists y . p(y)) & X q(x))")
+        islands = fo_islands(f)
+        assert len(islands) == 2
+
+
+class TestRequireUniversal:
+    def test_accepts_universal(self, submit_once):
+        info = require_universal(submit_once)
+        assert info.is_universal
+
+    def test_rejects_open_formula(self):
+        with pytest.raises(NotUniversalError, match="sentence"):
+            require_universal(parse("G p(x)"))
+
+    def test_rejects_internal_quantifier(self):
+        with pytest.raises(NotUniversalError, match="internal"):
+            require_universal(parse("forall x . G (exists y . q(x, y))"))
+
+    def test_rejects_non_biquantified(self):
+        with pytest.raises(NotUniversalError, match="biquantified"):
+            require_universal(parse("exists y . G q(y)"))
+
+    def test_error_mentions_undecidability(self):
+        with pytest.raises(NotUniversalError, match="Pi\\^0_2"):
+            require_universal(parse("forall x . G (exists y . q(x, y))"))
+
+
+class TestQuantifierCount:
+    def test_counts_all(self):
+        assert quantifier_count(parse("forall x . exists y . p(x, y)")) == 2
+        assert quantifier_count(parse("p & q")) == 0
+
+    def test_quantifier_free(self):
+        assert is_quantifier_free(parse("p U q"))
+        assert not is_quantifier_free(parse("exists x . p(x)"))

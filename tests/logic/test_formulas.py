@@ -1,0 +1,127 @@
+"""Tests for the FOTL abstract syntax (repro.logic.formulas)."""
+
+import pytest
+
+from repro.logic import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    Eq,
+    Exists,
+    Forall,
+    Next,
+    Not,
+    Or,
+    Until,
+    atom,
+    eq,
+    exists,
+    forall,
+    next_,
+    not_,
+    until,
+    var,
+)
+
+x, y = var("x"), var("y")
+
+
+class TestConstruction:
+    def test_atom_requires_terms(self):
+        with pytest.raises(TypeError):
+            Atom("p", ("not a term",))
+
+    def test_atom_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Atom("", ())
+
+    def test_and_requires_two_operands(self):
+        with pytest.raises(ValueError):
+            And((atom("p"),))
+
+    def test_or_requires_two_operands(self):
+        with pytest.raises(ValueError):
+            Or((atom("p"),))
+
+    def test_eq_requires_terms(self):
+        with pytest.raises(TypeError):
+            Eq("x", "y")
+
+
+class TestStructure:
+    def test_children_of_binary(self):
+        f = until(atom("p"), atom("q"))
+        assert f.children == (atom("p"), atom("q"))
+
+    def test_walk_preorder(self):
+        f = Not(until(atom("p"), atom("q")))
+        kinds = [type(node).__name__ for node in f.walk()]
+        assert kinds == ["Not", "Until", "Atom", "Atom"]
+
+    def test_size_counts_nodes(self):
+        assert atom("p", x).size() == 1
+        assert not_(until(atom("p"), atom("q"))).size() == 4
+
+    def test_equality_structural_and_hashable(self):
+        f = forall(x, next_(atom("p", x)))
+        g = forall(x, next_(atom("p", x)))
+        assert f == g
+        assert hash(f) == hash(g)
+        assert len({f, g}) == 1
+
+
+class TestFreeVariables:
+    def test_atom_free_variables(self):
+        assert atom("p", x, y).free_variables() == {x, y}
+
+    def test_quantifier_binds(self):
+        f = forall(x, atom("p", x, y))
+        assert f.free_variables() == {y}
+
+    def test_nested_binding(self):
+        f = exists(x, forall(y, eq(x, y)))
+        assert f.free_variables() == frozenset()
+
+    def test_shadowing_inner_bound(self):
+        f = forall(x, Exists(x, atom("p", x)))
+        assert f.free_variables() == frozenset()
+
+    def test_temporal_transparent(self):
+        f = until(atom("p", x), atom("q", y))
+        assert f.free_variables() == {x, y}
+
+    def test_is_closed(self):
+        assert forall(x, atom("p", x)).is_closed()
+        assert not atom("p", x).is_closed()
+
+    def test_constants_not_free(self):
+        f = atom("p", "Vip")
+        assert f.free_variables() == frozenset()
+
+    def test_cache_does_not_affect_equality(self):
+        f = forall(x, atom("p", x, y))
+        g = forall(x, atom("p", x, y))
+        f.free_variables()  # populate the cache on one copy only
+        assert f == g
+        assert hash(f) == hash(g)
+
+
+class TestAccessors:
+    def test_predicates(self):
+        f = until(atom("p", x), atom("q", x, y))
+        assert f.predicates() == {("p", 1), ("q", 2)}
+
+    def test_constants_collection(self):
+        f = eq("Vip", x)
+        names = {c.name for c in f.constants()}
+        assert names == {"Vip"}
+
+    def test_constants_in_atoms(self):
+        f = atom("p", "A", x, "B")
+        assert {c.name for c in f.constants()} == {"A", "B"}
+
+    def test_true_false_singletons(self):
+        assert TRUE == TRUE
+        assert FALSE != TRUE
+        assert TRUE.size() == 1

@@ -1,0 +1,57 @@
+"""Tests for repro.logic.terms."""
+
+import pytest
+
+from repro.logic.terms import Constant, Variable, constants, variables
+
+
+class TestVariable:
+    def test_name(self):
+        assert Variable("x").name == "x"
+
+    def test_equality_is_structural(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+
+    def test_hashable(self):
+        assert len({Variable("x"), Variable("x"), Variable("y")}) == 2
+
+    def test_str(self):
+        assert str(Variable("order_id")) == "order_id"
+
+    @pytest.mark.parametrize("bad", ["", "1x", "x y", "x-y", "x.y"])
+    def test_invalid_names_rejected(self, bad):
+        with pytest.raises(ValueError):
+            Variable(bad)
+
+    def test_underscore_leading_allowed(self):
+        assert Variable("_tmp").name == "_tmp"
+
+
+class TestConstant:
+    def test_distinct_from_variable(self):
+        assert Constant("x") != Variable("x")
+
+    def test_equality(self):
+        assert Constant("vip") == Constant("vip")
+
+    @pytest.mark.parametrize("bad", ["", "9lives", "a b"])
+    def test_invalid_names_rejected(self, bad):
+        with pytest.raises(ValueError):
+            Constant(bad)
+
+
+class TestBulkConstructors:
+    def test_variables_space_separated(self):
+        x, y, z = variables("x y z")
+        assert (x.name, y.name, z.name) == ("x", "y", "z")
+
+    def test_variables_comma_separated(self):
+        assert [v.name for v in variables("a, b,c")] == ["a", "b", "c"]
+
+    def test_constants(self):
+        (c,) = constants("vip")
+        assert isinstance(c, Constant)
+
+    def test_empty_string_gives_empty_tuple(self):
+        assert variables("  ") == ()

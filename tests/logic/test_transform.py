@@ -1,0 +1,214 @@
+"""Tests for substitution, normal forms, and prenexing."""
+
+import pytest
+
+from repro.logic import (
+    FALSE,
+    TRUE,
+    Always,
+    Eventually,
+    Exists,
+    Forall,
+    Not,
+    Release,
+    Until,
+    and_,
+    atom,
+    const,
+    eq,
+    eventually,
+    forall,
+    exists,
+    iff,
+    implies,
+    next_,
+    nnf,
+    not_,
+    or_,
+    parse,
+    simplify,
+    since,
+    strip_universal_prefix,
+    substitute,
+    to_core,
+    to_str,
+    until,
+    var,
+    weak_until,
+)
+from repro.logic.transform import merge_universal_conjunction
+
+x, y, z = var("x"), var("y"), var("z")
+p, q = atom("p"), atom("q")
+
+
+class TestSubstitute:
+    def test_simple(self):
+        f = atom("p", x, y)
+        assert substitute(f, {x: y}) == atom("p", y, y)
+
+    def test_constant_substitution(self):
+        f = atom("p", x)
+        assert substitute(f, {x: const("A")}) == atom("p", "A")
+
+    def test_bound_variable_untouched(self):
+        f = forall(x, atom("p", x))
+        assert substitute(f, {x: y}) == f
+
+    def test_capture_avoided(self):
+        # Substituting y for x into 'exists y . p(x, y)' must rename the
+        # bound y, not capture.
+        f = exists(y, atom("p", x, y))
+        g = substitute(f, {x: y})
+        assert isinstance(g, Exists)
+        assert g.var != y
+        assert g.body == atom("p", y, g.var)
+
+    def test_through_temporal(self):
+        f = until(atom("p", x), atom("q", x))
+        assert substitute(f, {x: y}) == until(atom("p", y), atom("q", y))
+
+    def test_empty_mapping_identity(self):
+        f = atom("p", x)
+        assert substitute(f, {}) is f
+
+
+class TestSimplify:
+    def test_reflexive_equality(self):
+        assert simplify(eq(x, x)) == TRUE
+
+    def test_until_true(self):
+        assert simplify(until(p, TRUE)) == TRUE
+
+    def test_until_false(self):
+        assert simplify(until(p, FALSE)) == FALSE
+
+    def test_always_true(self):
+        assert simplify(parse("G true")) == TRUE
+
+    def test_nested_folding(self):
+        f = and_(implies(FALSE, p), or_(q, FALSE))
+        assert simplify(f) == q
+
+    def test_eventually_idempotent(self):
+        assert simplify(eventually(eventually(p))) == eventually(p)
+
+    def test_iff_same_sides(self):
+        assert simplify(iff(p, p)) == TRUE
+
+    def test_since_true(self):
+        assert simplify(since(p, TRUE)) == TRUE
+
+
+class TestNNF:
+    def test_negated_until_becomes_release(self):
+        f = nnf(not_(until(p, q)))
+        assert isinstance(f, Release)
+        assert f.left == Not(p)
+
+    def test_negated_release_becomes_until(self):
+        assert isinstance(nnf(not_(parse("p R q"))), Until)
+
+    def test_negated_always(self):
+        f = nnf(not_(parse("G p")))
+        assert isinstance(f, Eventually)
+
+    def test_negation_at_atoms_only(self):
+        f = nnf(not_(parse("forall x . p(x) -> (q(x) U r(x))")))
+        for node in f.walk():
+            if isinstance(node, Not):
+                assert not node.operand.children
+
+    def test_quantifier_duality(self):
+        f = nnf(not_(forall(x, atom("p", x))))
+        assert isinstance(f, Exists)
+
+    def test_weak_until_negation(self):
+        # !(p W q) == !q U (!p & !q)
+        f = nnf(not_(weak_until(p, q)))
+        assert isinstance(f, Until)
+
+    def test_past_negation_left_in_place(self):
+        f = nnf(not_(parse("Y p")))
+        assert isinstance(f, Not)
+
+    def test_idempotent_on_examples(self):
+        for text in ("p U q", "!(p & q)", "G (p -> X q)"):
+            f = nnf(parse(text))
+            assert nnf(f) == f
+
+
+class TestToCore:
+    def test_eventually_expands(self):
+        f = to_core(eventually(p))
+        assert f == Until(TRUE, p) or isinstance(f, Until)
+
+    def test_always_uses_until_and_negation(self):
+        f = to_core(parse("G p"))
+        assert not any(isinstance(n, Always) for n in f.walk())
+        assert any(isinstance(n, Until) for n in f.walk())
+
+    def test_core_has_no_derived_nodes(self):
+        from repro.logic import (
+            Historically,
+            Iff,
+            Implies,
+            Once,
+            WeakUntil,
+        )
+
+        f = to_core(
+            parse("forall x . (p(x) W q(x)) <-> (O p(x) -> H q(x))")
+        )
+        banned = (Always, Eventually, WeakUntil, Iff, Implies, Once,
+                  Historically)
+        assert not any(isinstance(n, banned) for n in f.walk())
+
+
+class TestUniversalPrefix:
+    def test_strip(self):
+        prefix, matrix = strip_universal_prefix(parse("forall x y . p(x, y)"))
+        assert [v.name for v in prefix] == ["x", "y"]
+        assert matrix == atom("p", x, y)
+
+    def test_strip_none(self):
+        prefix, matrix = strip_universal_prefix(p)
+        assert prefix == ()
+        assert matrix == p
+
+    def test_merge_conjunction(self):
+        f = and_(
+            parse("forall x . G p(x)"),
+            parse("forall x y . G q(x, y)"),
+        )
+        merged = merge_universal_conjunction(f)
+        prefix, matrix = strip_universal_prefix(merged)
+        assert len(prefix) == 2
+        assert matrix.free_variables() <= set(prefix)
+
+    def test_merge_keeps_closed_conjuncts(self):
+        f = and_(parse("forall x . G p(x)"), parse("G q"))
+        merged = merge_universal_conjunction(f)
+        prefix, _matrix = strip_universal_prefix(merged)
+        assert len(prefix) == 1
+
+    def test_merge_preserves_truth_on_lasso(self):
+        # Semantic check: merged and unmerged agree on a concrete database.
+        from repro.database import History, LassoDatabase, vocabulary
+        from repro.eval import evaluate_lasso_db
+
+        v = vocabulary({"p": 1, "q": 2})
+        h = History.from_facts(
+            v, [[("p", (1,)), ("q", (1, 2))], [("p", (2,))]]
+        )
+        db = LassoDatabase.constant_extension(h)
+        f = and_(
+            parse("forall x . G (p(x) -> p(x))"),
+            parse("forall x y . G (q(x, y) -> p(x))"),
+        )
+        merged = merge_universal_conjunction(f)
+        assert evaluate_lasso_db(f, db) == evaluate_lasso_db(merged, db)
+
+    def test_non_conjunction_unchanged(self):
+        f = parse("forall x . G p(x)")
+        assert merge_universal_conjunction(f) is f

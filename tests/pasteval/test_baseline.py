@@ -1,0 +1,127 @@
+"""Tests for the weaker-notion baseline (optimistic prefix evaluation).
+
+The two key relations to the exact checker (Section 5 of the paper):
+soundness (the baseline never fires when an extension still exists) and
+late detection (the baseline can fire strictly later).
+"""
+
+import pytest
+
+from repro.core import IntegrityMonitor
+from repro.database import DatabaseState, History, vocabulary
+from repro.errors import NotSafetyError
+from repro.logic import parse
+from repro.pasteval import WeakTruncationChecker
+
+V = vocabulary({"Sub": 1, "Fill": 1})
+VP = vocabulary({"p": 1, "q": 1})
+
+
+def feed(checker, vocab, trace):
+    for facts in trace:
+        checker.append_state(DatabaseState.from_facts(vocab, facts))
+    return checker
+
+
+class TestBasics:
+    def test_detects_visible_violation(self, submit_once):
+        checker = WeakTruncationChecker(
+            {"once": submit_once}, History.empty(V)
+        )
+        feed(checker, V, [[("Sub", (1,))], [("Sub", (1,))]])
+        assert checker.violations() == {"once": 2}
+
+    def test_clean_trace_no_violations(self, submit_once):
+        checker = WeakTruncationChecker(
+            {"once": submit_once}, History.empty(V)
+        )
+        feed(checker, V, [[("Sub", (1,))], [("Sub", (2,))]])
+        assert checker.violations() == {}
+
+    def test_accepts_non_universal_constraints(self):
+        # Unlike the exact checker, the baseline can evaluate any sentence.
+        liveness = parse("forall x . G (Sub(x) -> F Fill(x))")
+        checker = WeakTruncationChecker(
+            {"live": liveness}, History.empty(V)
+        )
+        feed(checker, V, [[("Sub", (1,))]])
+        assert checker.violations() == {}  # optimism: Fill may still come
+
+    def test_open_formula_rejected(self):
+        with pytest.raises(NotSafetyError):
+            WeakTruncationChecker(
+                {"open": parse("G Sub(x)")}, History.empty(V)
+            )
+
+    def test_violation_is_sticky(self, submit_once):
+        checker = WeakTruncationChecker(
+            {"once": submit_once}, History.empty(V)
+        )
+        feed(checker, V, [[("Sub", (1,))], [("Sub", (1,))], []])
+        assert checker.violations() == {"once": 2}
+        report = checker.append_state(DatabaseState.empty(V))
+        assert not report.satisfied["once"]
+
+
+class TestAgainstExactChecker:
+    """Soundness and the detection-latency gap (experiment E7's basis)."""
+
+    def _run_both(self, constraints, trace, vocab):
+        exact = IntegrityMonitor(constraints, History.empty(vocab))
+        weak = WeakTruncationChecker(constraints, History.empty(vocab))
+        feed(exact, vocab, trace)
+        feed(weak, vocab, trace)
+        return exact.violations(), weak.violations()
+
+    def test_same_instant_for_visible_violations(self, submit_once):
+        trace = [[("Sub", (1,))], [], [("Sub", (1,))], []]
+        exact, weak = self._run_both({"once": submit_once}, trace, V)
+        assert exact == weak == {"once": 3}
+
+    def test_baseline_never_earlier(self, submit_once, fifo_fill):
+        trace = [
+            [("Sub", (1,))],
+            [("Sub", (2,))],
+            [("Fill", (2,))],
+            [("Fill", (1,))],
+        ]
+        exact, weak = self._run_both(
+            {"once": submit_once, "fifo": fifo_fill}, trace, V
+        )
+        for name, weak_instant in weak.items():
+            assert name in exact
+            assert exact[name] <= weak_instant
+
+    def test_strict_latency_gap(self):
+        """A forced future contradiction: the exact checker sees it the
+        moment p occurs; the optimistic baseline only when the visible
+        contradiction materializes two instants later."""
+        # One constraint: p demands q at the next two instants, while q
+        # demands !q at the next instant — jointly unsatisfiable from the
+        # moment p occurs, but each obligation looks fine optimistically.
+        conflict = parse(
+            "forall x . G ((p(x) -> (X q(x)) & X X q(x)) "
+            "& (q(x) -> X !q(x)))"
+        )
+        constraint = {"conflict": conflict}
+        trace = [
+            [("p", (1,))],
+            [("q", (1,))],
+            [("q", (1,))],
+        ]
+        exact = IntegrityMonitor(constraint, History.empty(VP))
+        weak = WeakTruncationChecker(constraint, History.empty(VP))
+        exact_first = None
+        weak_first = None
+        for index, facts in enumerate(trace):
+            state = DatabaseState.from_facts(VP, facts)
+            if exact_first is None:
+                if exact.append_state(state).new_violations:
+                    exact_first = index + 1
+            if weak_first is None:
+                if weak.append_state(state).new_violations:
+                    weak_first = index + 1
+        # The exact monitor flags at t=1: after p at t=1... the conjunction
+        # of the two constraints admits no future once p occurred.
+        assert exact_first is not None and weak_first is not None
+        assert exact_first < weak_first

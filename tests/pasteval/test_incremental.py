@@ -1,0 +1,175 @@
+"""Tests for the history-less incremental past evaluator.
+
+The key property: the incremental evaluator agrees with the reference
+(whole-history) past evaluator on every state of every history — including
+histories whose active domain grows — while its memory footprint stays
+independent of the history length.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.database import DatabaseState, History, vocabulary
+from repro.errors import ClassificationError, EvaluationError
+from repro.eval import evaluate_past
+from repro.logic import parse
+from repro.pasteval import IncrementalPastEvaluator
+
+V = vocabulary({"Sub": 1, "Fill": 1})
+
+
+def run_both(formula_text, facts_per_state, vocab=V):
+    """Advance the incremental evaluator and compare with the reference."""
+    formula = parse(formula_text)
+    evaluator = IncrementalPastEvaluator(formula, vocab)
+    outcomes = []
+    for instant in range(len(facts_per_state)):
+        state = DatabaseState.from_facts(vocab, facts_per_state[instant])
+        incremental = evaluator.advance(state)
+        history = History.from_facts(vocab, facts_per_state[: instant + 1])
+        reference = evaluate_past(formula, history, instant=instant)
+        outcomes.append((incremental, reference))
+    return outcomes
+
+
+AUDIT = "forall x . Fill(x) -> Y O Sub(x)"
+SINCE2 = (
+    "forall x y . (Fill(x) & Fill(y)) -> "
+    "((!Fill(x)) S Sub(y) | x = y | O Sub(x))"
+)
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize(
+        "formula",
+        [
+            AUDIT,
+            SINCE2,
+            "forall x . H !Fill(x) | O Sub(x)",
+            "exists x . Y Sub(x)",
+            "forall x . Sub(x) -> !(Y O Sub(x))",
+        ],
+    )
+    def test_fixed_trace(self, formula):
+        trace = [
+            [("Sub", (1,))],
+            [("Fill", (1,))],
+            [("Fill", (2,))],
+            [("Sub", (2,))],
+            [("Fill", (2,)), ("Sub", (3,))],
+            [],
+            [("Fill", (3,))],
+        ]
+        for incremental, reference in run_both(formula, trace):
+            assert incremental == reference
+
+    @given(
+        trace=st.lists(
+            st.lists(
+                st.tuples(
+                    st.sampled_from(["Sub", "Fill"]),
+                    st.tuples(st.integers(0, 3)),
+                ),
+                max_size=3,
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_traces_audit(self, trace):
+        for incremental, reference in run_both(AUDIT, trace):
+            assert incremental == reference
+
+    @given(
+        trace=st.lists(
+            st.lists(
+                st.tuples(
+                    st.sampled_from(["Sub", "Fill"]),
+                    st.tuples(st.integers(0, 2)),
+                ),
+                max_size=2,
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_traces_two_variables(self, trace):
+        for incremental, reference in run_both(SINCE2, trace):
+            assert incremental == reference
+
+
+class TestHistoryLessness:
+    def test_memory_independent_of_length(self):
+        formula = parse(AUDIT)
+        evaluator = IncrementalPastEvaluator(formula, V)
+        state = DatabaseState.from_facts(V, [("Sub", (1,))])
+        sizes = []
+        for _ in range(30):
+            evaluator.advance(state)
+            sizes.append(evaluator.memory_size)
+        # After the first step the footprint must be constant.
+        assert len(set(sizes[2:])) == 1
+
+    def test_memory_grows_with_domain_not_time(self):
+        formula = parse(AUDIT)
+        evaluator = IncrementalPastEvaluator(formula, V)
+        for element in range(5):
+            evaluator.advance(
+                DatabaseState.from_facts(V, [("Sub", (element,))])
+            )
+        grown = evaluator.memory_size
+        for _ in range(20):
+            evaluator.advance(DatabaseState.empty(V))
+        assert evaluator.memory_size == grown
+
+
+class TestAPI:
+    def test_future_formula_rejected(self):
+        with pytest.raises(ClassificationError):
+            IncrementalPastEvaluator(parse("F (exists x . Sub(x))"), V)
+
+    def test_current_value_requires_closed(self):
+        evaluator = IncrementalPastEvaluator(parse("O Sub(x)"), V)
+        evaluator.advance(DatabaseState.empty(V))
+        with pytest.raises(EvaluationError, match="free"):
+            evaluator.current_value()
+
+    def test_current_value_before_advance(self):
+        evaluator = IncrementalPastEvaluator(
+            parse("exists x . O Sub(x)"), V
+        )
+        with pytest.raises(EvaluationError):
+            evaluator.current_value()
+
+    def test_satisfying_assignments_generic_marker(self):
+        from repro.core.grounding import Anon
+
+        evaluator = IncrementalPastEvaluator(parse("!(O Sub(x))"), V)
+        evaluator.advance(DatabaseState.from_facts(V, [("Sub", (1,))]))
+        table = evaluator.satisfying_assignments()
+        # Element 1 was submitted; the generic (never-seen) element and no
+        # concrete element satisfy 'never submitted'.
+        assert (1,) not in table
+        assert any(isinstance(value[0], Anon) for value in table)
+
+    def test_constant_binding(self):
+        vc = vocabulary({"Sub": 1}, constants=["Vip"])
+        evaluator = IncrementalPastEvaluator(parse("O Sub(Vip)"), vc)
+        evaluator.bind_constant("Vip", 3)
+        assert not evaluator.advance(
+            DatabaseState.from_facts(vc, [("Sub", (1,))])
+        )
+        assert evaluator.advance(
+            DatabaseState.from_facts(vc, [("Sub", (3,))])
+        )
+
+    def test_constant_binding_after_start_rejected(self):
+        vc = vocabulary({"Sub": 1}, constants=["Vip"])
+        evaluator = IncrementalPastEvaluator(parse("O Sub(Vip)"), vc)
+        evaluator.bind_constant("Vip", 3)
+        evaluator.advance(DatabaseState.empty(vc))
+        with pytest.raises(EvaluationError):
+            evaluator.bind_constant("Vip", 4)

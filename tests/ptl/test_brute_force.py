@@ -1,0 +1,63 @@
+"""Third-opinion validation of the satisfiability engines.
+
+Enumerate *all* small lasso models (stem length <= 1, loop length <= 2,
+over two letters) and evaluate the formula on each with the exact lasso
+evaluator.  Any hit proves satisfiability — the engines must agree; and
+for formulas the engines call satisfiable, the GPVW witness itself is a
+model, so the three views (brute force, Büchi, tableau) can never give a
+"satisfiable" verdict the others refute.
+"""
+
+from itertools import product as cartesian
+
+from hypothesis import given, settings
+
+from repro.ptl import (
+    LassoModel,
+    evaluate_lasso,
+    is_satisfiable_buchi,
+    is_satisfiable_tableau,
+    prop,
+)
+
+from ..conftest import ptl_formulas
+
+_PROPS = (prop("p0"), prop("p1"))
+_STATES = [
+    frozenset(chosen)
+    for size in range(3)
+    for chosen in cartesian(_PROPS, repeat=size)
+    if len(set(chosen)) == size
+]
+
+
+def _small_lassos():
+    for loop_len in (1, 2):
+        for loop in cartesian(_STATES, repeat=loop_len):
+            yield LassoModel(stem=(), loop=tuple(loop))
+            for stem_state in _STATES:
+                yield LassoModel(stem=(stem_state,), loop=tuple(loop))
+
+
+SMALL_LASSOS = list(_small_lassos())
+
+
+class TestBruteForceAgreement:
+    @given(formula=ptl_formulas(max_props=2))
+    @settings(max_examples=100, deadline=None)
+    def test_small_model_implies_engines_agree_sat(self, formula):
+        has_small_model = any(
+            evaluate_lasso(formula, model, 0) for model in SMALL_LASSOS
+        )
+        if has_small_model:
+            assert is_satisfiable_buchi(formula)
+            assert is_satisfiable_tableau(formula)
+
+    @given(formula=ptl_formulas(max_props=2))
+    @settings(max_examples=100, deadline=None)
+    def test_unsat_verdicts_have_no_small_countermodel(self, formula):
+        if not is_satisfiable_buchi(formula):
+            assert not any(
+                evaluate_lasso(formula, model, 0)
+                for model in SMALL_LASSOS
+            )

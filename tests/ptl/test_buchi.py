@@ -1,0 +1,114 @@
+"""Tests for the GPVW Büchi construction and lasso extraction."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.ptl import (
+    LassoModel,
+    build_automaton,
+    evaluate_lasso,
+    find_lasso_model,
+    is_satisfiable_buchi,
+    parse_ptl,
+    prop,
+    satisfies,
+)
+
+from ..conftest import ptl_formulas
+
+
+class TestLassoModel:
+    def test_state_at_folds_into_loop(self):
+        m = LassoModel(
+            stem=(frozenset({prop("a")}),),
+            loop=(frozenset(), frozenset({prop("b")})),
+        )
+        assert m.state_at(0) == frozenset({prop("a")})
+        assert m.state_at(1) == frozenset()
+        assert m.state_at(2) == frozenset({prop("b")})
+        assert m.state_at(3) == frozenset()  # wrapped
+
+    def test_empty_loop_rejected(self):
+        with pytest.raises(ValueError):
+            LassoModel(stem=(), loop=())
+
+    def test_prefix(self):
+        m = LassoModel(stem=(), loop=(frozenset(),))
+        assert len(m.prefix(5)) == 5
+
+
+class TestSatisfiability:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("p", True),
+            ("p & !p", False),
+            ("G (p -> X q)", True),
+            ("F p", True),
+            ("G p & F !p", False),
+            ("p U q", True),
+            ("(p U q) & G !q", False),
+            ("G F p", True),
+            ("G F p & G F !p", True),
+            ("F G p & G F !p", False),
+            ("X X p & G !p", False),
+            ("(p W q) & G !q & G p", True),
+            ("p R q", True),
+            ("(p R q) & F !q & G !p", False),
+        ],
+    )
+    def test_known_cases(self, text, expected):
+        assert is_satisfiable_buchi(parse_ptl(text)) is expected
+
+    def test_true_and_false(self):
+        from repro.ptl import PFALSE, PTRUE
+
+        assert is_satisfiable_buchi(PTRUE)
+        assert not is_satisfiable_buchi(PFALSE)
+
+
+class TestWitnesses:
+    @given(formula=ptl_formulas())
+    @settings(max_examples=150, deadline=None)
+    def test_every_witness_satisfies_its_formula(self, formula):
+        model = find_lasso_model(formula)
+        if model is not None:
+            assert satisfies(model, formula)
+
+    @given(formula=ptl_formulas())
+    @settings(max_examples=100, deadline=None)
+    def test_witness_iff_satisfiable(self, formula):
+        assert (find_lasso_model(formula) is not None) == (
+            is_satisfiable_buchi(formula)
+        )
+
+    def test_witness_for_conjunction_of_eventualities(self):
+        f = parse_ptl("G F p & G F !p")
+        model = find_lasso_model(f)
+        assert model is not None
+        assert satisfies(model, f)
+        # The loop must contain both a p-state and a non-p state.
+        has_p = any(prop("p") in s for s in model.loop)
+        has_not_p = any(prop("p") not in s for s in model.loop)
+        assert has_p and has_not_p
+
+
+class TestAutomatonStructure:
+    def test_unsat_formula_gives_empty_automaton_language(self):
+        auto = build_automaton(parse_ptl("p & !p"))
+        assert auto.is_empty()
+
+    def test_reachability(self):
+        auto = build_automaton(parse_ptl("G p"))
+        assert auto.reachable() <= auto.states
+
+    def test_transitions_total_on_states(self):
+        auto = build_automaton(parse_ptl("p U q"))
+        for state in auto.states:
+            assert state in auto.transitions
+
+    def test_labels_consistent(self):
+        auto = build_automaton(parse_ptl("p & X !p"))
+        for state in auto.states:
+            positive, negative = auto.labels[state]
+            assert not (positive & negative)

@@ -1,0 +1,122 @@
+"""Tests for the propositional extension problem (Lemma 4.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ptl import (
+    can_extend,
+    check_extension,
+    check_extension_detailed,
+    evaluate_lasso,
+    parse_ptl,
+    satisfies,
+    state,
+)
+
+from ..conftest import prop_states, ptl_formulas
+
+
+class TestCanExtend:
+    def test_empty_prefix_is_satisfiability(self):
+        assert can_extend([], parse_ptl("F p"))
+        assert not can_extend([], parse_ptl("p & !p"))
+
+    def test_violating_prefix(self):
+        f = parse_ptl("G (p -> X q)")
+        assert not can_extend([state("p"), state()], f)
+
+    def test_recoverable_prefix(self):
+        f = parse_ptl("G (p -> X q)")
+        assert can_extend([state("p"), state("q")], f)
+
+    def test_pending_obligation_extendable(self):
+        # (p U q) with only p seen so far: q can still come.
+        assert can_extend([state("p")], parse_ptl("p U q"))
+
+    def test_dead_obligation(self):
+        # (p U q) after a state with neither p nor q.
+        assert not can_extend([state()], parse_ptl("p U q"))
+
+    def test_methods_agree(self):
+        f = parse_ptl("G (p -> X q) & F p")
+        prefix = [state("p")]
+        assert can_extend(prefix, f, method="buchi") == can_extend(
+            prefix, f, method="tableau"
+        )
+
+    def test_quick_path_agrees(self):
+        f = parse_ptl("G !p")
+        assert can_extend([state()], f, quick=True) == can_extend(
+            [state()], f, quick=False
+        )
+
+
+class TestWitness:
+    def test_witness_extends_prefix_and_satisfies(self):
+        f = parse_ptl("G (p -> X q) & F p")
+        prefix = (state("p"), state("q"))
+        result = check_extension(prefix, f, want_witness=True)
+        assert result.extendable
+        witness = result.witness
+        assert witness.prefix(2) == prefix
+        assert satisfies(witness, f)
+
+    def test_no_witness_when_violated(self):
+        f = parse_ptl("G !p")
+        result = check_extension([state("p")], f, want_witness=True)
+        assert not result.extendable
+        assert result.witness is None
+
+    @given(
+        formula=ptl_formulas(),
+        prefix=st.lists(prop_states(), max_size=3),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_witness_always_valid(self, formula, prefix):
+        result = check_extension(tuple(prefix), formula, want_witness=True)
+        if result.extendable:
+            witness = result.witness
+            assert witness is not None
+            assert witness.prefix(len(prefix)) == tuple(prefix)
+            assert satisfies(witness, formula)
+        else:
+            assert result.witness is None
+
+
+class TestDetailed:
+    def test_phase_times_recorded(self):
+        f = parse_ptl("G (p -> X q)")
+        result = check_extension_detailed([state("p"), state("q")], f)
+        assert result.extendable
+        assert result.progression_seconds >= 0
+        assert result.satisfiability_seconds >= 0
+
+    @given(
+        formula=ptl_formulas(),
+        prefix=st.lists(prop_states(), max_size=3),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_detailed_agrees_with_plain(self, formula, prefix):
+        assert check_extension_detailed(
+            tuple(prefix), formula
+        ).extendable == can_extend(tuple(prefix), formula)
+
+
+class TestAgainstSemantics:
+    @given(
+        formula=ptl_formulas(),
+        prefix=st.lists(prop_states(), max_size=3),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_extension_never_wrong_positive(self, formula, prefix):
+        """If extendable, there really is an extension (the witness); if
+        not, then in particular the all-false extension fails."""
+        from repro.ptl import LassoModel
+
+        extendable = can_extend(tuple(prefix), formula)
+        all_false = LassoModel(
+            stem=tuple(prefix), loop=(frozenset(),)
+        )
+        if evaluate_lasso(formula, all_false, 0):
+            assert extendable

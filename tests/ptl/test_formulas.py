@@ -1,0 +1,111 @@
+"""Tests for the PTL AST and smart constructors."""
+
+import pytest
+
+from repro.ptl import (
+    PFALSE,
+    PTRUE,
+    PAnd,
+    PEventually,
+    PAlways,
+    PNot,
+    POr,
+    PUntil,
+    Prop,
+    palways,
+    pand,
+    pconj,
+    peventually,
+    pimplies,
+    pnext,
+    pnot,
+    por,
+    prelease,
+    prop,
+    puntil,
+    pweak_until,
+)
+
+p, q, r = prop("p"), prop("q"), prop("r")
+
+
+class TestProps:
+    def test_structured_names_allowed(self):
+        assert Prop(("pred", (1, 2))).name == ("pred", (1, 2))
+
+    def test_unhashable_name_rejected(self):
+        with pytest.raises(TypeError):
+            Prop(["list"])
+
+    def test_propositions_collection(self):
+        f = pand(p, puntil(q, r))
+        assert f.propositions() == {p, q, r}
+
+
+class TestConstructors:
+    def test_pnot_folding(self):
+        assert pnot(PTRUE) == PFALSE
+        assert pnot(pnot(p)) == p
+
+    def test_pand_flatten_dedup(self):
+        f = pand(p, pand(q, p))
+        assert isinstance(f, PAnd)
+        assert f.operands == (p, q)
+
+    def test_pand_false_short_circuit(self):
+        assert pand(p, PFALSE) == PFALSE
+
+    def test_pand_empty_and_single(self):
+        assert pand() == PTRUE
+        assert pand(p) == p
+
+    def test_por_dual(self):
+        assert por(p, PTRUE) == PTRUE
+        assert por() == PFALSE
+        assert por(p, por(q, p)) == por(p, q)
+
+    def test_pimplies_folding(self):
+        assert pimplies(PTRUE, p) == p
+        assert pimplies(p, PFALSE) == pnot(p)
+
+    def test_pnext_constant(self):
+        assert pnext(PTRUE) == PTRUE
+
+    def test_puntil_foldings(self):
+        assert puntil(p, PTRUE) == PTRUE
+        assert puntil(p, PFALSE) == PFALSE
+        assert puntil(PFALSE, q) == q
+        assert isinstance(puntil(PTRUE, q), PEventually)
+
+    def test_prelease_foldings(self):
+        assert prelease(PTRUE, q) == q
+        assert isinstance(prelease(PFALSE, q), PAlways)
+
+    def test_pweak_until_foldings(self):
+        assert pweak_until(p, PTRUE) == PTRUE
+        assert isinstance(pweak_until(p, PFALSE), PAlways)
+
+    def test_idempotent_modalities(self):
+        assert peventually(peventually(p)) == peventually(p)
+        assert palways(palways(p)) == palways(p)
+
+    def test_pconj(self):
+        assert pconj([p, q]) == pand(p, q)
+
+
+class TestStrings:
+    @pytest.mark.parametrize(
+        "build,text",
+        [
+            (lambda: pand(p, q), "p & q"),
+            (lambda: por(p, pand(q, r)), "p | q & r"),
+            (lambda: puntil(p, q), "p U q"),
+            (lambda: palways(pimplies(p, pnext(q))), "G (p -> X q)"),
+            (lambda: pnot(p), "!p"),
+        ],
+    )
+    def test_render(self, build, text):
+        assert str(build()) == text
+
+    def test_size(self):
+        assert pand(p, puntil(q, r)).size() == 5

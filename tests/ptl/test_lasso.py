@@ -1,0 +1,108 @@
+"""Tests for exact PTL evaluation on lasso models."""
+
+import pytest
+
+from repro.ptl import (
+    LassoModel,
+    evaluate_lasso,
+    palways,
+    pand,
+    peventually,
+    pnext,
+    pnot,
+    prelease,
+    prop,
+    puntil,
+    pweak_until,
+    parse_ptl,
+)
+
+p, q = prop("p"), prop("q")
+P = frozenset({p})
+Q = frozenset({q})
+PQ = frozenset({p, q})
+EMPTY = frozenset()
+
+
+def lasso(stem, loop):
+    return LassoModel(stem=tuple(stem), loop=tuple(loop))
+
+
+class TestBasics:
+    def test_proposition(self):
+        m = lasso([P], [EMPTY])
+        assert evaluate_lasso(p, m, 0)
+        assert not evaluate_lasso(p, m, 1)
+
+    def test_next(self):
+        m = lasso([EMPTY, P], [EMPTY])
+        assert evaluate_lasso(pnext(p), m, 0)
+
+    def test_negative_instant_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_lasso(p, lasso([], [EMPTY]), -1)
+
+
+class TestFixpoints:
+    def test_eventually_finds_in_loop(self):
+        m = lasso([EMPTY], [EMPTY, P])
+        assert evaluate_lasso(peventually(p), m, 0)
+
+    def test_eventually_false_when_never(self):
+        m = lasso([P], [EMPTY])
+        assert not evaluate_lasso(peventually(q), m, 0)
+
+    def test_always_on_loop(self):
+        m = lasso([EMPTY], [P])
+        assert not evaluate_lasso(palways(p), m, 0)
+        assert evaluate_lasso(palways(p), m, 1)
+
+    def test_until_within_stem(self):
+        m = lasso([P, P, Q], [EMPTY])
+        assert evaluate_lasso(puntil(p, q), m, 0)
+
+    def test_until_unfulfilled_in_loop(self):
+        # p forever, q never: strong until fails, weak until holds.
+        m = lasso([], [P])
+        assert not evaluate_lasso(puntil(p, q), m, 0)
+        assert evaluate_lasso(pweak_until(p, q), m, 0)
+
+    def test_release_held_forever(self):
+        m = lasso([], [Q])
+        assert evaluate_lasso(prelease(p, q), m, 0)
+
+    def test_release_discharged(self):
+        m = lasso([Q, PQ, EMPTY], [EMPTY])
+        assert evaluate_lasso(prelease(p, q), m, 0)
+
+    def test_infinitely_often(self):
+        m = lasso([], [P, EMPTY])
+        f = parse_ptl("G F p & G F !p")
+        assert evaluate_lasso(f, m, 0)
+
+    def test_fg_vs_gf(self):
+        m = lasso([EMPTY, EMPTY], [P])
+        assert evaluate_lasso(parse_ptl("F G p"), m, 0)
+        assert not evaluate_lasso(parse_ptl("G p"), m, 0)
+
+
+class TestInstantFolding:
+    def test_deep_instant_matches_loop_position(self):
+        m = lasso([EMPTY], [P, Q])
+        # instants 1,3,5.. are P; 2,4,6.. are Q
+        assert evaluate_lasso(p, m, 1)
+        assert evaluate_lasso(q, m, 2)
+        assert evaluate_lasso(p, m, 17)
+
+    def test_expansion_law_until(self):
+        # p U q == q | (p & X(p U q)) at every instant of any lasso.
+        m = lasso([P, Q], [EMPTY, P])
+        f = puntil(p, q)
+        expansion = pand  # placeholder to keep imports used
+        from repro.ptl import por
+
+        g = por(q, pand(p, pnext(f)))
+        for instant in range(6):
+            assert evaluate_lasso(f, m, instant) == evaluate_lasso(
+                g, m, instant
+            )

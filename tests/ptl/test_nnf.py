@@ -1,0 +1,76 @@
+"""Tests for PTL negation normal form and FOTL->PTL conversion."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import ClassificationError
+from repro.ptl import (
+    equivalent,
+    from_fotl,
+    is_nnf_core,
+    parse_ptl,
+    pnot,
+    ptl_nnf,
+)
+
+from ..conftest import ptl_formulas
+
+
+class TestNNF:
+    @given(formula=ptl_formulas())
+    @settings(max_examples=150, deadline=None)
+    def test_nnf_is_core(self, formula):
+        assert is_nnf_core(ptl_nnf(formula))
+
+    @given(formula=ptl_formulas())
+    @settings(max_examples=100, deadline=None)
+    def test_nnf_preserves_meaning(self, formula):
+        assert equivalent(formula, ptl_nnf(formula))
+
+    @given(formula=ptl_formulas())
+    @settings(max_examples=100, deadline=None)
+    def test_negation_duality(self, formula):
+        assert equivalent(pnot(formula), ptl_nnf(pnot(formula)))
+
+    def test_weak_until_elimination(self):
+        f = ptl_nnf(parse_ptl("p W q"))
+        assert is_nnf_core(f)
+        assert equivalent(f, parse_ptl("(p U q) | G p"))
+
+    def test_implication_elimination(self):
+        f = ptl_nnf(parse_ptl("p -> q"))
+        assert equivalent(f, parse_ptl("!p | q"))
+
+
+class TestConversion:
+    def test_nullary_atoms_become_props(self):
+        f = from_fotl(__import__("repro.logic", fromlist=["parse"]).parse("p & X q"))
+        assert {str(p.name) for p in f.propositions()} == {"p", "q"}
+
+    def test_quantifier_rejected(self):
+        from repro.logic import parse
+
+        with pytest.raises(ClassificationError):
+            from_fotl(parse("exists x . p(x)"))
+
+    def test_nonnullary_atom_rejected(self):
+        from repro.logic import parse
+
+        with pytest.raises(ClassificationError):
+            from_fotl(parse("p(x)"))
+
+    def test_past_rejected(self):
+        from repro.logic import parse
+
+        with pytest.raises(ClassificationError):
+            from_fotl(parse("Y p"))
+
+    def test_equality_rejected(self):
+        from repro.logic import parse
+
+        with pytest.raises(ClassificationError):
+            from_fotl(parse("x = y"))
+
+    def test_parse_ptl_roundtrip_through_str(self):
+        f = parse_ptl("G (p -> X (q U r))")
+        assert parse_ptl(str(f)) == f

@@ -1,0 +1,57 @@
+"""Tests for the automaton product (the safety-analysis building block)."""
+
+from hypothesis import given, settings
+
+from repro.ptl import (
+    build_automaton,
+    pand,
+    parse_ptl,
+    pnot,
+    product,
+)
+
+from ..conftest import ptl_formulas
+
+
+class TestProduct:
+    def test_product_empty_for_contradictions(self):
+        a = build_automaton(parse_ptl("G p"))
+        b = build_automaton(parse_ptl("F !p"))
+        assert product(a, b).is_empty()
+
+    def test_product_nonempty_for_compatible(self):
+        a = build_automaton(parse_ptl("G (p -> X q)"))
+        b = build_automaton(parse_ptl("F p"))
+        assert not product(a, b).is_empty()
+
+    def test_product_with_self(self):
+        a = build_automaton(parse_ptl("p U q"))
+        assert not product(a, a).is_empty()
+
+    @given(left=ptl_formulas(max_props=2), right=ptl_formulas(max_props=2))
+    @settings(max_examples=80, deadline=None)
+    def test_product_emptiness_is_conjunction_satisfiability(
+        self, left, right
+    ):
+        from repro.ptl import is_satisfiable
+
+        combined = pand(left, right)
+        product_empty = product(
+            build_automaton(left), build_automaton(right)
+        ).is_empty()
+        assert product_empty == (not is_satisfiable(combined))
+
+    def test_labels_merge(self):
+        a = build_automaton(parse_ptl("p"))
+        b = build_automaton(parse_ptl("q"))
+        combined = product(a, b)
+        assert not combined.is_empty()
+        # Some initial product state demands both letters.
+        demanding = [
+            combined.labels[s]
+            for s in combined.initial
+        ]
+        assert any(
+            {"p", "q"} <= {pr.name for pr in positive}
+            for positive, _negative in demanding
+        )

@@ -1,0 +1,138 @@
+"""Tests for formula progression (Lemma 4.2, phase 1).
+
+The central property — progression's *fundamental theorem* — is checked
+against the independent lasso evaluator on random formulas and models::
+
+    model |= f   iff   model-from-1 |= progress(f, model[0])
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.ptl import (
+    LassoModel,
+    PFALSE,
+    PTRUE,
+    evaluate_lasso,
+    palways,
+    pand,
+    peventually,
+    pimplies,
+    pnext,
+    pnot,
+    por,
+    progress,
+    progress_sequence,
+    progress_trace,
+    prop,
+    puntil,
+    pweak_until,
+    state,
+)
+from repro.ptl.progression import evaluate_state_formula
+
+from ..conftest import lasso_models, ptl_formulas
+
+p, q = prop("p"), prop("q")
+
+
+class TestProgressBasics:
+    def test_proposition_true(self):
+        assert progress(p, state("p")) == PTRUE
+
+    def test_proposition_false(self):
+        assert progress(p, state()) == PFALSE
+
+    def test_next_defers(self):
+        assert progress(pnext(p), state()) == p
+
+    def test_until_fulfilled(self):
+        assert progress(puntil(p, q), state("q")) == PTRUE
+
+    def test_until_waits(self):
+        f = puntil(p, q)
+        assert progress(f, state("p")) == f
+
+    def test_until_dies(self):
+        assert progress(puntil(p, q), state()) == PFALSE
+
+    def test_always_accumulates(self):
+        f = palways(p)
+        assert progress(f, state("p")) == f
+        assert progress(f, state()) == PFALSE
+
+    def test_eventually_persists(self):
+        f = peventually(p)
+        assert progress(f, state()) == f
+        assert progress(f, state("p")) == PTRUE
+
+    def test_weak_until_like_until_mid_run(self):
+        f = pweak_until(p, q)
+        assert progress(f, state("p")) == f
+        assert progress(f, state("q")) == PTRUE
+        assert progress(f, state()) == PFALSE
+
+    def test_negation_commutes(self):
+        f = pnot(pnext(p))
+        assert progress(f, state()) == pnot(p)
+
+    def test_implication(self):
+        f = pimplies(p, pnext(q))
+        assert progress(f, state()) == PTRUE  # antecedent false
+        assert progress(f, state("p")) == q
+
+
+class TestProgressSequence:
+    def test_short_circuit_on_false(self):
+        f = palways(p)
+        states = [state("p"), state(), state("p")]
+        assert progress_sequence(f, states) == PFALSE
+
+    def test_trace_length(self):
+        f = palways(pimplies(p, pnext(q)))
+        states = [state("p"), state("q")]
+        trace = progress_trace(f, states)
+        assert len(trace) == 3
+        assert trace[0] == f
+
+    def test_g_implication_chain(self):
+        # G (p -> X q) through p, q, {} is consistent.
+        f = palways(pimplies(p, pnext(q)))
+        assert progress_sequence(f, [state("p"), state("q"), state()]) != PFALSE
+        # ... and through p, {} is violated.
+        assert progress_sequence(f, [state("p"), state()]) == PFALSE
+
+
+class TestFundamentalProperty:
+    """progress is sound and complete w.r.t. the exact lasso semantics."""
+
+    @given(formula=ptl_formulas(), model=lasso_models())
+    @settings(max_examples=200, deadline=None)
+    def test_progress_step(self, formula, model):
+        before = evaluate_lasso(formula, model, 0)
+        progressed = progress(formula, model.state_at(0))
+        after = evaluate_lasso(progressed, model, 1)
+        assert before == after
+
+    @given(formula=ptl_formulas(), model=lasso_models())
+    @settings(max_examples=100, deadline=None)
+    def test_progress_many_steps(self, formula, model):
+        length = len(model.stem) + len(model.loop)
+        remainder = progress_sequence(
+            formula, [model.state_at(i) for i in range(length)]
+        )
+        assert evaluate_lasso(formula, model, 0) == evaluate_lasso(
+            remainder, model, length
+        )
+
+
+class TestStateFormulaEvaluation:
+    def test_boolean_evaluation(self):
+        f = por(pand(p, q), pnot(p))
+        assert evaluate_state_formula(f, state("p", "q"))
+        assert evaluate_state_formula(f, state())
+        assert not evaluate_state_formula(f, state("p"))
+
+    def test_temporal_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_state_formula(pnext(p), state())

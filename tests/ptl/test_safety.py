@@ -1,0 +1,90 @@
+"""Tests for semantic safety / liveness analysis of PTL formulas."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.ptl import (
+    PFALSE,
+    PTRUE,
+    closure_automaton,
+    is_liveness,
+    is_safety,
+    is_satisfiable,
+    parse_ptl,
+)
+
+from ..conftest import ptl_formulas
+
+
+class TestSafety:
+    @pytest.mark.parametrize(
+        "text",
+        ["G p", "G (p -> X q)", "p W q", "!p", "p", "G !p", "p R q",
+         "X X p", "G (p -> X (q | X q))"],
+    )
+    def test_safety_formulas(self, text):
+        assert is_safety(parse_ptl(text))
+
+    @pytest.mark.parametrize(
+        "text",
+        ["F p", "p U q", "G F p", "F G p", "p | F q"],
+    )
+    def test_non_safety_formulas(self, text):
+        assert not is_safety(parse_ptl(text))
+
+    def test_constants(self):
+        assert is_safety(PTRUE)
+        assert is_safety(PFALSE)  # the empty property is (vacuously) safety
+
+
+class TestLiveness:
+    @pytest.mark.parametrize("text", ["F p", "G F p", "p | F q", "F !p"])
+    def test_liveness_formulas(self, text):
+        assert is_liveness(parse_ptl(text))
+
+    @pytest.mark.parametrize("text", ["G p", "p", "p U q", "p W q"])
+    def test_non_liveness_formulas(self, text):
+        assert not is_liveness(parse_ptl(text))
+
+    def test_true_is_both(self):
+        assert is_safety(PTRUE) and is_liveness(PTRUE)
+
+    def test_false_is_not_liveness(self):
+        assert not is_liveness(PFALSE)
+
+
+class TestAlpernSchneiderStructure:
+    """Sanity relations between the notions (Alpern & Schneider 1985)."""
+
+    @given(formula=ptl_formulas(max_props=2))
+    @settings(max_examples=60, deadline=None)
+    def test_safety_and_liveness_implies_trivial(self, formula):
+        # A property that is both safety and liveness is the set of all
+        # sequences: the formula must be valid.
+        if is_safety(formula) and is_liveness(formula):
+            from repro.ptl import is_valid
+
+            assert is_valid(formula)
+
+    @given(formula=ptl_formulas(max_props=2))
+    @settings(max_examples=60, deadline=None)
+    def test_liveness_implies_always_potentially_satisfied(self, formula):
+        # Liveness formulas are useless as constraints: every prefix
+        # extends to a model — in particular the formula is satisfiable.
+        if is_liveness(formula):
+            assert is_satisfiable(formula)
+
+    def test_closure_automaton_nonempty_for_satisfiable(self):
+        auto = closure_automaton(parse_ptl("p U q"))
+        assert not auto.is_empty()
+
+    def test_closure_of_safety_equals_formula(self):
+        # For a safety formula, the closure adds nothing; the negation
+        # product is empty (this is what is_safety checks — assert the
+        # building block directly).
+        from repro.ptl import build_automaton, pnot, product
+
+        f = parse_ptl("G (p -> X q)")
+        closure = closure_automaton(f)
+        negation = build_automaton(pnot(f))
+        assert product(closure, negation).is_empty()

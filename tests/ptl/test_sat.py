@@ -1,0 +1,81 @@
+"""Tests for the satisfiability facade (validity, equivalence, quick path)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.ptl import (
+    PFALSE,
+    PTRUE,
+    equivalent,
+    find_model,
+    is_satisfiable,
+    is_valid,
+    parse_ptl,
+    pnot,
+    quick_model_check,
+    satisfies,
+)
+
+from ..conftest import ptl_formulas
+
+
+class TestFacade:
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            is_satisfiable(parse_ptl("p"), method="magic")
+
+    def test_validity(self):
+        assert is_valid(parse_ptl("p | !p"))
+        assert not is_valid(parse_ptl("p"))
+        assert is_valid(parse_ptl("(G p) -> p"))
+        assert not is_valid(parse_ptl("p -> G p"))
+
+    def test_known_equivalences(self):
+        assert equivalent(parse_ptl("F p"), parse_ptl("true U p"))
+        assert equivalent(parse_ptl("G p"), parse_ptl("!(F !p)"))
+        assert equivalent(parse_ptl("p W q"), parse_ptl("(p U q) | G p"))
+        assert equivalent(parse_ptl("p R q"), parse_ptl("!(!p U !q)"))
+        assert not equivalent(parse_ptl("p U q"), parse_ptl("p W q"))
+
+    def test_find_model_none_for_unsat(self):
+        assert find_model(PFALSE) is None
+
+    def test_find_model_satisfies(self):
+        f = parse_ptl("(p U q) & G (q -> X !q)")
+        model = find_model(f)
+        assert model is not None and satisfies(model, f)
+
+
+class TestQuickPath:
+    def test_quick_finds_quiescent_model(self):
+        assert quick_model_check(parse_ptl("G !p"))
+
+    def test_quick_rejects_obligation(self):
+        assert not quick_model_check(parse_ptl("F p"))
+
+    @given(formula=ptl_formulas())
+    @settings(max_examples=150, deadline=None)
+    def test_quick_never_changes_answers(self, formula):
+        assert is_satisfiable(formula, quick=True) == is_satisfiable(
+            formula, quick=False
+        )
+
+    @given(formula=ptl_formulas())
+    @settings(max_examples=100, deadline=None)
+    def test_quick_positive_implies_satisfiable(self, formula):
+        if quick_model_check(formula):
+            assert is_satisfiable(formula)
+
+
+class TestDualities:
+    @given(formula=ptl_formulas())
+    @settings(max_examples=100, deadline=None)
+    def test_excluded_middle_of_satisfiability(self, formula):
+        # f unsatisfiable implies !f valid, and vice versa.
+        if not is_satisfiable(formula):
+            assert is_valid(pnot(formula))
+
+    @given(formula=ptl_formulas())
+    @settings(max_examples=60, deadline=None)
+    def test_equivalence_reflexive(self, formula):
+        assert equivalent(formula, formula)

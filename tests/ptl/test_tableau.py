@@ -1,0 +1,65 @@
+"""Tests for the atom-graph tableau and engine cross-validation (A2's
+correctness basis): the two independently implemented satisfiability
+engines must agree on every formula."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.ptl import (
+    build_tableau,
+    is_satisfiable_buchi,
+    is_satisfiable_tableau,
+    parse_ptl,
+)
+
+from ..conftest import ptl_formulas
+
+
+class TestTableau:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("p", True),
+            ("p & !p", False),
+            ("G (p -> X q)", True),
+            ("(p U q) & G !q", False),
+            ("G F p & G F !p", True),
+            ("F G p & G F !p", False),
+        ],
+    )
+    def test_known_cases(self, text, expected):
+        assert is_satisfiable_tableau(parse_ptl(text)) is expected
+
+    def test_base_limit_enforced(self):
+        # 20 distinct temporal subformulas exceed the default max_base.
+        parts = " & ".join(f"(p{i} U q{i})" for i in range(20))
+        with pytest.raises(ValueError, match="max_base"):
+            is_satisfiable_tableau(parse_ptl(parts))
+
+    def test_tableau_of_true(self):
+        from repro.ptl import PTRUE
+
+        assert not build_tableau(PTRUE).is_empty()
+
+    def test_tableau_of_false(self):
+        from repro.ptl import PFALSE
+
+        assert build_tableau(PFALSE).is_empty()
+
+
+class TestEnginesAgree:
+    @given(formula=ptl_formulas())
+    @settings(max_examples=250, deadline=None)
+    def test_buchi_equals_tableau(self, formula):
+        assert is_satisfiable_buchi(formula) == is_satisfiable_tableau(
+            formula
+        )
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_on_generated_formulas(self, seed):
+        from repro.workloads import PTLConfig, random_ptl
+
+        formula = random_ptl(PTLConfig(size=8, propositions=3, seed=seed))
+        assert is_satisfiable_buchi(formula) == is_satisfiable_tableau(
+            formula
+        )

@@ -1,0 +1,56 @@
+"""Smoke tests: every shipped example runs and prints what it promises."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run_example(name, capsys):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = _run_example("quickstart", capsys)
+    assert "good history potentially satisfied: True" in out
+    assert "bad history potentially satisfied: False" in out
+    assert "witness extension verified: True" in out
+
+
+def test_orders_queue(capsys):
+    out = _run_example("orders_queue", capsys)
+    assert "VIOLATION" in out
+    assert "fifo_fill" in out
+
+
+def test_triggers_demo(capsys):
+    out = _run_example("triggers_demo", capsys)
+    assert "'resubmitted' fired" in out
+    assert "'double_fill' fired" in out
+
+
+def test_safety_analysis(capsys):
+    out = _run_example("safety_analysis", capsys)
+    assert "NotSafetyError" in out
+    assert "WRONG" in out
+
+
+@pytest.mark.slow
+def test_turing_undecidability(capsys):
+    out = _run_example("turing_undecidability", capsys)
+    assert "valid encoding: True" in out
+    assert "HALTED (definitely not repeating)" in out
+    assert "origin visits certified" in out

@@ -1,0 +1,124 @@
+"""Tests for the configuration <-> database-state encoding."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.turing import (
+    Configuration,
+    MachineEncoding,
+    bouncer,
+    check_encoding,
+    origin_visits,
+    parity,
+    runaway,
+)
+
+
+@pytest.fixture
+def enc():
+    return MachineEncoding.for_machine(parity())
+
+
+class TestVocabulary:
+    def test_one_predicate_per_state_and_symbol(self, enc):
+        machine = parity()
+        expected = len(machine.states) + len(machine.tape_alphabet) - 1
+        assert len(enc.vocabulary.predicates) == expected
+
+    def test_blank_has_no_predicate(self, enc):
+        assert enc.predicate_for("B") is None
+
+    def test_unknown_symbol_rejected(self, enc):
+        with pytest.raises(MachineError):
+            enc.predicate_for("??")
+
+
+class TestRoundTrip:
+    def test_configuration_roundtrip(self, enc):
+        c = Configuration(state="even", cells=("0", "1", "0"), head=2)
+        state = enc.encode_configuration(c)
+        assert enc.decode_state(state) == c
+
+    @pytest.mark.parametrize("word", ["", "0", "11", "0101"])
+    def test_run_roundtrip(self, enc, word):
+        history, result = enc.encode_run(word, steps=10)
+        decoded = enc.decode_history(history)
+        assert decoded == result.configurations
+
+    def test_padding_does_not_change_decoding(self, enc):
+        c = Configuration.initial(parity(), "01")
+        narrow = enc.encode_configuration(c)
+        wide = enc.encode_configuration(c, length=20)
+        assert enc.decode_state(narrow) == enc.decode_state(wide)
+
+    def test_clashing_state_rejected(self, enc):
+        c = Configuration.initial(parity(), "0")
+        state = enc.encode_configuration(c).with_facts([("T_1", (0,))])
+        with pytest.raises(MachineError, match="two symbols"):
+            enc.decode_state(state)
+
+    def test_empty_state_rejected(self, enc):
+        from repro.database import DatabaseState
+
+        with pytest.raises(MachineError):
+            enc.decode_state(DatabaseState.empty(enc.vocabulary))
+
+
+class TestCheckEncoding:
+    @pytest.mark.parametrize(
+        "maker,word", [(runaway, "01"), (bouncer, "1"), (parity, "11")]
+    )
+    def test_valid_runs_pass(self, maker, word):
+        machine = maker()
+        encoding = MachineEncoding.for_machine(machine)
+        history, _ = encoding.encode_run(word, steps=25)
+        assert check_encoding(history, encoding).ok
+
+    def test_corrupted_transition_detected(self, enc):
+        from repro.database import History
+
+        history, _ = enc.encode_run("11", steps=6)
+        states = list(history.states)
+        # Flip a blank cell to a tape symbol mid-run: breaks a window rule.
+        states[3] = states[3].with_facts([("T_1", (9,))])
+        bad = History(vocabulary=history.vocabulary, states=tuple(states))
+        report = check_encoding(bad, enc)
+        assert not report.ok and not report.transitions
+
+    def test_bad_initial_configuration_detected(self, enc):
+        from repro.database import DatabaseState, History
+
+        # State 0 does not start with the initial control state.
+        state0 = DatabaseState.from_facts(
+            enc.vocabulary, [("T_0", (0,))]
+        )
+        bad = History(vocabulary=enc.vocabulary, states=(state0,))
+        report = check_encoding(bad, enc)
+        assert not report.ok and not report.initial
+
+    def test_continuing_past_halt_detected(self):
+        from repro.database import History
+        from repro.turing import halter
+
+        machine = halter()
+        encoding = MachineEncoding.for_machine(machine)
+        history, result = encoding.encode_run("0", steps=5)
+        assert result.halted
+        # Append a copy of the last state: the machine halted, so no
+        # successor configuration is legal.
+        bad = History(
+            vocabulary=history.vocabulary,
+            states=history.states + (history.states[-1],),
+        )
+        report = check_encoding(bad, encoding)
+        assert not report.ok
+        assert "no legal successor" in report.detail
+
+    def test_origin_visits_counted(self, enc):
+        history, result = enc.encode_run("11", steps=30)
+        assert origin_visits(history, enc) == result.origin_visits
+
+    def test_evaluation_domain_covers_positions(self, enc):
+        history, _ = enc.encode_run("101", steps=5)
+        domain = enc.evaluation_domain(history)
+        assert max(history.relevant_elements()) + 2 in domain

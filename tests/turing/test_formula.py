@@ -1,0 +1,124 @@
+"""Tests for the Proposition 3.1 formula and its cross-validation against
+the direct checker and the generic evaluator."""
+
+import pytest
+
+from repro.database import History
+from repro.eval import evaluate_finite
+from repro.logic.classify import classify
+from repro.turing import (
+    HALT,
+    MachineEncoding,
+    build_phi,
+    check_encoding,
+    halter,
+    next_symbol,
+    parity,
+    runaway,
+    window_rules,
+)
+
+
+class TestWindowRules:
+    def test_frame_rule(self):
+        m = runaway()
+        assert next_symbol(m, "0", "1", "0", "B") == "1"
+
+    def test_head_writes_and_moves_right(self):
+        m = runaway()  # (q0, s) -> (q0, s, R)
+        # Window centred on the head: q0 scanning '1'.
+        assert next_symbol(m, "0", "q0", "1", "B") == "1"  # writes scanned
+        # Position right of the head receives the state.
+        assert next_symbol(m, "0", "1", "q0", "1") == "1"
+
+    def test_state_enters_from_left(self):
+        m = runaway()
+        # Window (q0, s, d): position of s gets the new state for R moves.
+        assert next_symbol(m, "q0", "1", "0", "B") == "q0"
+
+    def test_halt_detected(self):
+        m = halter()
+        assert next_symbol(m, None, "q0", "0", "B") == HALT
+
+    def test_left_move_uses_left_neighbour(self):
+        m = parity()  # ("back", sym) -> ("back", sym, L)
+        assert next_symbol(m, "0", "back", "1", "B") == "0"
+
+    def test_rules_skip_double_state_windows(self):
+        m = parity()
+        for window, _effect in window_rules(m, interior=True):
+            states = sum(1 for s in window if s in m.states)
+            assert states <= 1
+
+    def test_origin_windows_are_triples(self):
+        m = runaway()
+        for window, _effect in window_rules(m, interior=False):
+            assert len(window) == 3
+
+
+class TestPhiShape:
+    def test_phi_is_universal(self):
+        enc = MachineEncoding.for_machine(runaway())
+        phi = build_phi(enc).conjunction()
+        info = classify(phi)
+        assert info.is_universal
+        assert len(info.external_universals) == 4
+
+    def test_safety_part_lacks_eventuality(self):
+        from repro.logic import is_syntactically_safe
+
+        enc = MachineEncoding.for_machine(runaway())
+        phi = build_phi(enc)
+        assert is_syntactically_safe(phi.safety_part())
+        assert not is_syntactically_safe(phi.conjunction())
+
+    def test_repeating_conjunct_mentions_zero(self):
+        enc = MachineEncoding.for_machine(runaway())
+        phi = build_phi(enc)
+        assert ("Zero", 1) in phi.repeating.predicates()
+
+
+@pytest.mark.slow
+class TestPhiAgainstEvaluator:
+    """The generic FOTL evaluator agrees with the direct checker on the
+    safety part of phi (small instances only: the evaluator is
+    |domain|^4 per window rule)."""
+
+    def test_valid_encoding_satisfies_phi(self):
+        enc = MachineEncoding.for_machine(runaway())
+        phi = build_phi(enc)
+        history, _ = enc.encode_run("1", steps=2)
+        domain = enc.evaluation_domain(history)
+        assert evaluate_finite(
+            phi.safety_part(), history, future="weak", domain=domain
+        )
+        assert check_encoding(history, enc).ok
+
+    def test_corrupted_encoding_violates_phi(self):
+        enc = MachineEncoding.for_machine(runaway())
+        phi = build_phi(enc)
+        history, _ = enc.encode_run("1", steps=2)
+        domain = enc.evaluation_domain(history)
+        states = list(history.states)
+        states[2] = states[2].with_facts([("T_1", (1,))])
+        bad = History(vocabulary=history.vocabulary, states=tuple(states))
+        assert not evaluate_finite(
+            phi.safety_part(), bad, future="weak", domain=domain
+        )
+        assert not check_encoding(bad, enc).ok
+
+    def test_initial_conjunct_rejects_gap(self):
+        from repro.database import DatabaseState
+
+        enc = MachineEncoding.for_machine(runaway())
+        phi = build_phi(enc)
+        # q0 at 0, input at 1, blank gap at 2, input at 3: not contiguous.
+        state0 = DatabaseState.from_facts(
+            enc.vocabulary,
+            [("S_q0", (0,)), ("T_1", (1,)), ("T_0", (3,))],
+        )
+        history = History(vocabulary=enc.vocabulary, states=(state0,))
+        domain = frozenset(range(6))
+        assert not evaluate_finite(
+            phi.initial, history, future="weak", domain=domain
+        )

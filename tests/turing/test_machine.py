@@ -1,0 +1,162 @@
+"""Tests for the Turing machine simulator."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.turing import (
+    BLANK,
+    Configuration,
+    Transition,
+    TuringMachine,
+    bouncer,
+    halter,
+    parity,
+    run,
+    runaway,
+    step,
+    trace,
+)
+
+
+class TestDefinitions:
+    def test_blank_required(self):
+        with pytest.raises(MachineError, match="blank"):
+            TuringMachine(
+                name="m",
+                states=frozenset({"q"}),
+                initial="q",
+                transitions={},
+                tape_alphabet=frozenset({"0", "1"}),
+            )
+
+    def test_initial_must_be_declared(self):
+        with pytest.raises(MachineError):
+            TuringMachine(
+                name="m",
+                states=frozenset({"q"}),
+                initial="r",
+                transitions={},
+                tape_alphabet=frozenset({BLANK}),
+            )
+
+    def test_states_and_symbols_disjoint(self):
+        with pytest.raises(MachineError, match="disjoint"):
+            TuringMachine(
+                name="m",
+                states=frozenset({"0"}),
+                initial="0",
+                transitions={},
+                tape_alphabet=frozenset({"0", BLANK}),
+            )
+
+    def test_bad_move_rejected(self):
+        with pytest.raises(MachineError):
+            Transition("q", "0", "UP")
+
+    def test_transition_consistency_checked(self):
+        with pytest.raises(MachineError):
+            TuringMachine(
+                name="m",
+                states=frozenset({"q"}),
+                initial="q",
+                transitions={("q", "9"): Transition("q", "0", "R")},
+                tape_alphabet=frozenset({"0", BLANK}),
+            )
+
+
+class TestConfigurations:
+    def test_initial_configuration(self):
+        c = Configuration.initial(runaway(), "01")
+        assert c.state == "q0" and c.head == 0
+        assert c.cells == ("0", "1")
+
+    def test_bad_input_alphabet(self):
+        with pytest.raises(MachineError):
+            Configuration.initial(runaway(), "0x1")
+
+    def test_string_inserts_state_before_scanned(self):
+        c = Configuration(state="q", cells=("a", "b"), head=1)
+        # tape: a b..., head on b; string: a q b
+        assert c.string()[:3] == ("a", "q", "b")
+
+    def test_string_at_origin(self):
+        c = Configuration.initial(runaway(), "10")
+        assert c.string()[:3] == ("q0", "1", "0")
+
+    def test_string_roundtrip(self):
+        m = runaway()
+        c = Configuration(state="q0", cells=("0", "1", "0"), head=2)
+        assert Configuration.from_string(c.string(), m) == c
+
+    def test_from_string_requires_one_state(self):
+        with pytest.raises(MachineError):
+            Configuration.from_string(("0", "1"), runaway())
+        with pytest.raises(MachineError):
+            Configuration.from_string(("q0", "q0"), runaway())
+
+
+class TestStepping:
+    def test_halter_halts(self):
+        c = Configuration.initial(halter(), "0")
+        assert step(halter(), c) is None
+
+    def test_runaway_moves_right(self):
+        m = runaway()
+        c = Configuration.initial(m, "1")
+        c2 = step(m, c)
+        assert c2.head == 1 and c2.state == "q0"
+
+    def test_run_statistics_halting(self):
+        result = run(halter(), "0101", max_steps=100)
+        assert result.halted
+        assert result.steps == 0
+        assert result.origin_visits == 1
+
+    def test_run_statistics_runaway(self):
+        result = run(runaway(), "01", max_steps=50)
+        assert not result.halted
+        assert result.steps == 50
+        assert result.origin_visits == 1  # only the initial configuration
+
+    def test_trace_generator(self):
+        configs = list(trace(runaway(), "0", steps=3))
+        assert len(configs) == 4
+        assert [c.head for c in configs] == [0, 1, 2, 3]
+
+
+class TestZooBehaviour:
+    def test_bouncer_repeats_on_everything(self):
+        for word in ("", "0", "10", "0101"):
+            result = run(bouncer(), word, max_steps=200)
+            assert not result.halted
+            assert result.origin_visits > 5
+
+    def test_parity_even_repeats(self):
+        result = run(parity(), "11", max_steps=200)
+        assert not result.halted
+        assert result.origin_visits > 5
+
+    def test_parity_odd_halts(self):
+        result = run(parity(), "1", max_steps=200)
+        assert result.halted
+
+    def test_parity_empty_word_is_even(self):
+        result = run(parity(), "", max_steps=100)
+        assert not result.halted
+        assert result.origin_visits > 2
+
+    @pytest.mark.parametrize("word", ["", "0", "1", "11", "101", "0110"])
+    def test_parity_matches_ground_truth(self, word):
+        from repro.turing import is_repeating_parity
+
+        result = run(parity(), word, max_steps=500)
+        if is_repeating_parity(word):
+            assert not result.halted
+            assert result.origin_visits >= 3
+        else:
+            assert result.halted
+
+    def test_no_left_move_at_origin(self):
+        # The zoo machines mark the origin; 300 steps must never crash.
+        for maker in (bouncer, parity, runaway, halter):
+            run(maker(), "0110", max_steps=300)

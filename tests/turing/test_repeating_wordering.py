@@ -1,0 +1,179 @@
+"""Tests for the bounded semi-decision procedures and the W construction."""
+
+import pytest
+
+from repro.database import History
+from repro.logic.classify import classify
+from repro.logic.safety import is_syntactically_safe
+from repro.turing import (
+    MachineEncoding,
+    Verdict,
+    bounded_extension_search,
+    bounded_repeating,
+    build_phi_tilde,
+    finite_universe_formula,
+    halter,
+    parity,
+    visit_growth,
+    w1,
+    w2,
+    w3,
+    w4,
+)
+
+
+@pytest.fixture
+def enc():
+    return MachineEncoding.for_machine(parity())
+
+
+class TestBoundedRepeating:
+    def test_halting_is_definitive(self):
+        outcome = bounded_repeating(parity(), "1", max_steps=200)
+        assert outcome.verdict is Verdict.NOT_REPEATING
+
+    def test_repeating_gives_growing_evidence(self):
+        small = bounded_repeating(parity(), "11", max_steps=50)
+        large = bounded_repeating(parity(), "11", max_steps=500)
+        assert small.verdict is Verdict.EVIDENCE
+        assert large.origin_visits > small.origin_visits
+
+    def test_visit_growth_series(self):
+        rows = visit_growth(parity(), "1001", [20, 100, 300])
+        budgets = [row[0] for row in rows]
+        visits = [row[1] for row in rows]
+        assert budgets == [20, 100, 300]
+        assert visits == sorted(visits)
+        assert not any(row[2] for row in rows)  # never halts
+
+    def test_visit_growth_freezes_on_halting(self):
+        rows = visit_growth(halter(), "0", [10, 50])
+        assert all(row[2] for row in rows)
+
+
+class TestBoundedExtensionSearch:
+    def test_prolongs_to_target(self, enc):
+        history, _ = enc.encode_run("1001", steps=3)
+        outcome = bounded_extension_search(
+            history, enc, target_visits=8, max_steps=5000
+        )
+        assert outcome.verdict is Verdict.EVIDENCE
+        assert outcome.origin_visits >= 8
+
+    def test_halting_word_cannot_reach_target(self, enc):
+        history, _ = enc.encode_run("1", steps=2)
+        outcome = bounded_extension_search(
+            history, enc, target_visits=5, max_steps=5000
+        )
+        assert outcome.verdict is Verdict.NOT_REPEATING
+
+    def test_invalid_history_rejected(self, enc):
+        history, _ = enc.encode_run("11", steps=4)
+        states = list(history.states)
+        states[1] = states[1].with_facts([("T_0", (30,))])
+        bad = History(vocabulary=history.vocabulary, states=tuple(states))
+        outcome = bounded_extension_search(
+            bad, enc, target_visits=3, max_steps=100
+        )
+        assert outcome.verdict is Verdict.INVALID
+
+    def test_budget_exhaustion_reports_partial(self, enc):
+        history, _ = enc.encode_run("1111", steps=1)
+        outcome = bounded_extension_search(
+            history, enc, target_visits=10_000, max_steps=50
+        )
+        assert outcome.verdict is Verdict.EVIDENCE
+        assert outcome.origin_visits < 10_000
+        assert outcome.steps_used == 50
+
+
+class TestWOrdering:
+    def test_w_formulas_are_universal(self):
+        assert classify(w1()).is_universal
+        assert classify(w3()).is_universal
+
+    def test_w2_has_internal_existential(self):
+        info = classify(w2())
+        assert info.is_biquantified
+        assert info.internal_quantifiers == 1
+
+    def test_phi_tilde_is_the_undecidable_class(self, enc):
+        tilde = build_phi_tilde(enc).conjunction()
+        info = classify(tilde)
+        assert info.is_biquantified
+        assert not info.is_universal
+        assert info.internal_quantifiers == 1
+        assert info.internal_sigma_level == 1
+
+    def test_phi_tilde_uses_only_monadic_predicates(self, enc):
+        tilde = build_phi_tilde(enc).conjunction()
+        assert all(arity == 1 for _name, arity in tilde.predicates())
+
+    def test_phi_tilde_has_no_builtins(self, enc):
+        tilde = build_phi_tilde(enc).conjunction()
+        names = {name for name, _arity in tilde.predicates()}
+        assert not (names & {"leq", "succ", "Zero"})
+
+    def test_w_ordering_semantics_on_explicit_database(self):
+        """W enumerating 0,1,2 makes x <=_W y match the real order."""
+        from repro.database import vocabulary
+        from repro.eval import evaluate_lasso_db
+        from repro.database import LassoDatabase
+        from repro.logic import parse
+
+        v = vocabulary({"W": 1})
+        h = History.from_facts(
+            v, [[("W", (0,))], [("W", (1,))], [("W", (2,))]]
+        )
+        db = LassoDatabase(
+            vocabulary=v, stem=h.states, loop=(h.states[-1].without_facts(
+                [("W", (2,))]
+            ),)
+        )
+        from repro.turing import leq_w, succ_w
+        from repro.logic.terms import Variable
+
+        x, y = Variable("x"), Variable("y")
+        from repro.logic.builders import exists, forall, implies
+
+        # 0 <=_W 2 holds; 2 <=_W 0 does not.
+        from repro.eval import evaluate_lasso_db
+
+        assert evaluate_lasso_db(
+            leq_w(x, y), db, valuation={x: 0, y: 2}
+        )
+        assert not evaluate_lasso_db(
+            leq_w(x, y), db, valuation={x: 2, y: 0}
+        )
+        assert evaluate_lasso_db(succ_w(x, y), db, valuation={x: 1, y: 2})
+        assert not evaluate_lasso_db(
+            succ_w(x, y), db, valuation={x: 0, y: 2}
+        )
+
+
+class TestFiniteUniverseExample:
+    def test_universal_but_not_safety(self):
+        f = finite_universe_formula()
+        assert classify(f).is_universal
+        assert not is_syntactically_safe(f)
+
+    def test_w4_demands_every_element(self):
+        info = classify(w4())
+        assert info.is_universal
+
+    def test_no_lasso_model_exists(self):
+        """W2-style enumeration of the whole universe cannot live on a
+        lasso with finitely many elements; the checker (forced past the
+        safety gate) correctly reports no extension from the empty
+        history."""
+        from repro.core import check_extension
+        from repro.database import History, vocabulary
+
+        v = vocabulary({"W": 1, "Q": 1})
+        h = History.empty(v)
+        result = check_extension(
+            finite_universe_formula(), h, assume_safety=True
+        )
+        # Ground truth here: the formula has no infinite-universe model at
+        # all (the paper's point), so "not potentially satisfied" is right.
+        assert not result.potentially_satisfied

@@ -1,0 +1,156 @@
+"""Tests for the Section 6 SAT reduction."""
+
+import random
+
+import pytest
+
+from repro.errors import StateError
+from repro.eval import evaluate_finite
+from repro.logic.classify import classify
+from repro.logic.safety import is_syntactically_safe
+from repro.turing.sat_reduction import (
+    CNF,
+    SAT_VOCABULARY,
+    build_initial_state,
+    build_sat_formula,
+    decide_extension,
+    instance_elements,
+    simulate_history,
+)
+
+
+def random_cnf(rng, max_vars=3, max_clauses=3):
+    n = rng.randint(1, max_vars)
+    m = rng.randint(1, max_clauses)
+    clauses = []
+    for _ in range(m):
+        size = rng.randint(1, n)
+        chosen = rng.sample(range(1, n + 1), size)
+        clauses.append(
+            tuple(v if rng.random() < 0.5 else -v for v in chosen)
+        )
+    return CNF(n, tuple(clauses))
+
+
+class TestCNF:
+    def test_validation(self):
+        with pytest.raises(StateError):
+            CNF(0, ((1,),))
+        with pytest.raises(StateError):
+            CNF(2, ())
+        with pytest.raises(StateError):
+            CNF(2, ((3,),))
+        with pytest.raises(StateError):
+            CNF(2, ((0,),))
+
+    def test_brute_force(self):
+        assert CNF(1, ((1,),)).brute_force_satisfiable()
+        assert not CNF(1, ((1,), (-1,))).brute_force_satisfiable()
+        assert CNF(2, ((1, -2), (-1, 2))).brute_force_satisfiable()
+
+
+class TestFormula:
+    def test_fixed_formula_is_universal_safety(self):
+        f = build_sat_formula()
+        info = classify(f)
+        assert info.is_universal
+        assert len(info.external_universals) == 4
+        assert is_syntactically_safe(f)
+
+    def test_formula_is_instance_independent(self):
+        assert build_sat_formula() == build_sat_formula()
+
+
+class TestInitialState:
+    def test_element_layout(self):
+        cnf = CNF(2, ((1,), (-2,)))
+        unit, variables, clauses = instance_elements(cnf)
+        assert unit == 0
+        assert variables == (1, 2)
+        assert clauses == (3, 4)
+
+    def test_d0_encodes_clauses(self):
+        cnf = CNF(2, ((1, -2),))
+        d0 = build_initial_state(cnf)
+        assert d0.holds("Pos", (3, 1))
+        assert d0.holds("Neg", (3, 2))
+        assert d0.holds("Scan", (0,))
+        assert d0.holds("Carry", (1,))
+        assert not d0.holds("Val", (1,))
+
+    def test_d0_size_linear_in_instance(self):
+        small = build_initial_state(CNF(2, ((1,),)))
+        large = build_initial_state(
+            CNF(6, tuple((v,) for v in range(1, 7)))
+        )
+        assert large.fact_count() > small.fact_count()
+
+
+class TestDecision:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_matches_brute_force(self, seed):
+        rng = random.Random(seed)
+        cnf = random_cnf(rng)
+        outcome = decide_extension(cnf)
+        assert outcome.satisfiable == cnf.brute_force_satisfiable()
+
+    def test_witness_satisfies_cnf(self):
+        cnf = CNF(3, ((1, -2), (-1, 3), (2, 3)))
+        outcome = decide_extension(cnf)
+        assert outcome.satisfiable
+        witness = outcome.witness
+        for clause in cnf.clauses:
+            assert any(
+                witness[abs(lit)] == (lit > 0) for lit in clause
+            )
+
+    def test_unsat_explores_all_assignments(self):
+        cnf = CNF(3, ((1,), (-1,)))
+        outcome = decide_extension(cnf)
+        assert not outcome.satisfiable
+        assert outcome.assignments_tried == 8
+
+    def test_exponential_step_growth(self):
+        # All-positive unit clauses force the search to the very last
+        # assignment: steps grow ~2^n.
+        steps = []
+        for n in (2, 4, 6):
+            cnf = CNF(n, tuple((v,) for v in range(1, n + 1)))
+            steps.append(decide_extension(cnf).steps)
+        assert steps[1] > 3 * steps[0]
+        assert steps[2] > 3 * steps[1]
+
+
+class TestFormulaSimulatorAgreement:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_rules_hold_on_simulated_runs(self, seed):
+        rng = random.Random(seed + 100)
+        cnf = random_cnf(rng, max_vars=2, max_clauses=2)
+        formula = build_sat_formula()
+        history = simulate_history(cnf, steps=12)
+        domain = frozenset(
+            range(0, 3 + cnf.num_vars + len(cnf.clauses))
+        )
+        assert evaluate_finite(
+            formula, history, future="weak", domain=domain
+        )
+
+    def test_rules_reject_corrupted_run(self):
+        from repro.database import History
+
+        cnf = CNF(2, ((1, -2), (-1,)))
+        formula = build_sat_formula()
+        history = simulate_history(cnf, steps=6)
+        states = list(history.states)
+        states[1] = states[1].with_facts([("Val", (1,))])
+        bad = History(vocabulary=SAT_VOCABULARY, states=tuple(states))
+        assert not evaluate_finite(
+            formula, bad, future="weak", domain=frozenset(range(8))
+        )
+
+    def test_done_state_loops_forever(self):
+        cnf = CNF(1, ((-1,),))  # satisfied by the all-zeros assignment
+        history = simulate_history(cnf, steps=8)
+        # Once Done, the state freezes.
+        assert history.states[-1] == history.states[-2]
+        assert history.states[-1].holds("Done", (0,))

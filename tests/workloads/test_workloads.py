@@ -1,0 +1,148 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.database import vocabulary
+from repro.logic.classify import classify
+from repro.logic.safety import is_syntactically_safe
+from repro.workloads import (
+    ConstraintConfig,
+    HistoryConfig,
+    ORDER_VOCABULARY,
+    OrderWorkloadConfig,
+    PTLConfig,
+    clean_trace,
+    fifo_fill,
+    fill_after_submit_past,
+    fixed_domain_history,
+    generate_orders,
+    no_fill_before_submit,
+    random_history,
+    random_ptl,
+    random_universal_constraint,
+    sparse_growing_history,
+    standard_constraints,
+    submit_once,
+    trace_with_duplicate,
+    trace_with_out_of_order_fill,
+)
+
+
+class TestOrderConstraints:
+    def test_all_standard_constraints_are_checkable(self):
+        for name, constraint in standard_constraints().items():
+            info = classify(constraint)
+            assert info.is_universal, name
+            assert is_syntactically_safe(constraint), name
+
+    def test_past_audit_is_past_formula(self):
+        from repro.logic.classify import uses_future, uses_past
+
+        f = fill_after_submit_past()
+        # G (past): future G over a past body.
+        assert uses_past(f)
+
+    def test_future_audit_universal(self):
+        assert classify(no_fill_before_submit()).is_universal
+
+
+class TestOrderGenerator:
+    def test_deterministic_given_seed(self):
+        a = generate_orders(OrderWorkloadConfig(length=20, seed=5))
+        b = generate_orders(OrderWorkloadConfig(length=20, seed=5))
+        assert a.facts_per_instant == b.facts_per_instant
+
+    def test_length(self):
+        assert len(clean_trace(15).facts_per_instant) == 15
+
+    def test_clean_trace_respects_constraints(self):
+        from repro.core import potentially_satisfied
+
+        trace = clean_trace(15, seed=3)
+        history = trace.history()
+        for name, constraint in standard_constraints().items():
+            assert potentially_satisfied(constraint, history), name
+
+    def test_duplicate_injection_violates_submit_once(self):
+        from repro.core import potentially_satisfied
+
+        trace = trace_with_duplicate(15, violate_at=10, seed=3)
+        history = trace.history()
+        assert not potentially_satisfied(submit_once(), history)
+
+    def test_out_of_order_injection_violates_fifo(self):
+        from repro.core import potentially_satisfied
+
+        trace = trace_with_out_of_order_fill(20, violate_at=10, seed=2)
+        history = trace.history()
+        assert not potentially_satisfied(fifo_fill(), history)
+
+    def test_fifo_discipline_without_injection(self):
+        trace = clean_trace(30, seed=8)
+        fills = [order for _t, order in trace.filled]
+        assert fills == sorted(fills)
+
+    def test_states_match_history(self):
+        trace = clean_trace(5, seed=0)
+        assert tuple(trace.states()) == trace.history().states
+
+
+class TestRandomHistories:
+    def test_shape(self):
+        v = vocabulary({"p": 1, "q": 2})
+        h = random_history(v, HistoryConfig(length=7, domain_size=3, seed=1))
+        assert len(h) == 7
+        assert h.relevant_elements() <= set(range(3))
+
+    def test_deterministic(self):
+        v = vocabulary({"p": 1})
+        config = HistoryConfig(length=5, seed=9)
+        assert random_history(v, config) == random_history(v, config)
+
+    def test_density_extremes(self):
+        v = vocabulary({"p": 1})
+        empty = random_history(
+            v, HistoryConfig(length=3, domain_size=3, density=0.0)
+        )
+        full = random_history(
+            v, HistoryConfig(length=3, domain_size=3, density=1.0)
+        )
+        assert empty.fact_count() == 0
+        assert full.fact_count() == 9
+
+    def test_sparse_growing_history_grows(self):
+        v = vocabulary({"p": 1})
+        h = sparse_growing_history(v, length=6, elements_per_state=2)
+        assert len(h.relevant_elements()) >= 12
+
+    def test_sparse_growing_requires_unary(self):
+        with pytest.raises(ValueError):
+            sparse_growing_history(vocabulary({"e": 2}), length=3)
+
+    def test_fixed_domain_history_bounded(self):
+        v = vocabulary({"p": 1})
+        h = fixed_domain_history(v, length=10, domain_size=4)
+        assert h.relevant_elements() <= set(range(4))
+
+
+class TestRandomFormulas:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_ptl_formulas_have_letters(self, seed):
+        f = random_ptl(PTLConfig(size=7, seed=seed))
+        assert f.propositions()
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_universal_constraints_in_fragment(self, seed):
+        f = random_universal_constraint(
+            ORDER_VOCABULARY, ConstraintConfig(seed=seed)
+        )
+        info = classify(f)
+        assert info.is_universal
+        assert is_syntactically_safe(f)
+        assert f.is_closed()
+
+    def test_deterministic(self):
+        c = ConstraintConfig(seed=4)
+        assert random_universal_constraint(
+            ORDER_VOCABULARY, c
+        ) == random_universal_constraint(ORDER_VOCABULARY, c)
