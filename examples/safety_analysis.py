@@ -11,8 +11,18 @@ Run with:  python examples/safety_analysis.py
 
 from repro import NotSafetyError, check_extension, parse, vocabulary
 from repro.database import History
+from repro.lint import lint_formula, lint_source
 from repro.logic.safety import is_syntactically_safe, why_not_safe
 from repro.ptl import is_liveness, is_safety, parse_ptl
+from repro.workloads import ConstraintConfig, random_universal_constraint
+from repro.workloads.orders import (
+    ORDER_VOCABULARY,
+    fifo_fill,
+    fill_after_submit_past,
+    fill_once,
+    no_fill_before_submit,
+    submit_once,
+)
 
 
 def main() -> None:
@@ -62,6 +72,35 @@ def main() -> None:
     print("  ground truth: True (enumerate the universe over time) — the")
     print("  forced answer is WRONG, which is exactly why assume_safety")
     print("  must never be used on genuinely non-safety formulas.")
+    print()
+
+    print("The lint engine over the whole order workload")
+    print("-" * 64)
+    workload = {
+        "submit_once": submit_once(),
+        "fifo_fill": fifo_fill(),
+        "fill_once": fill_once(),
+        "fill_after_submit (past)": fill_after_submit_past(),
+        "no_fill_before_submit": no_fill_before_submit(),
+        "random_universal (seed 7)": random_universal_constraint(
+            ORDER_VOCABULARY, ConstraintConfig(quantifiers=2, seed=7)
+        ),
+    }
+    for name, constraint in workload.items():
+        report = lint_formula(constraint, vocabulary=ORDER_VOCABULARY)
+        counts = (f"{len(report.errors)} error(s), "
+                  f"{len(report.warnings)} warning(s), "
+                  f"{len(report.infos)} info(s)")
+        print(f"  {name:<26} ok={str(report.ok):<6} {counts}")
+        for diagnostic in report.diagnostics:
+            print(f"    {diagnostic.code} {diagnostic.severity}: "
+                  f"{diagnostic.message[:58]}...")
+    print()
+
+    print("A constraint the linter rejects with the full diagnosis")
+    print("-" * 64)
+    report = lint_source("forall x . G (Sub(x) -> F (exists y . Fill(y)))")
+    print(report.format())
 
 
 if __name__ == "__main__":

@@ -42,6 +42,7 @@ from .errors import (
     ClassificationError,
     EvaluationError,
     FormulaError,
+    LintError,
     MachineError,
     NotSafetyError,
     NotUniversalError,
@@ -49,6 +50,14 @@ from .errors import (
     ReproError,
     SchemaError,
     StateError,
+)
+from .lint import (
+    Diagnostic,
+    LintReport,
+    LintWarning,
+    lint_formula,
+    lint_source,
+    preflight,
 )
 from .eval.finite import evaluate_finite, evaluate_past
 from .eval.lasso import evaluate_lasso_db
@@ -66,6 +75,7 @@ __all__ = [
     "CheckResult",
     "ClassificationError",
     "DatabaseState",
+    "Diagnostic",
     "EvaluationError",
     "Firing",
     "FormulaError",
@@ -74,6 +84,9 @@ __all__ = [
     "IncrementalPastEvaluator",
     "IntegrityMonitor",
     "LassoDatabase",
+    "LintError",
+    "LintReport",
+    "LintWarning",
     "MachineError",
     "MonitorStats",
     "NotSafetyError",
@@ -99,8 +112,11 @@ __all__ = [
     "fires",
     "firings",
     "is_syntactically_safe",
+    "lint_formula",
+    "lint_source",
     "parse",
     "potentially_satisfied",
+    "preflight",
     "reduce_universal",
     "require_universal",
     "to_str",

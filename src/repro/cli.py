@@ -6,26 +6,39 @@ Subcommands:
   stored as JSON (see :mod:`repro.database.serialize` for the format).
 * ``classify`` — report a formula's class (biquantified / universal /
   safety) and which results of the paper apply to it.
+* ``lint``     — run the static analysis passes of :mod:`repro.lint` over
+  one constraint or a file of constraints; ``--json`` for machine-readable
+  reports, ``--strict`` to fail on warnings too.
 * ``monitor``  — replay a history state by state through the online monitor
   and report violations with their detection instants.
 * ``experiment`` — run one of the paper-claim experiments (E1..E9, A1..A3)
   and print its table.
+
+Exit codes are scriptable (CI-friendly): 0 — success / no findings;
+1 — analysis failure (constraint violated, lint errors, non-decidable
+class under ``classify --strict``); 2 — usage or input errors (syntax
+errors, unknown experiment, malformed history files).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from .core.checker import check_extension
 from .core.monitor import IntegrityMonitor
 from .database.history import History
 from .database.serialize import load_history
-from .errors import ReproError
+from .errors import ParseError, ReproError
+from .lint import lint_source
 from .logic.classify import classify
 from .logic.parser import parse
 from .logic.safety import is_syntactically_safe, why_not_safe
+
+#: Schema version of the ``lint --json`` output; bump on breaking change.
+LINT_JSON_VERSION = 1
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -71,7 +84,8 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     print(f"syntactically safe:   {safe}")
     if not safe:
         print(f"  reason: {why_not_safe(formula)}")
-    if info.is_universal and safe:
+    decidable = info.is_universal and safe
+    if decidable:
         print("=> decidable: extension checking in exponential time "
               "(Theorem 4.2)")
     elif info.is_biquantified and info.internal_quantifiers >= 1:
@@ -79,7 +93,64 @@ def _cmd_classify(args: argparse.Namespace) -> int:
               "quantifiers (Theorem 3.2)")
     else:
         print("=> outside the classes analyzed by the paper")
+    if args.strict and not decidable:
+        return 1
     return 0
+
+
+def _lint_inputs(target: str) -> list[str]:
+    """The constraints to lint: the expression itself, or — when ``target``
+    names a file — one constraint per non-blank, non-``#`` line."""
+    if not os.path.exists(target):
+        if os.sep in target or target.endswith(".tic"):
+            raise ReproError(f"file not found: {target}")
+        return [target]
+    with open(target, encoding="utf-8") as handle:
+        return [
+            line.strip()
+            for line in handle
+            if line.strip() and not line.strip().startswith("#")
+        ]
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    if args.domain_size < 0:
+        raise ReproError("--domain-size must be non-negative")
+    sources = _lint_inputs(args.target)
+    mode = "trigger" if args.trigger else "constraint"
+    reports = [
+        lint_source(source, mode=mode, domain_size=args.domain_size)
+        for source in sources
+    ]
+    errors = sum(len(r.errors) for r in reports)
+    warnings_ = sum(len(r.warnings) for r in reports)
+    infos = sum(len(r.infos) for r in reports)
+    if args.json:
+        payload = {
+            "version": LINT_JSON_VERSION,
+            "mode": mode,
+            "results": [r.to_dict() for r in reports],
+            "summary": {
+                "constraints": len(reports),
+                "error": errors,
+                "warning": warnings_,
+                "info": infos,
+            },
+        }
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+    else:
+        for index, report in enumerate(reports):
+            if index:
+                print()
+            print(report.format())
+        print()
+        print(
+            f"{len(reports)} constraint(s): {errors} error(s), "
+            f"{warnings_} warning(s), {infos} info(s)"
+        )
+    failed = errors > 0 or (args.strict and warnings_ > 0)
+    return 1 if failed else 0
 
 
 def _cmd_monitor(args: argparse.Namespace) -> int:
@@ -143,7 +214,34 @@ def build_parser() -> argparse.ArgumentParser:
 
     cls = sub.add_parser("classify", help="classify a formula")
     cls.add_argument("constraint")
+    cls.add_argument("--strict", action="store_true",
+                     help="exit 1 when the formula is outside the "
+                     "decidable universal-safety class")
     cls.set_defaults(func=_cmd_classify)
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically analyze constraints (diagnostics with paper "
+        "pointers)",
+    )
+    lint.add_argument(
+        "target",
+        help="a constraint expression, or a path to a file with one "
+        "constraint per line ('#' comments allowed)",
+    )
+    lint.add_argument("--json", action="store_true",
+                      help="machine-readable report (schema version "
+                      f"{LINT_JSON_VERSION})")
+    lint.add_argument("--strict", action="store_true",
+                      help="also fail (exit 1) on warning-severity "
+                      "diagnostics")
+    lint.add_argument("--trigger", action="store_true",
+                      help="lint as a trigger condition (duality rules) "
+                      "instead of a constraint")
+    lint.add_argument("--domain-size", type=int, default=8,
+                      help="assumed |R_D| for the grounding cost "
+                      "estimate (default 8)")
+    lint.set_defaults(func=_cmd_lint)
 
     mon = sub.add_parser("monitor", help="replay a history through the "
                          "online monitor")
@@ -169,6 +267,9 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except ParseError as error:
+        print(f"syntax error: {error}", file=sys.stderr)
+        return 2
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

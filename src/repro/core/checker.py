@@ -68,7 +68,7 @@ class CheckResult:
 
 
 def validate_constraint(
-    constraint: Formula, assume_safety: bool = False
+    constraint: Formula, assume_safety: bool = False, lint: str = "off"
 ) -> FormulaInfo:
     """Enforce the decidable fragment: universal *and* safety.
 
@@ -77,7 +77,17 @@ def validate_constraint(
     recognizer rejects the formula (unless ``assume_safety`` is set — the
     recognizer is sound but incomplete, so callers with out-of-band
     knowledge may override it).
+
+    ``lint`` selects the pre-flight gate of :func:`repro.lint.preflight`:
+    ``"off"`` (default) keeps the historical raise-on-first-failure
+    behaviour; ``"warn"`` additionally surfaces warning diagnostics via
+    :mod:`warnings`; ``"strict"`` collects *all* error diagnostics and
+    raises :class:`repro.errors.LintError` before the legacy checks run.
     """
+    if lint != "off":
+        from ..lint import preflight
+
+        preflight(constraint, gate=lint, assume_safety=assume_safety)
     info = require_universal(constraint)
     if not assume_safety and not is_syntactically_safe(constraint):
         reason = why_not_safe(constraint) or "not recognized as safety"
@@ -99,6 +109,7 @@ def check_extension(
     fold: bool = True,
     quick: bool = True,
     scope: str = "constraint",
+    lint: str = "off",
 ) -> CheckResult:
     """Decide whether the history is in ``Pref(constraint)``.
 
@@ -110,6 +121,9 @@ def check_extension(
         The current finite history ``(D0, ..., Dt)``.
     assume_safety:
         Skip the syntactic safety check (see :func:`validate_constraint`).
+    lint:
+        Pre-flight gate mode (``"off"`` / ``"warn"`` / ``"strict"``); see
+        :func:`validate_constraint`.
     method:
         PTL satisfiability engine: ``"buchi"`` or ``"tableau"``.
     want_witness:
@@ -137,7 +151,9 @@ def check_extension(
     >>> check_extension(once, bad).potentially_satisfied
     False
     """
-    info = validate_constraint(constraint, assume_safety=assume_safety)
+    info = validate_constraint(
+        constraint, assume_safety=assume_safety, lint=lint
+    )
     start = time.perf_counter()
     reduction = reduce_universal(history, info, fold=fold, scope=scope)
     mid = time.perf_counter()

@@ -109,6 +109,12 @@ class IntegrityMonitor:
     """Monitor a growing history against a set of universal safety
     constraints.
 
+    Constraints go through the :mod:`repro.lint` pre-flight gate at
+    construction time: ``lint="warn"`` (default) surfaces warning
+    diagnostics via :mod:`warnings`, ``lint="strict"`` refuses any
+    constraint with error diagnostics (:class:`repro.errors.LintError`
+    listing all of them), ``lint="off"`` skips the gate.
+
     >>> from ..logic import parse
     >>> from ..database import History, Update, vocabulary
     >>> v = vocabulary({"Sub": 1})
@@ -132,6 +138,7 @@ class IntegrityMonitor:
         strategy: str = "incremental",
         spare: int = 2,
         fold: bool = True,
+        lint: str = "warn",
     ):
         if strategy not in _STRATEGIES:
             raise ValueError(
@@ -153,7 +160,9 @@ class IntegrityMonitor:
         self._history = initial
         self._entries: list[_ConstraintEntry] = []
         for name, formula in constraints.items():
-            info = validate_constraint(formula, assume_safety=assume_safety)
+            info = validate_constraint(
+                formula, assume_safety=assume_safety, lint=lint
+            )
             self._entries.append(
                 _ConstraintEntry(name=name, constraint=formula, info=info)
             )

@@ -199,6 +199,15 @@ class TriggerManager:
     has already fired is not reported again at later instants (a safety
     violation persists forever, so without deduplication every firing would
     repeat at every subsequent instant).
+
+    Trigger conditions go through the :mod:`repro.lint` pre-flight gate in
+    trigger mode at construction time: the duality analysis (``TIC009``)
+    verifies that each condition's negation is a universal safety
+    sentence — the supported ``exists* tense(Sigma_0)`` class.
+    ``lint="strict"`` refuses unanalyzable conditions up front with
+    :class:`repro.errors.LintError`; ``lint="warn"`` (default) surfaces
+    warning-severity diagnostics; ``lint="off"`` skips the gate (errors
+    then surface per-firing from the extension checker, as before).
     """
 
     def __init__(
@@ -207,7 +216,18 @@ class TriggerManager:
         assume_safety: bool = False,
         method: str = "buchi",
         include_fresh: bool = True,
+        lint: str = "warn",
     ):
+        if lint != "off":
+            from ..lint import preflight
+
+            for trigger in triggers:
+                preflight(
+                    trigger.condition,
+                    mode="trigger",
+                    gate=lint,
+                    assume_safety=assume_safety,
+                )
         self._triggers = list(triggers)
         self._assume_safety = assume_safety
         self._method = method

@@ -26,11 +26,21 @@ class ParseError(FormulaError):
     ----------
     position:
         Offset into the source text where parsing failed, or ``None``.
+    line / column:
+        1-based position of the failure, when known.
     """
 
-    def __init__(self, message: str, position: int | None = None):
+    def __init__(
+        self,
+        message: str,
+        position: int | None = None,
+        line: int | None = None,
+        column: int | None = None,
+    ):
         super().__init__(message)
         self.position = position
+        self.line = line
+        self.column = column
 
 
 class ClassificationError(ReproError):
@@ -58,6 +68,20 @@ class NotSafetyError(ClassificationError):
     have out-of-band knowledge that their constraint is safety may pass
     ``assume_safety=True`` to skip the syntactic check.
     """
+
+
+class LintError(ClassificationError):
+    """A constraint was rejected by the static analysis pre-flight gate.
+
+    Raised by :func:`repro.lint.preflight` (and the constructors that call
+    it in strict mode) when the lint engine reports error-severity
+    diagnostics.  The structured diagnostics are available on the
+    ``diagnostics`` attribute; the message lists them one per line.
+    """
+
+    def __init__(self, message: str, diagnostics: tuple = ()):
+        super().__init__(message)
+        self.diagnostics = diagnostics
 
 
 class SchemaError(ReproError):

@@ -1,0 +1,129 @@
+"""Static analysis ("lint") for temporal integrity constraints.
+
+The paper's central message is that *which syntactic fragment a constraint
+falls in* decides everything: universal ``forall* tense(Sigma_0)``
+sentences are checkable in exponential time (Theorem 4.2), one internal
+quantifier makes extension checking Pi^0_2-complete (Theorem 3.2), and
+only safety formulas are useful constraints (Section 2).  This package
+turns those boundaries into a diagnostics framework: a registry of
+visitor passes over FOTL formulas, each emitting structured
+:class:`Diagnostic` objects with stable ``TIC``-prefixed codes, source
+spans, and paper pointers — so a whole constraint set can be vetted at
+deploy time with *all* the reasons it is unsound, expensive, or
+undecidable, instead of crashing on the first one at monitoring time.
+
+Three ways in:
+
+* :func:`lint_formula` / :func:`lint_source` — run the engine directly;
+* :func:`preflight` — the gate used by :class:`repro.IntegrityMonitor`,
+  :class:`repro.TriggerManager`, and :func:`repro.check_extension`
+  (``lint="strict"`` refuses on errors with :class:`repro.errors.LintError`,
+  ``lint="warn"`` surfaces warnings via :mod:`warnings`);
+* the ``repro-tic lint`` CLI subcommand (``--json`` for machine-readable
+  reports, ``--strict`` to fail on warnings too).
+"""
+
+from __future__ import annotations
+
+import warnings
+from functools import lru_cache
+
+from ..database.vocabulary import Vocabulary
+from ..errors import LintError
+from ..logic.formulas import Formula
+from .diagnostics import Diagnostic, LintReport, LintWarning, Severity
+from .engine import (
+    MODES,
+    LintContext,
+    LintPass,
+    PASS_REGISTRY,
+    all_passes,
+    lint_formula,
+    lint_source,
+    register,
+)
+
+#: Pre-flight gate modes accepted by the monitor / checker constructors.
+GATE_MODES = ("off", "warn", "strict")
+
+
+@lru_cache(maxsize=1024)
+def _cached_report(formula: Formula, mode: str, domain_size: int) -> LintReport:
+    # Formulas are immutable and hashable, so reports can be memoized;
+    # the hot path (triggers re-checking one condition per update) then
+    # pays for the analysis once.  Vocabulary-aware lints bypass the
+    # cache (vocabularies are not part of the key).
+    return lint_formula(formula, mode=mode, domain_size=domain_size)
+
+
+def preflight(
+    formula: Formula,
+    mode: str = "constraint",
+    gate: str = "warn",
+    assume_safety: bool = False,
+    vocabulary: Vocabulary | None = None,
+    domain_size: int = 8,
+) -> LintReport:
+    """Lint a constraint as a deploy-time gate.
+
+    Parameters
+    ----------
+    gate:
+        ``"off"`` — skip entirely; ``"warn"`` — emit a
+        :class:`LintWarning` per warning-severity diagnostic and return;
+        ``"strict"`` — additionally raise :class:`LintError` when any
+        error-severity diagnostics remain.
+    assume_safety:
+        Suppress the safety-fragment error (``TIC005``) for callers with
+        out-of-band knowledge, mirroring
+        :func:`repro.core.checker.validate_constraint`.
+
+    Returns the report (an empty one when ``gate="off"``).
+    """
+    if gate not in GATE_MODES:
+        raise ValueError(f"gate must be one of {GATE_MODES}, got {gate!r}")
+    if gate == "off":
+        return LintReport(diagnostics=(), mode=mode)
+    if vocabulary is None:
+        report = _cached_report(formula, mode, domain_size)
+    else:
+        report = lint_formula(
+            formula,
+            vocabulary=vocabulary,
+            mode=mode,
+            domain_size=domain_size,
+        )
+    errors = [
+        d
+        for d in report.errors
+        if not (assume_safety and d.code == "TIC005")
+    ]
+    if gate == "strict" and errors:
+        listing = "\n".join(f"  {d}" for d in errors)
+        raise LintError(
+            f"constraint rejected by pre-flight lint "
+            f"({len(errors)} error(s)):\n{listing}",
+            diagnostics=tuple(errors),
+        )
+    for diagnostic in report.warnings:
+        warnings.warn(str(diagnostic), LintWarning, stacklevel=3)
+    return report
+
+
+__all__ = [
+    "Diagnostic",
+    "GATE_MODES",
+    "LintContext",
+    "LintError",
+    "LintPass",
+    "LintReport",
+    "LintWarning",
+    "MODES",
+    "PASS_REGISTRY",
+    "Severity",
+    "all_passes",
+    "lint_formula",
+    "lint_source",
+    "preflight",
+    "register",
+]

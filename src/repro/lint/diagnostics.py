@@ -1,0 +1,204 @@
+"""The structured diagnostic model of the constraint lint engine.
+
+A :class:`Diagnostic` is one finding of one analysis pass: a stable code
+(``TIC003``), a severity, a human-readable message, an optional source
+span pointing into the constraint's concrete syntax, and a *paper pointer*
+citing the theorem or section of Chomicki & Niwinski (PODS 1993) that
+motivates the rule.  A :class:`LintReport` is the ordered collection of
+diagnostics for one constraint, with JSON-stable serialization (consumed
+by ``repro-tic lint --json``) and a human formatter that underlines spans.
+
+Severity semantics follow the paper's feasibility landscape:
+
+* ``error`` — the constraint is outside what the system can soundly
+  decide (undecidable fragment, non-safety, ill-formed);
+* ``warning`` — checkable but likely expensive or surprising (grounding
+  blow-up, domain dependence, vacuous quantification);
+* ``info`` — advisory (a cheaper monitoring pipeline applies, cost
+  estimates within budget).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+from ..logic.spans import Span
+
+
+class Severity(enum.Enum):
+    """How seriously a diagnostic gates deployment of a constraint."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class LintWarning(UserWarning):
+    """Python warning category used by the non-strict pre-flight gate."""
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one lint pass.
+
+    Attributes
+    ----------
+    code:
+        Stable identifier (``TIC000``–``TIC011``); codes are append-only
+        and never reused.
+    severity:
+        ``error`` / ``warning`` / ``info`` (see module docstring).
+    message:
+        Human-readable, self-contained explanation.
+    paper:
+        Citation into the source paper (e.g. ``"Theorem 3.2"``), or
+        ``None`` for purely mechanical findings such as syntax errors.
+    span:
+        Position in the constraint's concrete syntax, when the formula
+        was parsed from text; ``None`` for programmatically built ASTs.
+    pass_name:
+        The registry name of the pass that produced the finding.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    paper: str | None = None
+    span: Span | None = None
+    pass_name: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-stable representation; key set is part of the CLI schema."""
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "paper": self.paper,
+            "span": self.span.to_dict() if self.span else None,
+            "pass": self.pass_name,
+        }
+
+    def format(self, source: str | None = None) -> str:
+        """Render ``CODE severity [position] message`` plus an underline."""
+        location = f" [{self.span}]" if self.span else ""
+        head = f"{self.code} {self.severity}{location}: {self.message}"
+        if self.paper:
+            head += f" ({self.paper})"
+        if source is None or self.span is None:
+            return head
+        return head + "\n" + _underline(source, self.span)
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+def _underline(source: str, span: Span) -> str:
+    """The source line of the span start with a caret underline."""
+    lines = source.splitlines() or [""]
+    line_text = lines[span.line - 1] if span.line - 1 < len(lines) else ""
+    if span.end_line == span.line:
+        width = max(1, span.end_column - span.column)
+    else:
+        width = max(1, len(line_text) - span.column + 1)
+    marker = " " * (span.column - 1) + "^" + "~" * (width - 1)
+    return f"    {line_text}\n    {marker}"
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """All diagnostics the engine produced for one constraint.
+
+    Diagnostics are ordered by severity, then source position, then code,
+    so the most actionable finding is always first.
+    """
+
+    diagnostics: tuple[Diagnostic, ...]
+    source: str | None = None
+    formula_text: str = ""
+    mode: str = "constraint"
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return self._with_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return self._with_severity(Severity.WARNING)
+
+    @property
+    def infos(self) -> tuple[Diagnostic, ...]:
+        return self._with_severity(Severity.INFO)
+
+    @property
+    def ok(self) -> bool:
+        """No error-severity diagnostics (warnings and infos allowed)."""
+        return not self.errors
+
+    def _with_severity(self, severity: Severity) -> tuple[Diagnostic, ...]:
+        return tuple(
+            d for d in self.diagnostics if d.severity is severity
+        )
+
+    def by_code(self, code: str) -> tuple[Diagnostic, ...]:
+        """All diagnostics with the given code."""
+        return tuple(d for d in self.diagnostics if d.code == code)
+
+    def codes(self) -> tuple[str, ...]:
+        """The distinct codes present, in report order."""
+        seen: list[str] = []
+        for diagnostic in self.diagnostics:
+            if diagnostic.code not in seen:
+                seen.append(diagnostic.code)
+        return tuple(seen)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-stable representation; key set is part of the CLI schema."""
+        return {
+            "source": self.source,
+            "formula": self.formula_text,
+            "mode": self.mode,
+            "ok": self.ok,
+            "counts": {
+                "error": len(self.errors),
+                "warning": len(self.warnings),
+                "info": len(self.infos),
+            },
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def format(self) -> str:
+        """Multi-line human rendering with source underlines."""
+        shown = self.source if self.source is not None else self.formula_text
+        lines = [shown]
+        if not self.diagnostics:
+            lines.append("  no diagnostics")
+        for diagnostic in self.diagnostics:
+            rendered = diagnostic.format(self.source)
+            lines.extend("  " + line for line in rendered.splitlines())
+        return "\n".join(lines)
+
+
+def sort_diagnostics(
+    diagnostics: list[Diagnostic],
+) -> tuple[Diagnostic, ...]:
+    """Canonical report order: severity, then position, then code."""
+    return tuple(
+        sorted(
+            diagnostics,
+            key=lambda d: (
+                d.severity.rank,
+                d.span.start if d.span else 1 << 30,
+                d.code,
+                d.message,
+            ),
+        )
+    )

@@ -1,0 +1,241 @@
+"""The lint engine: pass registry, analysis context, and entry points.
+
+A *pass* is a small visitor over one FOTL formula that emits
+:class:`~repro.lint.diagnostics.Diagnostic` objects.  Passes never raise
+on bad constraints — turning "first failure aborts" (the historical
+behaviour of :func:`repro.logic.classify.require_universal`) into "every
+reason is reported" is the point of the engine.  The shared
+:class:`LintContext` memoizes the classification work (prefix/matrix
+split, :func:`repro.logic.classify.classify`) so that eleven passes cost
+barely more than one.
+
+Entry points:
+
+* :func:`lint_formula` — lint an already-parsed formula;
+* :func:`lint_source` — parse text and lint it, turning parse errors into
+  ``TIC000`` diagnostics instead of exceptions (so a file of constraints
+  can be linted past its first broken line).
+
+Passes register themselves via :func:`register`; the default registry is
+populated by importing :mod:`repro.lint.passes`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Protocol
+
+from ..database.vocabulary import Vocabulary
+from ..errors import ParseError
+from ..logic.classify import FormulaInfo, classify
+from ..logic.formulas import Formula
+from ..logic.parser import parse
+from ..logic.printer import to_str
+from ..logic.spans import Span, get_span
+from .diagnostics import Diagnostic, LintReport, Severity, sort_diagnostics
+
+#: Lint modes: a *constraint* must be a closed universal safety sentence;
+#: a *trigger* condition may have free variables (its parameters) and is
+#: judged by the duality of Section 2 (its negation must be analyzable).
+MODES = ("constraint", "trigger")
+
+
+@dataclass
+class LintContext:
+    """Everything a pass may ask about the constraint under analysis.
+
+    Attributes
+    ----------
+    formula:
+        The constraint (or trigger condition) being linted.
+    source:
+        The concrete-syntax text, when the formula came from text.
+    vocabulary:
+        Optional database schema; enables the vocabulary conformance pass.
+    mode:
+        ``"constraint"`` or ``"trigger"`` (see :data:`MODES`).
+    domain_size:
+        Assumed number of relevant elements ``|R_D|`` for the grounding
+        cost estimate (Theorem 4.1); a deploy-time guess, not a bound.
+    """
+
+    formula: Formula
+    source: str | None = None
+    vocabulary: Vocabulary | None = None
+    mode: str = "constraint"
+    domain_size: int = 8
+    _info: FormulaInfo | None = field(default=None, repr=False)
+
+    @property
+    def info(self) -> FormulaInfo:
+        """The (cached) Section 2 classification of the formula."""
+        if self._info is None:
+            self._info = classify(self.formula)
+        return self._info
+
+    def span_of(self, node: Formula) -> Span | None:
+        """Best-effort span for a node of this formula.
+
+        Exact span when the parser attached one; otherwise the span of the
+        nearest enclosing ancestor that has one (identity-based search);
+        otherwise the whole-formula span; otherwise ``None`` (formulas
+        built programmatically carry no positions).
+        """
+        span = get_span(node)
+        if span is not None:
+            return span
+        best: Span | None = None
+
+        def visit(current: Formula, enclosing: Span | None) -> bool:
+            nonlocal best
+            here = get_span(current) or enclosing
+            if current is node:
+                best = here
+                return True
+            return any(visit(child, here) for child in current.children)
+
+        visit(self.formula, None)
+        if best is not None:
+            return best
+        return get_span(self.formula)
+
+    def diagnostic(
+        self,
+        code: str,
+        severity: Severity,
+        message: str,
+        paper: str | None = None,
+        node: Formula | None = None,
+        pass_name: str = "",
+    ) -> Diagnostic:
+        """Build a diagnostic, resolving the node to a span."""
+        return Diagnostic(
+            code=code,
+            severity=severity,
+            message=message,
+            paper=paper,
+            span=self.span_of(node) if node is not None else None,
+            pass_name=pass_name,
+        )
+
+
+class LintPass(Protocol):
+    """The pass interface: metadata plus a ``run`` visitor."""
+
+    name: str
+    codes: tuple[str, ...]
+    description: str
+    paper: str | None
+    modes: tuple[str, ...]
+
+    def run(self, ctx: LintContext) -> Iterable[Diagnostic]: ...
+
+
+#: Registry of all known passes, in registration (= execution) order.
+PASS_REGISTRY: dict[str, LintPass] = {}
+
+
+def register(lint_pass: LintPass) -> LintPass:
+    """Add a pass to the default registry (class decorator friendly)."""
+    instance = lint_pass() if isinstance(lint_pass, type) else lint_pass
+    if instance.name in PASS_REGISTRY:
+        raise ValueError(f"duplicate lint pass name {instance.name!r}")
+    PASS_REGISTRY[instance.name] = instance
+    return lint_pass
+
+
+def all_passes() -> tuple[LintPass, ...]:
+    """Every registered pass, in execution order."""
+    _ensure_loaded()
+    return tuple(PASS_REGISTRY.values())
+
+
+def _ensure_loaded() -> None:
+    # Importing the module populates PASS_REGISTRY via @register.
+    from . import passes as _passes  # noqa: F401
+
+
+def lint_formula(
+    formula: Formula,
+    source: str | None = None,
+    vocabulary: Vocabulary | None = None,
+    mode: str = "constraint",
+    domain_size: int = 8,
+    passes: Iterable[LintPass] | None = None,
+) -> LintReport:
+    """Run every applicable pass over one formula and collect the report.
+
+    >>> from repro.logic import parse
+    >>> report = lint_formula(parse("forall x . G (Sub(x) -> X G !Sub(x))"))
+    >>> report.ok
+    True
+    """
+    if mode not in MODES:
+        raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+    ctx = LintContext(
+        formula=formula,
+        source=source,
+        vocabulary=vocabulary,
+        mode=mode,
+        domain_size=domain_size,
+    )
+    selected = tuple(passes) if passes is not None else all_passes()
+    findings: list[Diagnostic] = []
+    for lint_pass in selected:
+        if mode not in lint_pass.modes:
+            continue
+        findings.extend(lint_pass.run(ctx))
+    return LintReport(
+        diagnostics=sort_diagnostics(findings),
+        source=source,
+        formula_text=to_str(formula),
+        mode=mode,
+    )
+
+
+def lint_source(
+    text: str,
+    vocabulary: Vocabulary | None = None,
+    mode: str = "constraint",
+    domain_size: int = 8,
+) -> LintReport:
+    """Parse a constraint from text and lint it.
+
+    A parse failure is itself a diagnostic (``TIC000``) rather than an
+    exception, so batch linting keeps going past broken inputs.
+
+    >>> lint_source("forall x .").codes()
+    ('TIC000',)
+    """
+    try:
+        formula = parse(text)
+    except ParseError as error:
+        span = None
+        if error.position is not None:
+            from ..logic.spans import LineIndex
+
+            lines = LineIndex(text)
+            span = lines.span(
+                error.position, min(error.position + 1, len(text))
+            )
+        diagnostic = Diagnostic(
+            code="TIC000",
+            severity=Severity.ERROR,
+            message=f"syntax error: {error}",
+            paper=None,
+            span=span,
+            pass_name="syntax",
+        )
+        return LintReport(
+            diagnostics=(diagnostic,),
+            source=text,
+            formula_text="",
+            mode=mode,
+        )
+    return lint_formula(
+        formula,
+        source=text,
+        vocabulary=vocabulary,
+        mode=mode,
+        domain_size=domain_size,
+    )

@@ -20,6 +20,11 @@ Terms follow the builder convention: identifiers starting with a lowercase
 letter (or underscore) are variables, all other identifiers are constants.
 The single uppercase letters ``X F G Y O H U W R S`` are reserved for the
 temporal operators and cannot name predicates or constants.
+
+Every AST node the parser builds carries a :class:`repro.logic.spans.Span`
+(retrievable with :func:`repro.logic.spans.get_span`) so that diagnostics
+can point back into the source text; parse errors report the offending
+token with its line and column.
 """
 
 from __future__ import annotations
@@ -30,6 +35,7 @@ from dataclasses import dataclass
 from ..errors import ParseError
 from . import builders
 from .formulas import FALSE, TRUE, Formula
+from .spans import LineIndex, set_span
 from .terms import Term
 
 _RESERVED_OPS = {"X", "F", "G", "Y", "O", "H", "U", "W", "R", "S"}
@@ -61,15 +67,28 @@ class _Token:
     text: str
     position: int
 
+    @property
+    def end(self) -> int:
+        return self.position + len(self.text)
 
-def _tokenize(source: str) -> list[_Token]:
+    def describe(self) -> str:
+        """Human-readable rendering for error messages."""
+        return repr(self.text) if self.text else "end of input"
+
+
+def _tokenize(source: str, lines: LineIndex) -> list[_Token]:
     tokens: list[_Token] = []
     position = 0
     while position < len(source):
         match = _TOKEN_RE.match(source, position)
         if match is None:
+            line, column = lines.position(position)
             raise ParseError(
-                f"unexpected character {source[position]!r}", position
+                f"unexpected character {source[position]!r} "
+                f"at line {line}, column {column}",
+                position,
+                line=line,
+                column=column,
             )
         kind = match.lastgroup
         assert kind is not None
@@ -89,7 +108,8 @@ def _tokenize(source: str) -> list[_Token]:
 class _Parser:
     def __init__(self, source: str):
         self._source = source
-        self._tokens = _tokenize(source)
+        self._lines = LineIndex(source)
+        self._tokens = _tokenize(source, self._lines)
         self._index = 0
 
     # -- token helpers ----------------------------------------------------
@@ -107,14 +127,28 @@ class _Parser:
             return self._advance()
         return None
 
+    def _error(self, message: str, token: _Token) -> ParseError:
+        line, column = self._lines.position(token.position)
+        return ParseError(
+            f"{message} at line {line}, column {column}",
+            token.position,
+            line=line,
+            column=column,
+        )
+
     def _expect(self, kind: str, what: str) -> _Token:
         token = self._peek()
         if token.kind != kind:
-            raise ParseError(
-                f"expected {what}, found {token.text or 'end of input'!r}",
-                token.position,
+            raise self._error(
+                f"expected {what}, found {token.describe()}", token
             )
         return self._advance()
+
+    def _spanned(self, formula: Formula, start: _Token) -> Formula:
+        """Attach the [start, previous token] span to a freshly parsed node."""
+        end = self._tokens[self._index - 1].end if self._index else start.end
+        set_span(formula, self._lines.span(start.position, end))
+        return formula
 
     # -- grammar ----------------------------------------------------------
 
@@ -122,8 +156,8 @@ class _Parser:
         formula = self._quantified()
         token = self._peek()
         if token.kind != "eof":
-            raise ParseError(
-                f"unexpected trailing input {token.text!r}", token.position
+            raise self._error(
+                f"unexpected trailing input {token.describe()}", token
             )
         return formula
 
@@ -135,47 +169,55 @@ class _Parser:
             while self._peek().kind == "name":
                 names.append(self._advance().text)
             if not names:
-                raise ParseError(
-                    f"{token.text} requires at least one variable",
-                    self._peek().position,
+                raise self._error(
+                    f"{token.text} requires at least one variable, "
+                    f"found {self._peek().describe()}",
+                    self._peek(),
                 )
             self._expect("dot", "'.' after quantified variables")
             body = self._quantified()
             build = builders.forall if token.kind == "forall" else builders.exists
-            return build([builders.var(n) for n in names], body)
+            return self._spanned(
+                build([builders.var(n) for n in names], body), token
+            )
         return self._iff()
 
     def _iff(self) -> Formula:
+        start = self._peek()
         left = self._implies()
         while self._accept("iff"):
             right = self._implies()
-            left = builders.iff(left, right)
+            left = self._spanned(builders.iff(left, right), start)
         return left
 
     def _implies(self) -> Formula:
+        start = self._peek()
         left = self._or()
         if self._accept("implies"):
             right = self._implies()
-            return builders.implies(left, right)
+            return self._spanned(builders.implies(left, right), start)
         return left
 
     def _or(self) -> Formula:
+        start = self._peek()
         operands = [self._and()]
         while self._accept("or"):
             operands.append(self._and())
         if len(operands) == 1:
             return operands[0]
-        return builders.or_(*operands)
+        return self._spanned(builders.or_(*operands), start)
 
     def _and(self) -> Formula:
+        start = self._peek()
         operands = [self._bintemp()]
         while self._accept("and"):
             operands.append(self._bintemp())
         if len(operands) == 1:
             return operands[0]
-        return builders.and_(*operands)
+        return self._spanned(builders.and_(*operands), start)
 
     def _bintemp(self) -> Formula:
+        start = self._peek()
         left = self._unary()
         token = self._peek()
         if token.kind in ("op_U", "op_W", "op_R", "op_S"):
@@ -187,7 +229,7 @@ class _Parser:
                 "op_R": builders.release,
                 "op_S": builders.since,
             }[token.kind]
-            return build(left, right)
+            return self._spanned(build(left, right), start)
         return left
 
     def _unary(self) -> Formula:
@@ -203,17 +245,17 @@ class _Parser:
         }
         if token.kind in builds:
             self._advance()
-            return builds[token.kind](self._unary())
+            return self._spanned(builds[token.kind](self._unary()), token)
         return self._primary()
 
     def _primary(self) -> Formula:
         token = self._peek()
         if token.kind == "true":
             self._advance()
-            return self._maybe_equality_keyword(TRUE)
+            return TRUE
         if token.kind == "false":
             self._advance()
-            return self._maybe_equality_keyword(FALSE)
+            return FALSE
         if token.kind == "lparen":
             self._advance()
             inner = self._quantified()
@@ -226,28 +268,23 @@ class _Parser:
                 while self._accept("comma"):
                     args.append(self._term())
                 self._expect("rparen", "')' after atom arguments")
-                return builders.atom(name, *args)
+                return self._spanned(builders.atom(name, *args), token)
             term = builders._as_term(name)
             if self._accept("eq"):
-                return builders.eq(term, self._term())
+                return self._spanned(builders.eq(term, self._term()), token)
             if self._accept("neq"):
-                return builders.neq(term, self._term())
+                return self._spanned(builders.neq(term, self._term()), token)
             # Bare identifier: a nullary atom (proposition).
-            return builders.atom(name)
-        raise ParseError(
-            f"expected a formula, found {token.text or 'end of input'!r}",
-            token.position,
+            return self._spanned(builders.atom(name), token)
+        raise self._error(
+            f"expected a formula, found {token.describe()}", token
         )
-
-    def _maybe_equality_keyword(self, formula: Formula) -> Formula:
-        # "true" / "false" cannot start an equality; just return the constant.
-        return formula
 
     def _term(self) -> Term:
         token = self._expect("name", "a term (variable or constant)")
         if token.text in _KEYWORDS:
-            raise ParseError(
-                f"{token.text!r} cannot be used as a term", token.position
+            raise self._error(
+                f"{token.text!r} cannot be used as a term", token
             )
         return builders._as_term(token.text)
 

@@ -1,0 +1,136 @@
+"""Source spans: positions of formulas in their concrete-syntax text.
+
+The parser attaches a :class:`Span` to every AST node it builds so that
+downstream tooling — most importantly the lint engine in
+:mod:`repro.lint` — can point diagnostics at the exact piece of input that
+triggered them (``line 1, column 18: exists y ...``).
+
+Spans are deliberately kept *out of band*: FOTL and PTL nodes are frozen,
+structurally-hashed dataclasses, and two occurrences of ``p(x)`` in one
+formula must stay equal and interchangeable.  A span is therefore stored in
+the instance ``__dict__`` (the same mechanism as the free-variable cache)
+and never participates in equality or hashing.  Formulas built
+programmatically through :mod:`repro.logic.builders` simply have no span;
+every consumer must treat ``get_span`` returning ``None`` as normal.
+
+The smart constructors fold constants and flatten connectives, so a node
+returned for a larger piece of text may be one that already carries a
+narrower (more precise) span; :func:`set_span` therefore only fills in
+missing spans and never overwrites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+_SPAN_ATTR = "_source_span"
+
+
+@dataclass(frozen=True, slots=True)
+class Span:
+    """A half-open region ``[start, end)`` of a source text.
+
+    Attributes
+    ----------
+    start / end:
+        Character offsets into the source string.
+    line / column:
+        1-based position of ``start``.
+    end_line / end_column:
+        1-based position of ``end`` (exclusive).
+    """
+
+    start: int
+    end: int
+    line: int
+    column: int
+    end_line: int
+    end_column: int
+
+    def to_dict(self) -> dict[str, int]:
+        """JSON-stable representation (used by ``repro lint --json``)."""
+        return {
+            "start": self.start,
+            "end": self.end,
+            "line": self.line,
+            "column": self.column,
+            "end_line": self.end_line,
+            "end_column": self.end_column,
+        }
+
+    def __str__(self) -> str:
+        return f"line {self.line}, column {self.column}"
+
+
+class LineIndex:
+    """Offset → (line, column) conversion for one source text."""
+
+    def __init__(self, source: str):
+        self._starts = [0]
+        for index, char in enumerate(source):
+            if char == "\n":
+                self._starts.append(index + 1)
+        self._length = len(source)
+
+    def position(self, offset: int) -> tuple[int, int]:
+        """1-based (line, column) of a character offset."""
+        offset = max(0, min(offset, self._length))
+        low, high = 0, len(self._starts) - 1
+        while low < high:
+            mid = (low + high + 1) // 2
+            if self._starts[mid] <= offset:
+                low = mid
+            else:
+                high = mid - 1
+        return low + 1, offset - self._starts[low] + 1
+
+    def span(self, start: int, end: int) -> Span:
+        """Build a :class:`Span` from a pair of offsets."""
+        line, column = self.position(start)
+        end_line, end_column = self.position(end)
+        return Span(
+            start=start,
+            end=end,
+            line=line,
+            column=column,
+            end_line=end_line,
+            end_column=end_column,
+        )
+
+
+def _accepts_span(node: Any) -> bool:
+    # The singleton constants (TRUE/FALSE, PTRUE/PFALSE) are shared across
+    # every formula ever built; a span attached to one parse would leak into
+    # all others.  They are exactly the nodes with no dataclass fields.
+    fields = getattr(type(node), "__dataclass_fields__", None)
+    return bool(fields)
+
+
+def set_span(node: Any, span: Span) -> None:
+    """Attach a span to an AST node unless it already carries one.
+
+    No-op for the shared singleton constants and for nodes that already
+    have a (necessarily more precise) span.
+    """
+    if not _accepts_span(node):
+        return
+    if _SPAN_ATTR in node.__dict__:
+        return
+    object.__setattr__(node, _SPAN_ATTR, span)
+
+
+def get_span(node: Any) -> Span | None:
+    """The span attached to a node, or ``None`` for synthetic nodes."""
+    return node.__dict__.get(_SPAN_ATTR)
+
+
+def copy_span(source: Any, target: Any) -> None:
+    """Carry a span across a structure-preserving translation.
+
+    Used by :func:`repro.ptl.convert.from_fotl` to keep positions when
+    re-typing a propositional FOTL formula as PTL.
+    """
+    span = get_span(source)
+    if span is not None:
+        set_span(target, span)

@@ -16,6 +16,7 @@ from __future__ import annotations
 from ..errors import ClassificationError
 from ..logic import formulas as fo
 from ..logic.parser import parse as parse_fotl
+from ..logic.spans import copy_span
 from .formulas import (
     PFALSE,
     PTRUE,
@@ -37,12 +38,22 @@ from .formulas import (
 def from_fotl(formula: fo.Formula) -> PTLFormula:
     """Re-type a propositional FOTL formula as PTL.
 
+    Source spans attached by the FOTL parser are carried over to the PTL
+    nodes, so diagnostics on converted formulas still point into the
+    original text.
+
     Raises
     ------
     ClassificationError
         If the formula contains quantifiers, equality, past-tense
         connectives, or non-nullary atoms.
     """
+    result = _from_fotl(formula)
+    copy_span(formula, result)
+    return result
+
+
+def _from_fotl(formula: fo.Formula) -> PTLFormula:
     match formula:
         case fo.TrueFormula():
             return PTRUE

@@ -1,0 +1,154 @@
+"""Engine behavior: registry, modes, report model, JSON schema stability."""
+
+import json
+
+import pytest
+
+from repro.lint import (
+    MODES,
+    PASS_REGISTRY,
+    Diagnostic,
+    LintContext,
+    Severity,
+    all_passes,
+    lint_formula,
+    lint_source,
+    register,
+)
+from repro.lint.diagnostics import sort_diagnostics
+from repro.logic import parse
+from repro.logic.spans import Span
+
+
+class TestRegistry:
+    def test_all_eleven_passes_registered(self):
+        passes = all_passes()
+        assert len(passes) >= 11
+        covered = {code for p in passes for code in p.codes}
+        assert covered >= {f"TIC{n:03d}" for n in range(1, 12)}
+
+    def test_passes_declare_metadata(self):
+        for lint_pass in all_passes():
+            assert lint_pass.name
+            assert lint_pass.codes
+            assert lint_pass.description
+            assert set(lint_pass.modes) <= set(MODES)
+
+    def test_duplicate_registration_rejected(self):
+        existing = next(iter(PASS_REGISTRY.values()))
+        with pytest.raises(ValueError, match="duplicate"):
+            register(existing)
+
+    def test_pass_subset_selection(self, submit_once):
+        sentence = PASS_REGISTRY["sentence"]
+        report = lint_formula(parse("G p(x)"), passes=[sentence])
+        assert report.codes() == ("TIC001",)
+        assert lint_formula(submit_once, passes=[sentence]).diagnostics == ()
+
+
+class TestModes:
+    def test_unknown_mode_rejected(self, submit_once):
+        with pytest.raises(ValueError, match="mode"):
+            lint_formula(submit_once, mode="nonsense")
+
+    def test_trigger_mode_skips_constraint_only_passes(self):
+        # Free variables + liveness: both fine for a trigger condition.
+        report = lint_source("F (Sub(x) & X F Sub(x))", mode="trigger")
+        assert report.ok
+
+
+class TestParseErrorDiagnostic:
+    def test_tic000_instead_of_exception(self):
+        report = lint_source("forall x .")
+        assert report.codes() == ("TIC000",)
+        (diag,) = report.diagnostics
+        assert diag.severity is Severity.ERROR
+        assert "syntax error" in diag.message
+        assert not report.ok
+
+    def test_tic000_span_points_at_offender(self):
+        report = lint_source("p & @")
+        (diag,) = report.diagnostics
+        assert diag.span is not None
+        assert diag.span.column == 5
+
+
+class TestSpanFallback:
+    def test_programmatic_formula_has_no_span(self):
+        from repro.logic.builders import always, atom, eventually
+
+        synthetic = eventually(always(atom("p")))
+        report = lint_formula(synthetic)
+        (diag,) = report.by_code("TIC005")
+        assert diag.span is None
+
+    def test_ancestor_span_used_for_rebuilt_nodes(self):
+        # The whole-formula span is the outermost fallback.
+        ctx = LintContext(formula=parse("forall x . G p(x)"))
+        from repro.logic.builders import atom
+
+        foreign = atom("unrelated")
+        assert ctx.span_of(foreign) == ctx.span_of(ctx.formula)
+
+
+class TestReportModel:
+    def test_sorted_by_severity_then_position(self):
+        span_a = Span(5, 6, 1, 6, 1, 7)
+        span_b = Span(2, 3, 1, 3, 1, 4)
+        diagnostics = sort_diagnostics(
+            [
+                Diagnostic("TIC010", Severity.INFO, "i"),
+                Diagnostic("TIC005", Severity.ERROR, "e2", span=span_a),
+                Diagnostic("TIC007", Severity.WARNING, "w"),
+                Diagnostic("TIC003", Severity.ERROR, "e1", span=span_b),
+            ]
+        )
+        assert [d.code for d in diagnostics] == [
+            "TIC003",
+            "TIC005",
+            "TIC007",
+            "TIC010",
+        ]
+
+    def test_format_underlines_span(self):
+        report = lint_source("forall x . G (p(x) -> F (exists y . q(x, y)))")
+        rendered = report.format()
+        assert "^" in rendered
+        assert "TIC003" in rendered
+
+    def test_codes_deduplicated_in_order(self):
+        report = lint_source("forall x y . G !Sub(x)")
+        codes = report.codes()
+        assert len(codes) == len(set(codes))
+
+
+class TestJsonSchema:
+    """The --json key sets are a stable contract (LINT_JSON_VERSION)."""
+
+    DIAGNOSTIC_KEYS = {"code", "severity", "message", "paper", "span", "pass"}
+    REPORT_KEYS = {"source", "formula", "mode", "ok", "counts", "diagnostics"}
+    SPAN_KEYS = {"start", "end", "line", "column", "end_line", "end_column"}
+
+    def test_diagnostic_keys(self):
+        report = lint_source("forall x . G (p(x) -> F (exists y . q(x, y)))")
+        for diag in report.diagnostics:
+            payload = diag.to_dict()
+            assert set(payload) == self.DIAGNOSTIC_KEYS
+            if payload["span"] is not None:
+                assert set(payload["span"]) == self.SPAN_KEYS
+
+    def test_report_keys(self):
+        payload = lint_source("forall x . G !Sub(x)").to_dict()
+        assert set(payload) == self.REPORT_KEYS
+        assert set(payload["counts"]) == {"error", "warning", "info"}
+
+    def test_payload_is_json_serializable(self):
+        payload = lint_source(
+            "forall x . G (p(x) -> F (exists y . q(x, y)))"
+        ).to_dict()
+        round_tripped = json.loads(json.dumps(payload))
+        assert round_tripped == payload
+
+    def test_severity_serialized_as_string(self):
+        report = lint_source("G p(x)")
+        assert report.to_dict()["diagnostics"][0]["severity"] == "error"

@@ -1,0 +1,148 @@
+"""The pre-flight gate: Monitor / TriggerManager / checker integration."""
+
+import warnings
+
+import pytest
+
+from repro.core.checker import check_extension, validate_constraint
+from repro.core.monitor import IntegrityMonitor
+from repro.core.triggers import Trigger, TriggerManager
+from repro.database import History
+from repro.errors import LintError, NotSafetyError
+from repro.lint import GATE_MODES, LintWarning, preflight
+from repro.logic import parse
+
+LIVENESS = "forall x . G (Sub(x) -> F Fill(x))"
+SIGMA1 = "forall x . G (Sub(x) -> F (exists y . Fill(y)))"
+
+
+class TestPreflightFunction:
+    def test_off_returns_empty_report(self):
+        report = preflight(parse(LIVENESS), gate="off")
+        assert report.diagnostics == ()
+
+    def test_unknown_gate_rejected(self, submit_once):
+        with pytest.raises(ValueError, match="gate"):
+            preflight(submit_once, gate="everything-goes")
+        assert set(GATE_MODES) == {"off", "warn", "strict"}
+
+    def test_strict_raises_with_diagnostics(self):
+        with pytest.raises(LintError) as excinfo:
+            preflight(parse(SIGMA1), gate="strict")
+        diagnostics = excinfo.value.diagnostics
+        assert any(d.code == "TIC003" for d in diagnostics)
+        assert "Theorem 3.2" in str(excinfo.value)
+
+    def test_strict_passes_clean_constraint(self, submit_once):
+        report = preflight(submit_once, gate="strict")
+        assert report.ok
+
+    def test_warn_emits_lint_warnings(self):
+        vacuous = parse("forall x y . G !Sub(x)")
+        with pytest.warns(LintWarning, match="vacuous"):
+            preflight(vacuous, gate="warn")
+
+    def test_warn_does_not_raise_on_errors(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            report = preflight(parse(LIVENESS), gate="warn")
+        assert not report.ok
+
+    def test_assume_safety_suppresses_tic005(self):
+        formula = parse(LIVENESS)
+        with pytest.raises(LintError):
+            preflight(formula, gate="strict")
+        report = preflight(formula, gate="strict", assume_safety=True)
+        assert [d.code for d in report.errors] == ["TIC005"]
+
+    def test_assume_safety_keeps_other_errors(self):
+        with pytest.raises(LintError) as excinfo:
+            preflight(parse(SIGMA1), gate="strict", assume_safety=True)
+        codes = {d.code for d in excinfo.value.diagnostics}
+        assert "TIC003" in codes and "TIC005" not in codes
+
+    def test_memoized_report_reused(self, submit_once):
+        first = preflight(submit_once, gate="warn")
+        second = preflight(submit_once, gate="warn")
+        assert first is second
+
+
+class TestMonitorGate:
+    def test_strict_monitor_rejects_non_safety(self, order_vocabulary):
+        constraint = parse("forall x . G (Sub(x) -> F Fill(x))")
+        with pytest.raises(LintError) as excinfo:
+            IntegrityMonitor(
+                {"fill": constraint},
+                History.empty(order_vocabulary),
+                lint="strict",
+            )
+        assert any(d.code == "TIC005" for d in excinfo.value.diagnostics)
+
+    def test_default_monitor_still_raises_legacy_error(
+        self, order_vocabulary
+    ):
+        # lint="warn" keeps the historical first-failure behavior: the
+        # legacy safety check still runs (and raises its legacy type).
+        constraint = parse("forall x . G (Sub(x) -> F Fill(x))")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            with pytest.raises(NotSafetyError):
+                IntegrityMonitor(
+                    {"fill": constraint}, History.empty(order_vocabulary)
+                )
+
+    def test_clean_constraint_constructs_in_strict_mode(
+        self, submit_once, order_vocabulary
+    ):
+        monitor = IntegrityMonitor(
+            {"once": submit_once},
+            History.empty(order_vocabulary),
+            lint="strict",
+        )
+        assert monitor.violations() == {}
+
+    def test_off_skips_gate(self, submit_once, order_vocabulary):
+        monitor = IntegrityMonitor(
+            {"once": submit_once},
+            History.empty(order_vocabulary),
+            lint="off",
+        )
+        assert monitor.violations() == {}
+
+
+class TestCheckerGate:
+    def test_check_extension_strict(self, clean_history):
+        with pytest.raises(LintError):
+            check_extension(
+                parse(SIGMA1), clean_history, lint="strict"
+            )
+
+    def test_validate_constraint_strict(self):
+        with pytest.raises(LintError):
+            validate_constraint(parse(SIGMA1), lint="strict")
+
+    def test_default_unchanged(self, submit_once, clean_history):
+        # lint defaults to "off" on the functional API: no warnings, no
+        # behavior change for existing callers.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            result = check_extension(submit_once, clean_history)
+        assert result.potentially_satisfied
+
+
+class TestTriggerGate:
+    def test_strict_rejects_unanalyzable_condition(self):
+        bad = Trigger("bad", parse("G Sub(x)"))
+        with pytest.raises(LintError) as excinfo:
+            TriggerManager([bad], lint="strict")
+        assert any(d.code == "TIC009" for d in excinfo.value.diagnostics)
+
+    def test_strict_accepts_supported_condition(self):
+        good = Trigger("resub", parse("F (Sub(x) & X F Sub(x))"))
+        manager = TriggerManager([good], lint="strict")
+        assert manager.log == []
+
+    def test_off_skips_gate(self):
+        bad = Trigger("bad", parse("G Sub(x)"))
+        manager = TriggerManager([bad], lint="off")
+        assert manager.log == []

@@ -143,3 +143,49 @@ class TestQuantifierCount:
     def test_quantifier_free(self):
         assert is_quantifier_free(parse("p U q"))
         assert not is_quantifier_free(parse("exists x . p(x)"))
+
+
+class TestClassifyEdgeCases:
+    def test_quantifier_in_past_island_not_biquantified(self):
+        # Past connectives exclude a matrix from the biquantified classes
+        # (Section 2 composes predicate logic with the *future* fragment)
+        # even when every quantifier has a pure first-order scope.
+        info = classify(parse("forall x . H (exists y . q(x, y))"))
+        assert not info.is_biquantified
+        assert not info.is_universal
+        assert info.internal_sigma_level == -1
+        assert info.has_past and not info.has_future
+
+    def test_past_under_future_not_biquantified(self):
+        info = classify(parse("forall x . G (Fill(x) -> O Sub(x))"))
+        assert not info.is_biquantified
+        assert info.has_past and info.has_future
+
+    def test_vacuous_external_quantifier_stays_universal(self):
+        info = classify(parse("forall x . G p"))
+        assert info.is_universal
+        assert [v.name for v in info.external_universals] == ["x"]
+
+    def test_vacuous_internal_quantifier_counts(self):
+        info = classify(parse("forall x . G (exists y . p(x))"))
+        assert info.is_biquantified and not info.is_universal
+        assert info.internal_quantifiers == 1
+        assert info.internal_sigma_level == 1
+
+    def test_nested_alternation_is_level_two(self):
+        info = classify(
+            parse("forall x . G (forall y . exists z . r(y, z))")
+        )
+        assert info.is_biquantified
+        assert info.internal_quantifiers == 2
+        assert info.internal_sigma_level == 2
+
+    def test_exists_prefix_is_not_external(self):
+        info = classify(parse("exists x . G p(x)"))
+        assert info.external_universals == ()
+        assert not info.is_biquantified
+
+    def test_prefix_stops_at_first_non_forall(self):
+        info = classify(parse("forall x . !(exists y . G q(x, y))"))
+        assert [v.name for v in info.external_universals] == ["x"]
+        assert not info.is_biquantified

@@ -81,3 +81,20 @@ class TestSoundnessAgainstSemantics:
         fotl = fotl_parse(str(ptl_formula))
         if is_syntactically_safe(fotl):
             assert is_safety(ptl_formula)
+
+    def test_corpus_agreement(self):
+        """Deterministic corpus: every formula the syntactic recognizer
+        accepts is semantically safe per the automata-based oracle, and
+        the accepted fragment is not vacuous on the corpus."""
+        from repro.logic.parser import parse as fotl_parse
+
+        accepted = 0
+        for seed in range(120):
+            ptl_formula = random_ptl(
+                PTLConfig(size=5, propositions=2, seed=seed)
+            )
+            fotl = fotl_parse(str(ptl_formula))
+            if is_syntactically_safe(fotl):
+                accepted += 1
+                assert is_safety(ptl_formula), str(ptl_formula)
+        assert accepted >= 10

@@ -1,0 +1,147 @@
+"""Source spans: parser attachment, LineIndex, and span propagation."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.logic import Always, Exists, Implies, parse
+from repro.logic.builders import atom, not_
+from repro.logic.spans import (
+    LineIndex,
+    Span,
+    copy_span,
+    get_span,
+    set_span,
+)
+from repro.ptl.convert import from_fotl
+
+
+class TestLineIndex:
+    def test_single_line(self):
+        index = LineIndex("forall x . p(x)")
+        assert index.position(0) == (1, 1)
+        assert index.position(11) == (1, 12)
+
+    def test_multi_line(self):
+        index = LineIndex("p &\n  q &\n  r")
+        assert index.position(0) == (1, 1)
+        assert index.position(4) == (2, 1)
+        assert index.position(6) == (2, 3)
+        assert index.position(12) == (3, 3)
+
+    def test_offset_clamped(self):
+        index = LineIndex("pq")
+        assert index.position(99) == (1, 3)
+
+    def test_span_construction(self):
+        index = LineIndex("p & q")
+        span = index.span(4, 5)
+        assert (span.start, span.end) == (4, 5)
+        assert (span.line, span.column) == (1, 5)
+        assert str(span) == "line 1, column 5"
+
+
+class TestParserSpans:
+    def test_root_span_covers_whole_input(self):
+        text = "forall x . G (Sub(x) -> X G !Sub(x))"
+        span = get_span(parse(text))
+        assert (span.start, span.end) == (0, len(text))
+
+    def test_subformula_spans_are_narrow(self):
+        text = "forall x . G (Sub(x) -> X G !Sub(x))"
+        formula = parse(text)
+        matrix = formula.body  # G (...)
+        assert isinstance(matrix, Always)
+        span = get_span(matrix)
+        assert text[span.start : span.end] == "G (Sub(x) -> X G !Sub(x))"
+        implication = matrix.body
+        assert isinstance(implication, Implies)
+        inner = get_span(implication)
+        assert text[inner.start : inner.end] == "Sub(x) -> X G !Sub(x)"
+
+    def test_internal_quantifier_span(self):
+        text = "forall x . G (p(x) -> F (exists y . q(x, y)))"
+        formula = parse(text)
+        existential = next(
+            node for node in formula.walk() if isinstance(node, Exists)
+        )
+        span = get_span(existential)
+        assert text[span.start : span.end] == "exists y . q(x, y)"
+        assert span.column == 26
+
+    def test_multiline_spans(self):
+        text = "forall x .\n  G p(x)"
+        matrix = parse(text).body
+        span = get_span(matrix)
+        assert (span.line, span.column) == (2, 3)
+
+    def test_singletons_never_carry_spans(self):
+        parse("true & p")
+        parse("false | p")
+        from repro.logic.formulas import FALSE, TRUE
+
+        assert get_span(TRUE) is None
+        assert get_span(FALSE) is None
+
+    def test_builder_formulas_have_no_spans(self):
+        assert get_span(not_(atom("p"))) is None
+
+
+class TestSetSpan:
+    def test_attach_if_absent(self):
+        node = atom("p")
+        first = Span(0, 1, 1, 1, 1, 2)
+        second = Span(5, 6, 1, 6, 1, 7)
+        set_span(node, first)
+        set_span(node, second)  # must not overwrite the narrower span
+        assert get_span(node) == first
+
+    def test_copy_span(self):
+        source = atom("p")
+        target = atom("q")
+        set_span(source, Span(0, 1, 1, 1, 1, 2))
+        copy_span(source, target)
+        assert get_span(target) == get_span(source)
+
+    def test_copy_span_without_source_is_noop(self):
+        target = atom("q")
+        copy_span(atom("p"), target)
+        assert get_span(target) is None
+
+
+class TestConvertThreadsSpans:
+    def test_from_fotl_keeps_root_span(self):
+        text = "G (p -> X q)"
+        fotl = parse(text)
+        ptl = from_fotl(fotl)
+        span = get_span(ptl)
+        assert span is not None
+        assert (span.start, span.end) == (0, len(text))
+
+
+class TestParseErrorPositions:
+    def test_line_and_column_attributes(self):
+        with pytest.raises(ParseError) as info:
+            parse("p &\n  q &\n  @")
+        assert info.value.position == 12
+        assert info.value.line == 3
+        assert info.value.column == 3
+
+    def test_message_names_offending_token(self):
+        with pytest.raises(ParseError, match=r"found '\)'"):
+            parse("p & )")
+
+    def test_message_reports_position(self):
+        with pytest.raises(ParseError, match="line 1, column 5"):
+            parse("p & )")
+
+    def test_eof_described(self):
+        with pytest.raises(ParseError, match="end of input"):
+            parse("p &")
+
+    def test_missing_dot_after_quantifier(self):
+        with pytest.raises(ParseError, match=r"expected '\.'"):
+            parse("forall x p")
+
+    def test_trailing_input(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse("p q")
