@@ -1,0 +1,430 @@
+"""Benchmark regression harness for the PTL monitoring core.
+
+Runs the monitoring-shaped benchmarks (A1 incremental strategies, E3
+progression phases, E6 orders workload, E7 detection latency) against the
+*current* checkout and writes a machine-readable ``BENCH_core.json`` so
+every performance PR leaves a trajectory point that later PRs can compare
+against.
+
+Usage::
+
+    python benchmarks/run.py                  # full sizes -> BENCH_core.json
+    python benchmarks/run.py --smoke          # tiny sizes (CI smoke)
+    python benchmarks/run.py --baseline OLD.json   # embed baseline + speedups
+    python benchmarks/run.py --validate BENCH_core.json  # schema check only
+
+The harness only reads public monitor/PTL APIs and tolerates cores without
+the newer instrumentation (``progress_cache_hits`` etc. default to 0), so
+the same script can measure a pre-interning checkout to record a baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+_ROOT = Path(__file__).resolve().parent.parent
+if str(_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_ROOT / "src"))
+
+from repro.core.monitor import IntegrityMonitor  # noqa: E402
+from repro.database.history import History  # noqa: E402
+from repro.database.state import DatabaseState  # noqa: E402
+from repro.database.vocabulary import vocabulary  # noqa: E402
+from repro.logic.parser import parse  # noqa: E402
+from repro.ptl.extension import check_extension_detailed  # noqa: E402
+from repro.ptl.formulas import palways, pand, pimplies, pnext, prop  # noqa: E402
+from repro.workloads.orders import (  # noqa: E402
+    ORDER_VOCABULARY,
+    OrderWorkloadConfig,
+    generate_orders,
+    standard_constraints,
+    submit_once,
+)
+
+SCHEMA = "repro-bench-core/v1"
+
+#: Required keys of every per-benchmark result record.
+RESULT_KEYS = frozenset(
+    {
+        "wall_s",
+        "updates",
+        "progressions",
+        "progressions_per_sec",
+        "sat_calls",
+        "sat_cache_hits",
+        "progress_cache_hits",
+        "sat_time_s",
+        "progress_time_s",
+    }
+)
+
+
+def _clear_caches() -> None:
+    """Reset the PTL-core caches (when the core has them) so each benchmark
+    starts cold and numbers are comparable run to run."""
+    try:
+        from repro.ptl import caches
+    except ImportError:
+        return
+    caches.clear_all_caches()
+
+
+def _sum_stats(monitor: IntegrityMonitor) -> dict[str, Any]:
+    """Aggregate MonitorStats across constraints, tolerating old cores."""
+    totals = {
+        "progressions": 0,
+        "sat_calls": 0,
+        "sat_cache_hits": 0,
+        "progress_cache_hits": 0,
+        "regrounds": 0,
+        "sat_time_s": 0.0,
+        "progress_time_s": 0.0,
+    }
+    for stats in monitor.stats().values():
+        totals["progressions"] += stats.progressions
+        totals["sat_calls"] += stats.sat_calls
+        totals["sat_cache_hits"] += stats.sat_cache_hits
+        totals["regrounds"] += stats.regrounds
+        totals["progress_cache_hits"] += getattr(
+            stats, "progress_cache_hits", 0
+        )
+        totals["sat_time_s"] += getattr(stats, "sat_time", 0.0)
+        totals["progress_time_s"] += getattr(stats, "progress_time", 0.0)
+    return totals
+
+
+def _result(
+    wall: float, updates: int, totals: dict[str, Any], **extra: Any
+) -> dict[str, Any]:
+    record: dict[str, Any] = {
+        "wall_s": round(wall, 6),
+        "updates": updates,
+        "progressions": totals["progressions"],
+        "progressions_per_sec": round(totals["progressions"] / wall, 2)
+        if wall > 0
+        else None,
+        "sat_calls": totals["sat_calls"],
+        "sat_cache_hits": totals["sat_cache_hits"],
+        "progress_cache_hits": totals["progress_cache_hits"],
+        "sat_time_s": round(totals["sat_time_s"], 6),
+        "progress_time_s": round(totals["progress_time_s"], 6),
+    }
+    record.update(extra)
+    return record
+
+
+# --------------------------------------------------------------------------
+# Benchmarks
+# --------------------------------------------------------------------------
+
+
+def bench_a1_strategies(smoke: bool) -> dict[str, dict[str, Any]]:
+    """A1-shaped: the three monitoring strategies on a growing orders trace."""
+    length = 10 if smoke else 60
+    trace = generate_orders(
+        OrderWorkloadConfig(length=length, arrival_probability=0.5, seed=1)
+    )
+    out: dict[str, dict[str, Any]] = {}
+    for strategy in ("scratch", "incremental", "spare"):
+        _clear_caches()
+        monitor = IntegrityMonitor(
+            {"once": submit_once()},
+            History.empty(ORDER_VOCABULARY),
+            strategy=strategy,
+            spare=2 * length,
+        )
+        start = time.perf_counter()
+        for state in trace.states():
+            monitor.append_state(state)
+        wall = time.perf_counter() - start
+        totals = _sum_stats(monitor)
+        out[f"a1_{strategy}"] = _result(
+            wall, length, totals, regrounds=totals["regrounds"]
+        )
+    return out
+
+
+def bench_e3_progression(smoke: bool) -> dict[str, dict[str, Any]]:
+    """E3-shaped: the Lemma 4.2 phase split on the cycle-formula sweep."""
+    length = 400 if smoke else 6400
+    letters = 3
+    formula = pand(
+        *(
+            palways(
+                pimplies(
+                    prop(f"p{i}"), pnext(prop(f"p{(i + 1) % letters}"))
+                )
+            )
+            for i in range(letters)
+        )
+    )
+    prefix = [
+        frozenset({prop(f"p{t % letters}")}) for t in range(length)
+    ]
+    _clear_caches()
+    start = time.perf_counter()
+    detailed = check_extension_detailed(prefix, formula)
+    wall = time.perf_counter() - start
+    assert detailed.extendable
+    totals = {
+        "progressions": length,
+        "sat_calls": 1,
+        "sat_cache_hits": 0,
+        "progress_cache_hits": 0,
+        "regrounds": 0,
+        "sat_time_s": detailed.satisfiability_seconds,
+        "progress_time_s": detailed.progression_seconds,
+    }
+    return {"e3_progression": _result(wall, length, totals)}
+
+
+def bench_e6_monitoring(smoke: bool) -> dict[str, dict[str, Any]]:
+    """E6-shaped: online monitoring of the paper's order constraints.
+
+    The full size runs at history length 200 — the headline monitoring
+    loop the PR's speedup target is measured on.
+    """
+    length = 12 if smoke else 200
+    spare = 4 if smoke else 16
+    trace = generate_orders(
+        OrderWorkloadConfig(length=length, arrival_probability=0.3, seed=13)
+    )
+    _clear_caches()
+    monitor = IntegrityMonitor(
+        standard_constraints(),
+        History.empty(ORDER_VOCABULARY),
+        strategy="spare",
+        spare=spare,
+    )
+    start = time.perf_counter()
+    for state in trace.states():
+        monitor.append_state(state)
+    wall = time.perf_counter() - start
+    totals = _sum_stats(monitor)
+    return {
+        "e6_monitoring": _result(
+            wall,
+            length,
+            totals,
+            ms_per_update=round(1e3 * wall / length, 3),
+            regrounds=totals["regrounds"],
+            violations=len(monitor.violations()),
+        )
+    }
+
+
+def bench_e7_detection(smoke: bool) -> dict[str, dict[str, Any]]:
+    """E7-shaped: the detection-latency monitoring loop at history ≥200.
+
+    The measured part is a *clean* run of the E7 lookahead constraints —
+    ``p`` demands ``q`` exactly ``lookahead`` instants later, ``q`` may not
+    repeat — over a long periodic trace that satisfies them, so the monitor
+    must progress live obligations and decide potential satisfaction at
+    every one of the 200 instants (no early violation freeze).  A short
+    forced-violation probe re-checks E7's headline claim (detection at the
+    forcing instant) without dominating the timing.
+    """
+    length = 12 if smoke else 200
+    lookaheads = (2,) if smoke else (2, 3, 4)
+    period = 8
+    vocab = vocabulary({"p": 1, "q": 1})
+    wall_total = 0.0
+    totals = {
+        "progressions": 0,
+        "sat_calls": 0,
+        "sat_cache_hits": 0,
+        "progress_cache_hits": 0,
+        "regrounds": 0,
+        "sat_time_s": 0.0,
+        "progress_time_s": 0.0,
+    }
+    detections: list[int | None] = []
+    Facts = list[tuple[str, tuple[int, ...]]]
+    for lookahead in lookaheads:
+        demand = "X " * lookahead + "q(x)"
+        constraint = parse(
+            f"forall x . G ((q(x) -> X !q(x)) & (p(x) -> ({demand})))"
+        )
+        # Clean periodic trace: p every `period` instants, q supplied
+        # exactly `lookahead` later — live obligations, no violation.
+        trace: list[Facts] = []
+        for t in range(length):
+            facts: Facts = []
+            if t % period == 0:
+                facts.append(("p", (1,)))
+            if t % period == lookahead and t >= lookahead:
+                facts.append(("q", (1,)))
+            trace.append(facts)
+        _clear_caches()
+        monitor = IntegrityMonitor(
+            {"lookahead": constraint}, History.empty(vocab)
+        )
+        start = time.perf_counter()
+        for facts in trace:
+            monitor.append_state(DatabaseState.from_facts(vocab, facts))
+        wall_total += time.perf_counter() - start
+        for key, value in _sum_stats(monitor).items():
+            totals[key] += value
+        # Detection probe: q arrives one instant late -> the contradiction
+        # is forced at the q instant and must be flagged right there.
+        probe = IntegrityMonitor(
+            {"lookahead": constraint}, History.empty(vocab)
+        )
+        detected: int | None = None
+        probe_trace: list[Facts] = [[("p", (1,))]]
+        probe_trace += [[] for _ in range(lookahead)]
+        probe_trace += [[("q", (1,))], []]
+        for facts in probe_trace:
+            report = probe.append_state(
+                DatabaseState.from_facts(vocab, facts)
+            )
+            if detected is None and report.new_violations:
+                detected = report.instant
+        detections.append(detected)
+    updates = length * len(lookaheads)
+    return {
+        "e7_detection": _result(
+            wall_total,
+            updates,
+            totals,
+            detected_at=detections,
+            ms_per_update=round(1e3 * wall_total / updates, 3),
+        )
+    }
+
+
+BENCHMARKS: tuple[Callable[[bool], dict[str, dict[str, Any]]], ...] = (
+    bench_a1_strategies,
+    bench_e3_progression,
+    bench_e6_monitoring,
+    bench_e7_detection,
+)
+
+
+# --------------------------------------------------------------------------
+# Document assembly / schema
+# --------------------------------------------------------------------------
+
+
+def run_all(smoke: bool, label: str | None) -> dict[str, Any]:
+    results: dict[str, dict[str, Any]] = {}
+    for bench in BENCHMARKS:
+        name = bench.__name__
+        print(f"running {name} ...", file=sys.stderr, flush=True)
+        results.update(bench(smoke))
+    return {
+        "schema": SCHEMA,
+        "label": label or ("smoke" if smoke else "full"),
+        "mode": "smoke" if smoke else "full",
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "results": results,
+    }
+
+
+def attach_baseline(doc: dict[str, Any], baseline: dict[str, Any]) -> None:
+    """Embed a prior run and per-benchmark wall-time speedups."""
+    validate_document(baseline)
+    doc["baseline"] = {
+        "label": baseline.get("label"),
+        "mode": baseline.get("mode"),
+        "created": baseline.get("created"),
+        "results": baseline["results"],
+    }
+    speedup: dict[str, float] = {}
+    for name, record in doc["results"].items():
+        old = baseline["results"].get(name)
+        if old and record["wall_s"] > 0:
+            speedup[name] = round(old["wall_s"] / record["wall_s"], 2)
+    doc["speedup"] = speedup
+
+
+def validate_document(doc: Any) -> None:
+    """Raise ValueError if ``doc`` is not a schema-valid benchmark report."""
+    if not isinstance(doc, dict):
+        raise ValueError("benchmark report must be a JSON object")
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(
+            f"schema mismatch: expected {SCHEMA!r}, got {doc.get('schema')!r}"
+        )
+    for key in ("mode", "created", "python", "results"):
+        if key not in doc:
+            raise ValueError(f"missing top-level key {key!r}")
+    if doc["mode"] not in ("smoke", "full"):
+        raise ValueError(f"bad mode {doc['mode']!r}")
+    results = doc["results"]
+    if not isinstance(results, dict) or not results:
+        raise ValueError("results must be a non-empty object")
+    for name, record in results.items():
+        if not isinstance(record, dict):
+            raise ValueError(f"result {name!r} must be an object")
+        missing = RESULT_KEYS - record.keys()
+        if missing:
+            raise ValueError(f"result {name!r} missing keys {sorted(missing)}")
+        if not isinstance(record["wall_s"], (int, float)):
+            raise ValueError(f"result {name!r}: wall_s must be numeric")
+    if "speedup" in doc and not isinstance(doc["speedup"], dict):
+        raise ValueError("speedup must be an object")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny sizes (CI smoke run)"
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=_ROOT / "BENCH_core.json",
+        help="output path (default: BENCH_core.json at the repo root)",
+    )
+    parser.add_argument(
+        "--label", default=None, help="free-form label stored in the report"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="prior BENCH_core.json to embed and compute speedups against",
+    )
+    parser.add_argument(
+        "--validate",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="only validate an existing report against the schema and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.validate is not None:
+        try:
+            validate_document(json.loads(args.validate.read_text()))
+        except (ValueError, OSError, json.JSONDecodeError) as exc:
+            print(f"INVALID: {exc}", file=sys.stderr)
+            return 1
+        print(f"{args.validate}: schema-valid ({SCHEMA})")
+        return 0
+
+    doc = run_all(smoke=args.smoke, label=args.label)
+    if args.baseline is not None:
+        attach_baseline(doc, json.loads(args.baseline.read_text()))
+    validate_document(doc)
+    args.out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+    for name, record in sorted(doc["results"].items()):
+        line = f"  {name:20s} {record['wall_s']:10.3f}s"
+        if "speedup" in doc and name in doc["speedup"]:
+            line += f"   x{doc['speedup'][name]:.2f} vs baseline"
+        print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

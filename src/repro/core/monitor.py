@@ -33,8 +33,9 @@ and reported, not re-checked.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import AbstractSet, Mapping, Sequence
 
 from ..database.history import History
 from ..database.state import DatabaseState
@@ -42,7 +43,7 @@ from ..database.updates import Update
 from ..logic.classify import FormulaInfo
 from ..logic.formulas import Formula
 from ..ptl.formulas import PTLFalse, PTLFormula, PTLTrue, Prop
-from ..ptl.progression import progress
+from ..ptl.progression import progress, progress_cache_info
 from ..ptl.sat import is_satisfiable
 from .checker import validate_constraint
 from .grounding import GroundElement, RelAtom
@@ -58,13 +59,24 @@ _STRATEGIES = ("scratch", "incremental", "spare")
 
 @dataclass
 class MonitorStats:
-    """Work counters for one monitored constraint."""
+    """Work counters for one monitored constraint.
+
+    ``progressions`` counts top-level progression steps; the memo in
+    :mod:`repro.ptl.progression` may satisfy (parts of) a step from cache,
+    which ``progress_cache_hits`` accounts (including sub-formula hits).
+    ``sat_time``/``progress_time`` are cumulative ``perf_counter`` seconds
+    spent in the two Lemma 4.2 phases, so experiments and the benchmark
+    harness can report where time goes.
+    """
 
     progressions: int = 0
     regrounds: int = 0
     renames: int = 0
     sat_calls: int = 0
     sat_cache_hits: int = 0
+    progress_cache_hits: int = 0
+    sat_time: float = 0.0
+    progress_time: float = 0.0
 
 
 @dataclass
@@ -79,7 +91,6 @@ class _ConstraintEntry:
     spare_map: dict[int, int] = field(default_factory=dict)
     violated_at: int | None = None
     stats: MonitorStats = field(default_factory=MonitorStats)
-    sat_cache: dict[PTLFormula, bool] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -158,6 +169,11 @@ class IntegrityMonitor:
         self._spare = spare
         self._fold = fold
         self._history = initial
+        # Monitor-wide satisfiability memo, shared across constraints and
+        # keyed by the interned remainder: the same ground obligation shows
+        # up under several constraints (and across regrounds), and interned
+        # identity makes the lookup O(1) instead of a structural re-hash.
+        self._sat_cache: dict[PTLFormula, bool] = {}
         self._entries: list[_ConstraintEntry] = []
         for name, formula in constraints.items():
             info = validate_constraint(
@@ -257,9 +273,24 @@ class IntegrityMonitor:
         )
         remainder = reduction.formula
         for props in reduction.prefix:
-            remainder = progress(remainder, props)
-            entry.stats.progressions += 1
+            remainder = self._progress(entry, remainder, props)
         entry.remainder = remainder
+
+    def _progress(
+        self,
+        entry: _ConstraintEntry,
+        formula: PTLFormula,
+        props: AbstractSet[Prop],
+    ) -> PTLFormula:
+        """One timed, hit-counted progression step for this entry."""
+        stats = entry.stats
+        hits_before = progress_cache_info().hits
+        start = time.perf_counter()
+        result = progress(formula, props)
+        stats.progress_time += time.perf_counter() - start
+        stats.progress_cache_hits += progress_cache_info().hits - hits_before
+        stats.progressions += 1
+        return result
 
     def _spare_pool(self, entry: _ConstraintEntry) -> frozenset[int]:
         """Reserve ``spare`` fresh concrete element slots in the grounding."""
@@ -313,8 +344,7 @@ class IntegrityMonitor:
         )
         if self._strategy == "spare":
             props = _rename_props(props, entry.spare_map)
-        entry.remainder = progress(entry.remainder, props)
-        entry.stats.progressions += 1
+        entry.remainder = self._progress(entry, entry.remainder, props)
 
     def _try_rename(
         self, entry: _ConstraintEntry, fresh: frozenset[int]
@@ -337,14 +367,16 @@ class IntegrityMonitor:
         if isinstance(remainder, PTLFalse):
             entry.violated_at = instant
             return False
-        cached = entry.sat_cache.get(remainder)
+        cached = self._sat_cache.get(remainder)
         if cached is not None:
             entry.stats.sat_cache_hits += 1
             ok = cached
         else:
             entry.stats.sat_calls += 1
+            start = time.perf_counter()
             ok = is_satisfiable(remainder, method=self._method, quick=True)
-            entry.sat_cache[remainder] = ok
+            entry.stats.sat_time += time.perf_counter() - start
+            self._sat_cache[remainder] = ok
         if not ok:
             entry.violated_at = instant
         return ok

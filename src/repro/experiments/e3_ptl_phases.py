@@ -14,6 +14,7 @@ Phase 1 (progression through the prefix) is ``O(t * |psi|)``; phase 2
 
 from __future__ import annotations
 
+from ..ptl.caches import clear_all_caches
 from ..ptl.extension import check_extension_detailed
 from ..ptl.formulas import palways, pand, pimplies, pnext, prop
 from .common import print_table
@@ -71,6 +72,11 @@ def run(fast: bool = False) -> list[dict]:
     formula = _cycle_formula(3)
     for length in lengths:
         prefix = _cycle_prefix(length, 3)
+        # Measure each point cold: the PTL core memoizes progression, NNF,
+        # and automata across calls, which would otherwise turn every
+        # sweep point after the first into a cache replay and hide the
+        # Lemma 4.2 phase shapes this experiment exists to show.
+        clear_all_caches()
         result = check_extension_detailed(prefix, formula)
         assert result.extendable
         rows.append(
@@ -88,6 +94,7 @@ def run(fast: bool = False) -> list[dict]:
     for width in widths:
         formula = _obligation_formula(width)
         prefix = _all_p_prefix(10, width)
+        clear_all_caches()
         result = check_extension_detailed(prefix, formula)
         assert result.extendable
         rows.append(

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterable
 
 from .formulas import (
@@ -309,11 +310,18 @@ class GeneralizedBuchi:
         return frozenset(positive)
 
 
+@lru_cache(maxsize=512)
 def build_automaton(formula: PTLFormula) -> GeneralizedBuchi:
     """GPVW translation of a PTL formula into a generalized Büchi automaton.
 
     The formula is first brought to NNF core form.  Every accepted word is a
     model of the formula and every model matches some accepted word.
+
+    Memoized per interned formula (bounded LRU): the monitor re-checks the
+    same remainder obligations across updates and constraints, and the
+    safety analysis builds the same automata repeatedly.  Callers must
+    treat the returned automaton as immutable — every consumer in this
+    package already does (``trim``/``product`` build new automata).
     """
     normal = ptl_nnf(formula)
     if isinstance(normal, PTLFalse):
@@ -611,8 +619,20 @@ def product(
     )
 
 
+def automaton_cache_clear() -> None:
+    """Empty the automaton and satisfiability memos (benchmark harness)."""
+    build_automaton.cache_clear()
+    is_satisfiable_buchi.cache_clear()
+
+
+@lru_cache(maxsize=1 << 12)
 def is_satisfiable_buchi(formula: PTLFormula) -> bool:
-    """PTL satisfiability by Büchi nonemptiness."""
+    """PTL satisfiability by Büchi nonemptiness.
+
+    Memoized: the SCC nonemptiness analysis itself is linear in the (often
+    large) automaton, so repeated decisions on the same interned formula
+    collapse to a dict hit.
+    """
     return not build_automaton(formula).is_empty()
 
 

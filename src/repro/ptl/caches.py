@@ -1,0 +1,54 @@
+"""Central registry of the PTL core's derived-result caches.
+
+The interned formula table itself (:mod:`repro.ptl.formulas`) is *not*
+listed here: clearing it while interned formulas are alive would let a
+later construction produce a second, distinct-but-equal object, silently
+demoting identity comparisons back to structural ones.  It is weak-valued,
+so it trims itself as formulas die.
+
+Everything below caches *derived results* (progressed obligations, NNF
+forms, automata, satisfiability verdicts) and can be cleared at any time
+without affecting correctness — the benchmark harness does so between
+benchmarks so each one starts cold.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .buchi import automaton_cache_clear, build_automaton, is_satisfiable_buchi
+from .formulas import intern_cache_info
+from .nnf import _nnf, nnf_cache_clear
+from .progression import progress_cache_clear, progress_cache_info
+from .tableau import (
+    build_tableau,
+    is_satisfiable_tableau,
+    tableau_cache_clear,
+)
+
+
+def clear_all_caches() -> None:
+    """Empty every derived-result cache of the PTL core."""
+    progress_cache_clear()
+    nnf_cache_clear()
+    automaton_cache_clear()
+    tableau_cache_clear()
+
+
+def cache_info() -> dict[str, Any]:
+    """Hit/size counters for every cache, for diagnostics and benchmarks."""
+    progression = progress_cache_info()
+    return {
+        "intern": intern_cache_info(),
+        "progress": {
+            "hits": progression.hits,
+            "misses": progression.misses,
+            "currsize": progression.currsize,
+            "maxsize": progression.maxsize,
+        },
+        "nnf": _nnf.cache_info()._asdict(),
+        "automaton": build_automaton.cache_info()._asdict(),
+        "buchi_sat": is_satisfiable_buchi.cache_info()._asdict(),
+        "tableau": build_tableau.cache_info()._asdict(),
+        "tableau_sat": is_satisfiable_tableau.cache_info()._asdict(),
+    }

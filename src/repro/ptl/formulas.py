@@ -13,17 +13,86 @@ structured names (ground atoms); tests use plain strings.
 Smart constructors (:func:`pand`, :func:`por`, :func:`pnot`, ...) perform
 constant folding and flattening, which is what keeps the Sistla–Wolfson
 progression of Lemma 4.2 compact as it sweeps over a history.
+
+**Hash consing.**  Every node constructor is *interned*: structurally equal
+formulas are the same object.  A weak-value cache keyed by node type plus
+child identities intercepts construction (see :class:`_InternMeta`), so
+
+* ``__eq__`` short-circuits on identity (the common case — two interned
+  formulas are equal iff they are the same object),
+* ``__hash__`` returns a hash precomputed at interning time instead of
+  re-hashing the whole subtree on every ``dict``/``set`` operation,
+* derived-result caches (progression memo, NNF memo, automata, the
+  monitor's satisfiability memo) get O(1) keys for free.
+
+Interning only shares *representation*; the smart-constructor folding and
+all observable semantics are unchanged, which is why Lemma 4.2 reasoning
+carries over verbatim (DESIGN.md, "Why interning is sound").  Un-interned
+instances can still arise through ``object.__new__``-style bypasses; the
+structural fallbacks in ``__eq__``/``__hash__`` keep those correct, merely
+slower.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Iterable, Iterator
+from dataclasses import fields as _dataclass_fields
+from typing import Any, Hashable, Iterable, Iterator
+from weakref import WeakValueDictionary
+
+#: The hash-consing table: (class, *field values) -> the canonical node.
+#: Weak values so formulas die when the last outside reference does.
+_INTERN_CACHE: "WeakValueDictionary[tuple, PTLFormula]" = WeakValueDictionary()
+
+_INTERN_STATS = {"hits": 0, "misses": 0}
 
 
-@dataclass(frozen=True)
-class PTLFormula:
-    """Abstract base class of PTL formulas."""
+def intern_cache_info() -> dict[str, int]:
+    """Interning statistics: live entries and constructor hit/miss counts."""
+    return {
+        "size": len(_INTERN_CACHE),
+        "hits": _INTERN_STATS["hits"],
+        "misses": _INTERN_STATS["misses"],
+    }
+
+
+class _InternMeta(type):
+    """Metaclass that hash-conses every node construction.
+
+    ``cls(*args)`` first probes the weak-value cache under the optimistic
+    key ``(cls, *args)``; on a hit the cached node is returned without
+    running ``__init__``/``__post_init__`` at all.  On a miss (or when the
+    arguments are not in canonical field form — keyword arguments, list
+    operands, ...) the instance is built normally, its canonical key is
+    derived from the post-``__post_init__`` field values, its hash is
+    precomputed, and the instance is published via ``setdefault`` so every
+    structurally equal construction yields the same object.
+    """
+
+    def __call__(cls, *args: Any, **kwargs: Any) -> Any:
+        if not kwargs:
+            key = (cls, *args)
+            try:
+                cached = _INTERN_CACHE.get(key)
+            except TypeError:
+                cached = None  # non-canonical args; build and canonicalize
+            if cached is not None:
+                _INTERN_STATS["hits"] += 1
+                return cached
+        inst = super().__call__(*args, **kwargs)
+        names = cls.__dict__.get("_intern_fields")
+        if names is None:
+            names = tuple(f.name for f in _dataclass_fields(cls))
+            type.__setattr__(cls, "_intern_fields", names)
+        key = (cls, *(getattr(inst, name) for name in names))
+        object.__setattr__(inst, "_hash", hash(key))
+        _INTERN_STATS["misses"] += 1
+        return _INTERN_CACHE.setdefault(key, inst)
+
+
+@dataclass(frozen=True, eq=False)
+class PTLFormula(metaclass=_InternMeta):
+    """Abstract base class of PTL formulas (interned, see module docs)."""
 
     @property
     def children(self) -> tuple["PTLFormula", ...]:
@@ -38,23 +107,83 @@ class PTLFormula:
             stack.extend(reversed(node.children))
 
     def propositions(self) -> frozenset["Prop"]:
-        """All propositional letters occurring in the formula."""
-        return frozenset(n for n in self.walk() if isinstance(n, Prop))
+        """All propositional letters occurring in the formula.
+
+        Cached on the node (and, through sharing, on every subformula), so
+        repeated calls — the progression memo slices states through this —
+        are O(1) after the first.
+        """
+        cached = self.__dict__.get("_props")
+        if cached is not None:
+            return cached
+        pending: list[PTLFormula] = [self]
+        while pending:
+            node = pending[-1]
+            if "_props" in node.__dict__:
+                pending.pop()
+                continue
+            missing = [
+                child
+                for child in node.children
+                if "_props" not in child.__dict__
+            ]
+            if missing:
+                pending.extend(missing)
+                continue
+            if isinstance(node, Prop):
+                props: frozenset[Prop] = frozenset((node,))
+            elif node.children:
+                props = frozenset().union(
+                    *(child.__dict__["_props"] for child in node.children)
+                )
+            else:
+                props = frozenset()
+            object.__setattr__(node, "_props", props)
+            pending.pop()
+        return self.__dict__["_props"]
 
     def size(self) -> int:
         """Number of AST nodes (``|psi|`` in the Lemma 4.2 bounds)."""
         return sum(1 for _ in self.walk())
 
+    def _identity(self) -> tuple:
+        """The node's field values, in declaration order."""
+        cls = self.__class__
+        names = cls.__dict__.get("_intern_fields")
+        if names is None:
+            names = tuple(f.name for f in _dataclass_fields(cls))
+            type.__setattr__(cls, "_intern_fields", names)
+        return tuple(getattr(self, name) for name in names)
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True  # interned: the overwhelmingly common case
+        if self.__class__ is not other.__class__:
+            return NotImplemented
+        return self._identity() == other._identity()
+
+    def __hash__(self) -> int:
+        cached = self.__dict__.get("_hash")
+        if cached is None:  # un-interned instance (constructor bypass)
+            cached = hash((self.__class__, *self._identity()))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __reduce__(self) -> tuple:
+        # Route pickle/copy through the constructor so deserialized
+        # formulas are re-interned instead of spawning duplicates.
+        return (self.__class__, self._identity())
+
     def __str__(self) -> str:
         return _to_str(self, 0)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class PTLTrue(PTLFormula):
     """The constant true."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class PTLFalse(PTLFormula):
     """The constant false."""
 
@@ -63,7 +192,7 @@ PTRUE = PTLTrue()
 PFALSE = PTLFalse()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Prop(PTLFormula):
     """A propositional letter.
 
@@ -77,7 +206,7 @@ class Prop(PTLFormula):
         hash(self.name)  # fail fast on unhashable names
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class PNot(PTLFormula):
     operand: PTLFormula
 
@@ -86,7 +215,7 @@ class PNot(PTLFormula):
         return (self.operand,)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class PAnd(PTLFormula):
     operands: tuple[PTLFormula, ...]
 
@@ -100,7 +229,7 @@ class PAnd(PTLFormula):
         return self.operands
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class POr(PTLFormula):
     operands: tuple[PTLFormula, ...]
 
@@ -114,7 +243,7 @@ class POr(PTLFormula):
         return self.operands
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class PImplies(PTLFormula):
     antecedent: PTLFormula
     consequent: PTLFormula
@@ -124,7 +253,7 @@ class PImplies(PTLFormula):
         return (self.antecedent, self.consequent)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class PNext(PTLFormula):
     body: PTLFormula
 
@@ -133,7 +262,7 @@ class PNext(PTLFormula):
         return (self.body,)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class PUntil(PTLFormula):
     """Strong until."""
 
@@ -145,7 +274,7 @@ class PUntil(PTLFormula):
         return (self.left, self.right)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class PWeakUntil(PTLFormula):
     left: PTLFormula
     right: PTLFormula
@@ -155,7 +284,7 @@ class PWeakUntil(PTLFormula):
         return (self.left, self.right)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class PRelease(PTLFormula):
     left: PTLFormula
     right: PTLFormula
@@ -165,7 +294,7 @@ class PRelease(PTLFormula):
         return (self.left, self.right)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class PEventually(PTLFormula):
     body: PTLFormula
 
@@ -174,7 +303,7 @@ class PEventually(PTLFormula):
         return (self.body,)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class PAlways(PTLFormula):
     body: PTLFormula
 

@@ -8,6 +8,8 @@ propositions using the until/release duality.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from .formulas import (
     PFALSE,
     PTRUE,
@@ -38,10 +40,21 @@ def ptl_nnf(formula: PTLFormula) -> PTLFormula:
 
     ``F a`` becomes ``true U a``; ``G a`` becomes ``false R a``;
     ``a W b`` becomes ``b R (a | b)``.
+
+    Memoized per ``(subformula, polarity)``: formulas are interned, so the
+    memo keys are O(1) and shared subterms — ubiquitous in the grounded
+    Theorem 4.1 conjunctions and in repeatedly re-checked monitoring
+    remainders — normalize once.
     """
-    return _nnf(formula, negate=False)
+    return _nnf(formula, False)
 
 
+def nnf_cache_clear() -> None:
+    """Empty the NNF memo (exposed for the benchmark harness)."""
+    _nnf.cache_clear()
+
+
+@lru_cache(maxsize=1 << 16)
 def _nnf(formula: PTLFormula, negate: bool) -> PTLFormula:
     match formula:
         case PTLTrue():

@@ -18,10 +18,22 @@ keeps every intermediate formula within ``O(|psi|)`` as the lemma requires.
 
 A propositional state is represented as the set of letters that are *true*
 in it (closed-world: every other letter is false).
+
+**Memoization.**  :func:`progress` is memoized in a bounded LRU keyed by
+``(formula, state ∩ formula.propositions())``.  Slicing the state down to
+the letters the formula actually mentions is sound — progression inspects
+the state only through ``Prop``-leaf membership — and it is what makes the
+memo effective in long monitoring runs: a ``G``-guarded prohibition over a
+quiet element progresses to itself under the *same sliced state* at every
+instant, regardless of what the rest of the database is doing, so repeated
+obligations cost a dict hit instead of a structural rewrite.  Interned
+formulas (:mod:`repro.ptl.formulas`) make the key O(1) to hash and compare.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from dataclasses import dataclass as _dataclass
 from typing import AbstractSet, Iterable, Sequence
 
 from .formulas import (
@@ -55,6 +67,43 @@ def state(*props: Prop | str) -> PropState:
     return frozenset(p if isinstance(p, Prop) else Prop(p) for p in props)
 
 
+#: Upper bound on memoized (formula, sliced state) pairs.
+PROGRESS_CACHE_MAXSIZE = 1 << 16
+
+_PROGRESS_CACHE: "OrderedDict[tuple[PTLFormula, frozenset[Prop]], PTLFormula]"
+_PROGRESS_CACHE = OrderedDict()
+
+
+@_dataclass
+class ProgressCacheInfo:
+    """Hit/miss counters of the progression memo."""
+
+    hits: int = 0
+    misses: int = 0
+    currsize: int = 0
+    maxsize: int = PROGRESS_CACHE_MAXSIZE
+
+
+_CACHE_STATS = ProgressCacheInfo()
+
+
+def progress_cache_info() -> ProgressCacheInfo:
+    """A snapshot of the progression memo's counters."""
+    return ProgressCacheInfo(
+        hits=_CACHE_STATS.hits,
+        misses=_CACHE_STATS.misses,
+        currsize=len(_PROGRESS_CACHE),
+        maxsize=PROGRESS_CACHE_MAXSIZE,
+    )
+
+
+def progress_cache_clear() -> None:
+    """Empty the progression memo and reset its counters."""
+    _PROGRESS_CACHE.clear()
+    _CACHE_STATS.hits = 0
+    _CACHE_STATS.misses = 0
+
+
 def progress(formula: PTLFormula, current: AbstractSet[Prop]) -> PTLFormula:
     """One step of formula progression through the state ``current``.
 
@@ -62,12 +111,35 @@ def progress(formula: PTLFormula, current: AbstractSet[Prop]) -> PTLFormula:
     instant on) must satisfy.  ``PTRUE`` means the prefix so far can be
     extended arbitrarily; ``PFALSE`` means no extension can satisfy the
     original formula.
+
+    Memoized on ``(formula, current ∩ formula.propositions())`` — see the
+    module docstring; :func:`progress_cache_clear` resets the memo.
     """
+    if isinstance(formula, (PTLTrue, PTLFalse)):
+        return formula
+    if isinstance(formula, Prop):
+        return PTRUE if formula in current else PFALSE
+    if not isinstance(current, frozenset):
+        current = frozenset(current)
+    key = (formula, formula.propositions() & current)
+    cached = _PROGRESS_CACHE.get(key)
+    if cached is not None:
+        _CACHE_STATS.hits += 1
+        _PROGRESS_CACHE.move_to_end(key)
+        return cached
+    _CACHE_STATS.misses += 1
+    result = _progress_step(formula, current)
+    _PROGRESS_CACHE[key] = result
+    if len(_PROGRESS_CACHE) > PROGRESS_CACHE_MAXSIZE:
+        _PROGRESS_CACHE.popitem(last=False)
+    return result
+
+
+def _progress_step(
+    formula: PTLFormula, current: AbstractSet[Prop]
+) -> PTLFormula:
+    """The Section 4 rewrite rules (one uncached step)."""
     match formula:
-        case PTLTrue() | PTLFalse():
-            return formula
-        case Prop():
-            return PTRUE if formula in current else PFALSE
         case PNot(operand=op):
             return pnot(progress(op, current))
         case PAnd(operands=ops):
@@ -128,12 +200,22 @@ def progress_trace(
     ``result[i]`` is the obligation after consuming ``states[:i]``; the list
     has ``len(states) + 1`` entries.  Used by the E3 experiment to measure
     how formula size evolves during the linear phase.
+
+    Like :func:`progress_sequence`, short-circuits once the obligation
+    collapses to a constant (``PTRUE``/``PFALSE`` progress to themselves
+    forever): the rest of the trace is padded with the constant instead of
+    paying for dead progression steps.
     """
     trace = [formula]
     remainder = formula
     for current in states:
+        if isinstance(remainder, (PTLTrue, PTLFalse)):
+            break
         remainder = progress(remainder, current)
         trace.append(remainder)
+    missing = len(states) + 1 - len(trace)
+    if missing > 0:
+        trace.extend([remainder] * missing)
     return trace
 
 

@@ -19,6 +19,7 @@ base exceeds ``max_base`` to keep accidental blowups out of test runs.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from itertools import combinations
 
 from .buchi import GeneralizedBuchi
@@ -72,11 +73,16 @@ def _holds(node: PTLFormula, atom: Atom) -> bool:
             raise TypeError(f"not an NNF core formula: {node!r}")
 
 
+@lru_cache(maxsize=256)
 def build_tableau(
     formula: PTLFormula, max_base: int = 16
 ) -> GeneralizedBuchi:
     """Build the atom-graph tableau of a formula as a generalized Büchi
     automaton over the atoms reachable from the initial ones.
+
+    Memoized per ``(formula, max_base)`` — atoms are frozensets of interned
+    subformulas, so both the construction's set operations and the memo key
+    hash in O(1) per node.  Treat the result as immutable.
 
     Raises
     ------
@@ -226,9 +232,16 @@ def build_tableau(
     )
 
 
+def tableau_cache_clear() -> None:
+    """Empty the tableau memos (exposed for the benchmark harness)."""
+    build_tableau.cache_clear()
+    is_satisfiable_tableau.cache_clear()
+
+
+@lru_cache(maxsize=1 << 12)
 def is_satisfiable_tableau(formula: PTLFormula, max_base: int = 16) -> bool:
     """PTL satisfiability by atom-graph tableau nonemptiness.
 
     Independent oracle for :func:`repro.ptl.buchi.is_satisfiable_buchi`.
     """
-    return not build_tableau(formula, max_base=max_base).is_empty()
+    return not build_tableau(formula, max_base).is_empty()

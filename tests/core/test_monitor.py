@@ -147,6 +147,40 @@ class TestStrategies:
         assert m.stats()["once"].regrounds > base
         assert m.violations() == {}
 
+    def test_stats_track_time_and_cache_hits(self, submit_once):
+        m = monitor_with({"once": submit_once}, strategy="incremental")
+        # Sub(1) creates a live obligation (G !Sub(1) from then on); the
+        # quiet states leave the remainder fixed.
+        m.append_state(DatabaseState.from_facts(V, [("Sub", (1,))]))
+        for _ in range(4):
+            m.append_state(DatabaseState.empty(V))
+        stats = m.stats()["once"]
+        assert stats.progressions >= 5
+        assert stats.progress_time > 0.0
+        assert stats.sat_time > 0.0
+        # The remainder stabilizes on the quiet states, so the
+        # monitor-wide satisfiability memo absorbs the later decisions...
+        assert stats.sat_calls >= 1
+        assert stats.sat_cache_hits >= 3
+        # ...and the progression memo sees the identical
+        # (formula, relevant-state-slice) pair again and again.
+        assert stats.progress_cache_hits >= 3
+
+    def test_sat_memo_shared_across_constraints(self, submit_once):
+        # Two entries with the same constraint produce identical (interned)
+        # remainders; the second must hit the monitor-wide memo.
+        m = monitor_with(
+            {"a": submit_once, "b": submit_once}, strategy="incremental"
+        )
+        m.append_state(DatabaseState.from_facts(V, [("Sub", (1,))]))
+        m.append_state(DatabaseState.empty(V))
+        stats = m.stats()
+        combined_hits = stats["a"].sat_cache_hits + stats["b"].sat_cache_hits
+        assert combined_hits >= 1
+        # Identical constraints yield identical interned remainders, so
+        # only one entry ever pays for a satisfiability call.
+        assert stats["b"].sat_calls == 0
+
     @given(
         trace=st.lists(
             st.lists(

@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from repro.ptl import (
     LassoModel,
     build_automaton,
-    evaluate_lasso,
     find_lasso_model,
     is_satisfiable_buchi,
     parse_ptl,

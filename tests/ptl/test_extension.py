@@ -1,6 +1,5 @@
 """Tests for the propositional extension problem (Lemma 4.2)."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -8,9 +8,6 @@ from repro.ptl import (
     PAnd,
     PEventually,
     PAlways,
-    PNot,
-    POr,
-    PUntil,
     Prop,
     palways,
     pand,

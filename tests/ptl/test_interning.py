@@ -1,0 +1,243 @@
+"""Properties of the hash-consed formula representation.
+
+Interning is an *implementation* change: structurally equal formulas become
+the same object, ``__eq__`` short-circuits on identity, and ``__hash__``
+returns a precomputed value.  These tests pin down the contract:
+
+* pointer identity coincides with structural equality for anything built
+  through the (interned) constructors;
+* un-interned instances (``object.__new__`` bypasses, as a stand-in for the
+  pre-interning representation) still agree with interned ones through
+  hashing, NNF, progression, and both satisfiability engines;
+* deep nesting neither blows the recursion limit nor breaks hashing.
+"""
+
+from __future__ import annotations
+
+import copy
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ptl import (
+    PFALSE,
+    PTRUE,
+    PAlways,
+    PAnd,
+    PEventually,
+    PImplies,
+    PNext,
+    PNot,
+    POr,
+    PRelease,
+    PTLFormula,
+    PUntil,
+    PWeakUntil,
+    Prop,
+    is_satisfiable_buchi,
+    is_satisfiable_tableau,
+    progress,
+    progress_sequence,
+    prop,
+    ptl_nnf,
+)
+from repro.ptl.caches import clear_all_caches
+from repro.ptl.formulas import intern_cache_info
+
+from ..conftest import prop_states, ptl_formulas
+
+
+def _rebuild(formula: PTLFormula) -> PTLFormula:
+    """Reconstruct a formula bottom-up through the raw node constructors.
+
+    With interning this must return the *same object*: each constructor call
+    resolves to the canonical node for its field values.
+    """
+    match formula:
+        case Prop(name=name):
+            return Prop(name)
+        case PNot(operand=op):
+            return PNot(_rebuild(op))
+        case PAnd(operands=ops):
+            return PAnd(tuple(_rebuild(op) for op in ops))
+        case POr(operands=ops):
+            return POr(tuple(_rebuild(op) for op in ops))
+        case PImplies(antecedent=a, consequent=c):
+            return PImplies(_rebuild(a), _rebuild(c))
+        case PNext(body=body):
+            return PNext(_rebuild(body))
+        case PUntil(left=left, right=right):
+            return PUntil(_rebuild(left), _rebuild(right))
+        case PWeakUntil(left=left, right=right):
+            return PWeakUntil(_rebuild(left), _rebuild(right))
+        case PRelease(left=left, right=right):
+            return PRelease(_rebuild(left), _rebuild(right))
+        case PEventually(body=body):
+            return PEventually(_rebuild(body))
+        case PAlways(body=body):
+            return PAlways(_rebuild(body))
+        case _:
+            return formula  # PTLTrue / PTLFalse singletons
+
+
+def _uninterned_clone(formula: PTLFormula) -> PTLFormula:
+    """A structurally equal copy that bypasses the interning metaclass.
+
+    Built with ``object.__new__`` + ``object.__setattr__``, so it has no
+    precomputed ``_hash`` and is *not* the canonical node — exactly the
+    representation the pre-interning implementation used.
+    """
+    cls = formula.__class__
+    clone = object.__new__(cls)
+    for name, value in zip(cls._intern_fields, formula._identity()):
+        if isinstance(value, PTLFormula):
+            value = _uninterned_clone(value)
+        elif isinstance(value, tuple) and value and isinstance(
+            value[0], PTLFormula
+        ):
+            value = tuple(_uninterned_clone(v) for v in value)
+        object.__setattr__(clone, name, value)
+    return clone
+
+
+class TestPointerIdentity:
+    @given(formula=ptl_formulas(max_props=3))
+    @settings(max_examples=200, deadline=None)
+    def test_rebuild_is_same_object(self, formula):
+        assert _rebuild(formula) is formula
+
+    @given(f=ptl_formulas(max_props=2), g=ptl_formulas(max_props=2))
+    @settings(max_examples=200, deadline=None)
+    def test_identical_iff_equal(self, f, g):
+        # For interned formulas, structural equality IS identity.
+        assert (f == g) == (f is g)
+        if f is g:
+            assert hash(f) == hash(g)
+
+    def test_singletons(self):
+        from repro.ptl.formulas import PTLFalse, PTLTrue
+
+        assert PTLTrue() is PTRUE
+        assert PTLFalse() is PFALSE
+        p = prop("p")
+        assert prop("p") is p
+        assert PNot(p) is PNot(p)
+        assert PAnd((p, PNot(p))) is PAnd((p, PNot(p)))
+        assert prop("q") is not p
+
+    def test_list_and_kwargs_construction_canonicalized(self):
+        p, q = prop("p"), prop("q")
+        assert PAnd([p, q]) is PAnd((p, q))
+        assert PUntil(left=p, right=q) is PUntil(p, q)
+
+    def test_validation_still_fires(self):
+        with pytest.raises(ValueError):
+            PAnd((prop("p"),))
+        with pytest.raises(TypeError):
+            Prop(["unhashable"])
+
+    def test_pickle_and_deepcopy_reintern(self):
+        f = PUntil(prop("p"), PAlways(POr((prop("q"), prop("r")))))
+        assert pickle.loads(pickle.dumps(f)) is f
+        assert copy.deepcopy(f) is f
+
+    def test_cache_is_weak(self):
+        import gc
+
+        before = intern_cache_info()["size"]
+        f = PNext(prop(("unique-letter-for-weakness-test",)))
+        assert intern_cache_info()["size"] > before
+        del f
+        gc.collect()
+        assert intern_cache_info()["size"] <= before + 1
+
+
+class TestUninternedAgreement:
+    """The hash-consed representation changes nothing observable.
+
+    A clone built outside the intern table plays the role of the
+    non-interned reference implementation: every derived computation must
+    coincide with the canonical node's.
+    """
+
+    @given(formula=ptl_formulas(max_props=2))
+    @settings(max_examples=150, deadline=None)
+    def test_clone_is_equal_but_distinct(self, formula):
+        clone = _uninterned_clone(formula)
+        if formula.children or isinstance(formula, Prop):
+            assert clone is not formula
+        assert clone == formula
+        assert formula == clone
+        assert hash(clone) == hash(formula)
+
+    @given(formula=ptl_formulas(max_props=2))
+    @settings(max_examples=100, deadline=None)
+    def test_nnf_agrees(self, formula):
+        clone = _uninterned_clone(formula)
+        assert ptl_nnf(clone) == ptl_nnf(formula)
+
+    @given(
+        formula=ptl_formulas(max_props=2),
+        states=st.lists(prop_states(max_props=2), max_size=4),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_progression_agrees(self, formula, states):
+        clone = _uninterned_clone(formula)
+        expected = progress_sequence(formula, states)
+        assert progress_sequence(clone, states) == expected
+        for current in states:
+            assert progress(clone, current) == progress(formula, current)
+
+    @given(formula=ptl_formulas(max_props=2))
+    @settings(max_examples=60, deadline=None)
+    def test_satisfiability_agrees(self, formula):
+        clone = _uninterned_clone(formula)
+        verdict = is_satisfiable_buchi(formula)
+        assert is_satisfiable_buchi(clone) == verdict
+        assert is_satisfiable_tableau(clone) == verdict
+
+    @given(
+        formula=ptl_formulas(max_props=2),
+        states=st.lists(prop_states(max_props=2), max_size=3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_progress_then_sat_cross_validation(self, formula, states):
+        # The acceptance-criterion pipeline: progress a prefix, then decide
+        # the remainder with both engines, starting from the interned
+        # formula and from the un-interned reference clone.
+        remainder = progress_sequence(formula, states)
+        clone_remainder = progress_sequence(_uninterned_clone(formula), states)
+        assert clone_remainder == remainder
+        assert is_satisfiable_buchi(remainder) == is_satisfiable_buchi(
+            clone_remainder
+        )
+        assert is_satisfiable_tableau(remainder) == is_satisfiable_tableau(
+            clone_remainder
+        )
+
+
+class TestDeepNesting:
+    DEPTH = 20_000
+
+    def test_deep_chain_constructs_hashes_compares(self):
+        f = prop("p")
+        for _ in range(self.DEPTH):
+            f = PNext(f)
+        g = prop("p")
+        for _ in range(self.DEPTH):
+            g = PNext(g)
+        # No RecursionError anywhere below: construction interns level by
+        # level, hashing is precomputed, equality is pointer equality, and
+        # propositions()/size() walk iteratively.
+        assert g is f
+        assert hash(g) == hash(f)
+        assert g == f
+        assert f.propositions() == frozenset({prop("p")})
+        assert f.size() == self.DEPTH + 1
+
+    def test_caches_clearable(self):
+        clear_all_caches()  # derived caches only; interning survives
+        p = prop("p")
+        assert prop("p") is p

@@ -9,7 +9,6 @@ from repro.ptl import (
     pand,
     peventually,
     pnext,
-    pnot,
     prelease,
     prop,
     puntil,

@@ -6,7 +6,6 @@ from repro.ptl import (
     build_automaton,
     pand,
     parse_ptl,
-    pnot,
     product,
 )
 

@@ -10,7 +10,6 @@ import pytest
 from hypothesis import given, settings
 
 from repro.ptl import (
-    LassoModel,
     PFALSE,
     PTRUE,
     evaluate_lasso,
@@ -94,6 +93,32 @@ class TestProgressSequence:
         trace = progress_trace(f, states)
         assert len(trace) == 3
         assert trace[0] == f
+
+    def test_trace_short_circuits_on_constant(self):
+        # Once the obligation collapses to a constant it progresses to
+        # itself forever; the trace stops progressing and pads instead.
+        f = palways(p)
+        states = [state("p"), state(), state("p"), state("p")]
+        trace = progress_trace(f, states)
+        assert len(trace) == len(states) + 1
+        assert trace[0] == f
+        assert trace[2] == PFALSE  # violated at the empty state
+        assert trace[3] is trace[2] and trace[4] is trace[2]
+
+    def test_trace_short_circuits_on_true(self):
+        f = peventually(p)
+        states = [state(), state("p"), state(), state()]
+        trace = progress_trace(f, states)
+        assert len(trace) == len(states) + 1
+        assert trace[2] == PTRUE
+        assert trace[-1] == PTRUE
+
+    def test_trace_no_padding_when_no_constant(self):
+        f = palways(pimplies(p, pnext(q)))
+        states = [state("p"), state("q"), state()]
+        trace = progress_trace(f, states)
+        assert len(trace) == 4
+        assert not any(t in (PTRUE, PFALSE) for t in trace)
 
     def test_g_implication_chain(self):
         # G (p -> X q) through p, q, {} is consistent.

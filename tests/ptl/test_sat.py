@@ -5,7 +5,6 @@ from hypothesis import given, settings
 
 from repro.ptl import (
     PFALSE,
-    PTRUE,
     equivalent,
     find_model,
     is_satisfiable,
