@@ -1,9 +1,11 @@
 """Benchmark regression harness for the PTL monitoring core.
 
 Runs the monitoring-shaped benchmarks (A1 incremental strategies, E3
-progression phases, E6 orders workload, E7 detection latency) against the
-*current* checkout and writes a machine-readable ``BENCH_core.json`` so
-every performance PR leaves a trajectory point that later PRs can compare
+progression phases, E6 orders workload, E7 detection latency), the
+satisfiability microbenchmarks (bitset kernel vs reference engines, on
+identical formulas) and the parallel trigger sweep against the *current*
+checkout and writes a machine-readable ``BENCH_core.json`` so every
+performance PR leaves a trajectory point that later PRs can compare
 against.
 
 Usage::
@@ -47,7 +49,12 @@ from repro.workloads.orders import (  # noqa: E402
     submit_once,
 )
 
-SCHEMA = "repro-bench-core/v1"
+SCHEMA = "repro-bench-core/v2"
+
+#: Schemas ``--validate`` accepts: v2 adds the ``sat_*`` engine-comparison
+#: and ``parallel_triggers`` shapes (with their extra record keys), and is
+#: otherwise backward compatible, so v1 reports stay usable as baselines.
+ACCEPTED_SCHEMAS = ("repro-bench-core/v1", SCHEMA)
 
 #: Required keys of every per-benchmark result record.
 RESULT_KEYS = frozenset(
@@ -299,11 +306,165 @@ def bench_e7_detection(smoke: bool) -> dict[str, dict[str, Any]]:
     }
 
 
+def _zero_totals() -> dict[str, Any]:
+    return {
+        "progressions": 0,
+        "sat_calls": 0,
+        "sat_cache_hits": 0,
+        "progress_cache_hits": 0,
+        "regrounds": 0,
+        "sat_time_s": 0.0,
+        "progress_time_s": 0.0,
+    }
+
+
+def _sat_workload(
+    size: int, count: int, base_cap: int | None
+) -> list[Any]:
+    """``count`` random NNF formulas of the given size; with ``base_cap``,
+    only formulas whose tableau base fits (keeps the 2^b reference side
+    tractable)."""
+    from repro.ptl.nnf import ptl_nnf
+    from repro.ptl.tableau import _base_subformulas
+    from repro.workloads.formulas import PTLConfig, random_ptl
+
+    formulas: list[Any] = []
+    seed = 0
+    while len(formulas) < count and seed < 50 * count:
+        formula = ptl_nnf(
+            random_ptl(PTLConfig(size=size, propositions=3, seed=seed))
+        )
+        seed += 1
+        if base_cap is not None:
+            if len(_base_subformulas(formula)) > base_cap:
+                continue
+        formulas.append(formula)
+    return formulas
+
+
+def bench_sat_micro(smoke: bool) -> dict[str, dict[str, Any]]:
+    """Satisfiability microbenchmarks: bitset kernel vs reference engines.
+
+    Both engines decide the *same* formula set from a cold cache;
+    ``wall_s`` is the bitset kernel's time (the regression-tracked
+    number), ``reference_wall_s``/``engine_speedup`` record the
+    comparison.  Verdict agreement is asserted formula by formula.
+    """
+    from repro.ptl.bitset import (
+        is_satisfiable_buchi_bitset,
+        is_satisfiable_tableau_bitset,
+    )
+    from repro.ptl.buchi import is_satisfiable_buchi
+    from repro.ptl.tableau import is_satisfiable_tableau
+
+    shapes: dict[str, tuple[list[Any], Callable[..., bool], dict[str, Any],
+                            Callable[..., bool], dict[str, Any]]] = {
+        "sat_tableau_micro": (
+            _sat_workload(
+                size=8 if smoke else 12,
+                count=4 if smoke else 12,
+                base_cap=7 if smoke else 10,
+            ),
+            is_satisfiable_tableau_bitset,
+            {"max_base": 12},
+            is_satisfiable_tableau,
+            {"max_base": 12, "engine": "reference"},
+        ),
+        "sat_buchi_micro": (
+            _sat_workload(
+                size=8 if smoke else 14,
+                count=4 if smoke else 12,
+                base_cap=None,
+            ),
+            is_satisfiable_buchi_bitset,
+            {},
+            is_satisfiable_buchi,
+            {"engine": "reference"},
+        ),
+    }
+    out: dict[str, dict[str, Any]] = {}
+    for name, (formulas, fast, fast_kw, slow, slow_kw) in shapes.items():
+        _clear_caches()
+        start = time.perf_counter()
+        fast_verdicts = [fast(f, **fast_kw) for f in formulas]
+        fast_wall = time.perf_counter() - start
+        _clear_caches()
+        start = time.perf_counter()
+        slow_verdicts = [slow(f, **slow_kw) for f in formulas]
+        slow_wall = time.perf_counter() - start
+        assert fast_verdicts == slow_verdicts, f"{name}: engines disagree"
+        out[name] = _result(
+            fast_wall,
+            len(formulas),
+            _zero_totals(),
+            reference_wall_s=round(slow_wall, 6),
+            engine_speedup=round(slow_wall / fast_wall, 2)
+            if fast_wall > 0
+            else None,
+            satisfiable=sum(fast_verdicts),
+        )
+    return out
+
+
+def bench_parallel_triggers(smoke: bool) -> dict[str, dict[str, Any]]:
+    """Trigger sweep, serial vs ``jobs=4``: identical firings by assertion.
+
+    ``wall_s`` tracks the serial run; the parallel wall is recorded (not
+    asserted faster — CI and small boxes may have a single core, where
+    fork overhead dominates).
+    """
+    from repro.core.triggers import Trigger, TriggerManager
+    from repro.database.history import History as _History
+    from repro.workloads.orders import trace_with_duplicate
+
+    length = 6 if smoke else 14
+    trace = trace_with_duplicate(length, violate_at=length // 2, seed=21)
+    states = trace.states()
+
+    def sweep(jobs: int) -> tuple[float, list[Any], int, int]:
+        _clear_caches()
+        manager = TriggerManager(
+            [
+                Trigger("resubmitted", parse("F (Sub(x) & X F Sub(x))")),
+                Trigger("double_fill", parse("F (Fill(x) & X F Fill(x))")),
+            ],
+            jobs=jobs,
+        )
+        start = time.perf_counter()
+        for upto in range(1, len(states) + 1):
+            manager.check(
+                _History(
+                    vocabulary=ORDER_VOCABULARY,
+                    states=tuple(states[:upto]),
+                )
+            )
+        wall = time.perf_counter() - start
+        return wall, manager.log, manager.memo_hits, manager.decisions
+
+    serial_wall, serial_log, memo_hits, decisions = sweep(jobs=1)
+    parallel_wall, parallel_log, _, _ = sweep(jobs=4)
+    assert serial_log == parallel_log, "jobs=1 and jobs=4 firings differ"
+    return {
+        "parallel_triggers": _result(
+            serial_wall,
+            length,
+            _zero_totals(),
+            parallel_wall_s=round(parallel_wall, 6),
+            jobs=4,
+            firings=len(serial_log),
+            memo_hits=memo_hits,
+            decisions=decisions,
+        )
+    }
+
+
 BENCHMARKS: tuple[Callable[[bool], dict[str, dict[str, Any]]], ...] = (
     bench_a1_strategies,
     bench_e3_progression,
     bench_e6_monitoring,
     bench_e7_detection,
+    bench_sat_micro,
+    bench_parallel_triggers,
 )
 
 
@@ -350,9 +511,10 @@ def validate_document(doc: Any) -> None:
     """Raise ValueError if ``doc`` is not a schema-valid benchmark report."""
     if not isinstance(doc, dict):
         raise ValueError("benchmark report must be a JSON object")
-    if doc.get("schema") != SCHEMA:
+    if doc.get("schema") not in ACCEPTED_SCHEMAS:
         raise ValueError(
-            f"schema mismatch: expected {SCHEMA!r}, got {doc.get('schema')!r}"
+            "schema mismatch: expected one of "
+            f"{list(ACCEPTED_SCHEMAS)}, got {doc.get('schema')!r}"
         )
     for key in ("mode", "created", "python", "results"):
         if key not in doc:
@@ -405,11 +567,12 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.validate is not None:
         try:
-            validate_document(json.loads(args.validate.read_text()))
+            doc = json.loads(args.validate.read_text())
+            validate_document(doc)
         except (ValueError, OSError, json.JSONDecodeError) as exc:
             print(f"INVALID: {exc}", file=sys.stderr)
             return 1
-        print(f"{args.validate}: schema-valid ({SCHEMA})")
+        print(f"{args.validate}: schema-valid ({doc['schema']})")
         return 0
 
     doc = run_all(smoke=args.smoke, label=args.label)

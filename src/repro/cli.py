@@ -23,12 +23,13 @@ errors, unknown experiment, malformed history files).
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
 import os
 import sys
 
 from .core.checker import check_extension
-from .core.monitor import IntegrityMonitor
+from .core.parallel import run_monitor
 from .database.history import History
 from .database.serialize import load_history
 from .errors import ParseError, ReproError
@@ -163,18 +164,20 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         states=history.states[:1],
         constant_bindings=history.constant_bindings,
     )
-    monitor = IntegrityMonitor(
+    run = run_monitor(
         constraints,
         initial,
+        history.states[1:],
+        jobs=args.jobs,
         assume_safety=args.assume_safety,
         strategy=args.strategy,
+        engine=args.engine,
     )
-    for state in history.states[1:]:
-        report = monitor.append_state(state)
+    for report in run.reports:
         for name in report.new_violations:
             print(f"t={report.instant}: constraint {name!r} violated "
                   f"({constraints[name]})")
-    violations = monitor.violations()
+    violations = run.violations
     if not violations:
         print(f"no violations in {len(history)} state(s)")
         return 0
@@ -190,7 +193,10 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(f"unknown experiment {args.name!r}; available: "
               + ", ".join(sorted(experiments.RUNNERS)))
         return 2
-    runner(fast=args.fast)
+    kwargs: dict[str, object] = {"fast": args.fast}
+    if "jobs" in inspect.signature(runner).parameters:
+        kwargs["jobs"] = args.jobs
+    runner(**kwargs)
     return 0
 
 
@@ -252,12 +258,21 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=("scratch", "incremental", "spare"),
                      default="incremental")
     mon.add_argument("--assume-safety", action="store_true")
+    mon.add_argument("--engine", choices=("bitset", "reference"),
+                     default="bitset",
+                     help="satisfiability kernel (default bitset)")
+    mon.add_argument("--jobs", type=int, default=1,
+                     help="worker processes for independent constraints "
+                     "(1 = serial, 0 = one per CPU)")
     mon.set_defaults(func=_cmd_monitor)
 
     exp = sub.add_parser("experiment", help="run a paper-claim experiment")
     exp.add_argument("name", help="experiment id, e.g. e1 or a2")
     exp.add_argument("--fast", action="store_true",
                      help="smaller parameter sweep")
+    exp.add_argument("--jobs", type=int, default=1,
+                     help="worker processes, for experiments that sweep "
+                     "independent points (1 = serial, 0 = one per CPU)")
     exp.set_defaults(func=_cmd_experiment)
     return parser
 

@@ -32,6 +32,13 @@ from .grounding import (
     rel_prop,
 )
 from .monitor import IntegrityMonitor, MonitorStats, UpdateReport
+from .parallel import (
+    MonitorRun,
+    parallel_map,
+    resolve_jobs,
+    run_monitor,
+    split_chunks,
+)
 from .reduction import (
     Reduction,
     constraint_relevant_elements,
@@ -60,6 +67,7 @@ __all__ = [
     "GroundContext",
     "GroundElement",
     "IntegrityMonitor",
+    "MonitorRun",
     "MonitorStats",
     "Reduction",
     "RelAtom",
@@ -81,10 +89,14 @@ __all__ = [
     "ground",
     "ground_domain",
     "implies_universal",
+    "parallel_map",
     "potentially_satisfied",
     "redundant_constraints",
     "reduce_universal",
     "rel_prop",
+    "resolve_jobs",
+    "run_monitor",
+    "split_chunks",
     "state_to_props",
     "validate_constraint",
 ]

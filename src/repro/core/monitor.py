@@ -42,9 +42,10 @@ from ..database.state import DatabaseState
 from ..database.updates import Update
 from ..logic.classify import FormulaInfo
 from ..logic.formulas import Formula
+from ..ptl.bitset import BuchiKernel
 from ..ptl.formulas import PTLFalse, PTLFormula, PTLTrue, Prop
 from ..ptl.progression import progress, progress_cache_info
-from ..ptl.sat import is_satisfiable
+from ..ptl.sat import is_satisfiable, quick_model_check
 from .checker import validate_constraint
 from .grounding import GroundElement, RelAtom
 from .reduction import (
@@ -55,6 +56,7 @@ from .reduction import (
 )
 
 _STRATEGIES = ("scratch", "incremental", "spare")
+_ENGINES = ("bitset", "reference")
 
 
 @dataclass
@@ -150,10 +152,15 @@ class IntegrityMonitor:
         spare: int = 2,
         fold: bool = True,
         lint: str = "warn",
+        engine: str = "bitset",
     ):
         if strategy not in _STRATEGIES:
             raise ValueError(
                 f"strategy must be one of {_STRATEGIES}, got {strategy!r}"
+            )
+        if engine not in _ENGINES:
+            raise ValueError(
+                f"engine must be one of {_ENGINES}, got {engine!r}"
             )
         if strategy == "spare" and not fold:
             raise ValueError(
@@ -168,12 +175,20 @@ class IntegrityMonitor:
         self._strategy = strategy
         self._spare = spare
         self._fold = fold
+        self._engine = engine
         self._history = initial
         # Monitor-wide satisfiability memo, shared across constraints and
         # keyed by the interned remainder: the same ground obligation shows
         # up under several constraints (and across regrounds), and interned
         # identity makes the lookup O(1) instead of a structural re-hash.
         self._sat_cache: dict[PTLFormula, bool] = {}
+        # Batched decision layer: every remainder of every constraint is
+        # decided through one shared bitset kernel, so ground instances
+        # with overlapping closures share compiled states, successor masks
+        # and fairness verdicts across constraints and updates.
+        self._kernel: BuchiKernel | None = (
+            BuchiKernel() if engine == "bitset" and method == "buchi" else None
+        )
         self._entries: list[_ConstraintEntry] = []
         for name, formula in constraints.items():
             info = validate_constraint(
@@ -374,7 +389,14 @@ class IntegrityMonitor:
         else:
             entry.stats.sat_calls += 1
             start = time.perf_counter()
-            ok = is_satisfiable(remainder, method=self._method, quick=True)
+            if quick_model_check(remainder):
+                ok = True
+            elif self._kernel is not None:
+                ok = self._kernel.is_satisfiable(remainder)
+            else:
+                ok = is_satisfiable(
+                    remainder, method=self._method, engine=self._engine
+                )
             entry.stats.sat_time += time.perf_counter() - start
             self._sat_cache[remainder] = ok
         if not ok:

@@ -32,7 +32,13 @@ from ..logic.builders import not_
 from ..logic.formulas import Formula
 from ..logic.terms import Constant, Variable
 from ..logic.transform import nnf, substitute
-from .checker import check_extension
+from ..ptl.bitset import BuchiKernel
+from ..ptl.formulas import PTLFalse, PTLFormula, PTLTrue
+from ..ptl.progression import progress_sequence
+from ..ptl.sat import is_satisfiable, quick_model_check
+from .checker import validate_constraint
+from .parallel import parallel_map, resolve_jobs, split_chunks
+from .reduction import reduce_universal
 
 #: A ground substitution: values for the condition's free variables.
 Substitution = Mapping[Variable, int]
@@ -109,12 +115,78 @@ def _augment_history(history: History, bindings: dict[str, int]) -> History:
     )
 
 
+def _substitution_key(
+    substitution: Substitution,
+) -> tuple[tuple[str, int], ...]:
+    """The canonical (sorted, hashable) form of a ground substitution."""
+    return tuple(
+        sorted(
+            (variable.name, value)
+            for variable, value in substitution.items()
+        )
+    )
+
+
+def _condition_remainder(
+    condition: Formula,
+    history: History,
+    substitution: Substitution,
+    assume_safety: bool,
+) -> PTLFormula:
+    """The progressed Lemma 4.2 remainder of ``¬Cθ`` over the history.
+
+    This is the history-dependent half of the duality check; the verdict
+    is then a pure function of the (interned) remainder, which is what
+    makes the :class:`TriggerManager` memo sound.
+    """
+    instantiated, bindings = _instantiate(condition, substitution)
+    negated = nnf(not_(instantiated))
+    augmented = _augment_history(history, bindings)
+    info = validate_constraint(negated, assume_safety=assume_safety)
+    reduction = reduce_universal(augmented, info)
+    return progress_sequence(reduction.formula, reduction.prefix)
+
+
+def _remainder_fires(
+    remainder: PTLFormula,
+    method: str,
+    engine: str,
+    kernel: BuchiKernel | None = None,
+) -> bool:
+    """Duality verdict from a remainder: fire iff ``¬Cθ`` is unsatisfiable."""
+    if isinstance(remainder, PTLFalse):
+        return True
+    if isinstance(remainder, PTLTrue):
+        return False
+    if quick_model_check(remainder):
+        return False
+    if kernel is not None and method == "buchi" and engine == "bitset":
+        return not kernel.is_satisfiable(remainder)
+    return not is_satisfiable(remainder, method=method, engine=engine)
+
+
+def _fires_chunk(
+    args: tuple[Formula, History, list[Substitution], bool, str, str],
+) -> list[tuple[PTLFormula, bool]]:
+    """Worker: decide one chunk of substitutions, returning
+    ``(remainder, fired)`` pairs so the parent can refill its memo."""
+    condition, history, substitutions, assume_safety, method, engine = args
+    out: list[tuple[PTLFormula, bool]] = []
+    for substitution in substitutions:
+        remainder = _condition_remainder(
+            condition, history, substitution, assume_safety
+        )
+        out.append((remainder, _remainder_fires(remainder, method, engine)))
+    return out
+
+
 def fires(
     trigger: Trigger,
     history: History,
     substitution: Substitution,
     assume_safety: bool = False,
     method: str = "buchi",
+    engine: str = "bitset",
 ) -> bool:
     """Does the trigger fire at the current instant for this substitution?
 
@@ -127,13 +199,10 @@ def fires(
             "substitution must cover all free variables; missing "
             + ", ".join(sorted(v.name for v in missing))
         )
-    instantiated, bindings = _instantiate(trigger.condition, substitution)
-    negated = nnf(not_(instantiated))
-    augmented = _augment_history(history, bindings)
-    result = check_extension(
-        negated, augmented, assume_safety=assume_safety, method=method
+    remainder = _condition_remainder(
+        trigger.condition, history, substitution, assume_safety
     )
-    return not result.potentially_satisfied
+    return _remainder_fires(remainder, method, engine)
 
 
 def candidate_substitutions(
@@ -164,6 +233,7 @@ def firings(
     include_fresh: bool = True,
     assume_safety: bool = False,
     method: str = "buchi",
+    engine: str = "bitset",
 ) -> list[Firing]:
     """All firings of a trigger at the history's current instant."""
     result: list[Firing] = []
@@ -176,17 +246,13 @@ def firings(
             substitution,
             assume_safety=assume_safety,
             method=method,
+            engine=engine,
         ):
             result.append(
                 Firing(
                     trigger=trigger.name,
                     instant=history.now,
-                    substitution=tuple(
-                        sorted(
-                            (v.name, value)
-                            for v, value in substitution.items()
-                        )
-                    ),
+                    substitution=_substitution_key(substitution),
                 )
             )
     return result
@@ -208,6 +274,21 @@ class TriggerManager:
     :class:`repro.errors.LintError`; ``lint="warn"`` (default) surfaces
     warning-severity diagnostics; ``lint="off"`` skips the gate (errors
     then surface per-firing from the extension checker, as before).
+
+    Two batching optimizations make the ``R_D^k`` sweep cheap:
+
+    * the Lemma 4.2 verdict is memoized per *interned remainder*
+      (identity-keyed dict): substitutions whose instantiated ``¬Cθ``
+      progress to the same remainder — common once a trigger's obligation
+      reaches a fixpoint across quiet instants — decide once and hit the
+      memo ever after (``memo_hits`` counts them);
+    * fresh decisions go through one shared
+      :class:`repro.ptl.bitset.BuchiKernel`, so ground instances with
+      overlapping closures reuse compiled states and fairness verdicts.
+
+    With ``jobs > 1`` the candidate substitutions of each trigger are
+    chunked across a process pool; firings are identical to the serial
+    run (the verdict is a pure function of the substitution and history).
     """
 
     def __init__(
@@ -217,7 +298,13 @@ class TriggerManager:
         method: str = "buchi",
         include_fresh: bool = True,
         lint: str = "warn",
+        engine: str = "bitset",
+        jobs: int = 1,
     ):
+        if engine not in ("bitset", "reference"):
+            raise ValueError(
+                f"engine must be 'bitset' or 'reference', got {engine!r}"
+            )
         if lint != "off":
             from ..lint import preflight
 
@@ -231,30 +318,106 @@ class TriggerManager:
         self._triggers = list(triggers)
         self._assume_safety = assume_safety
         self._method = method
+        self._engine = engine
         self._include_fresh = include_fresh
+        self._jobs = resolve_jobs(jobs)
         self._fired: set[tuple[str, tuple[tuple[str, int], ...]]] = set()
         self._log: list[Firing] = []
+        self._kernel: BuchiKernel | None = (
+            BuchiKernel() if engine == "bitset" and method == "buchi" else None
+        )
+        #: Lemma 4.2 verdict per interned remainder (identity-keyed).
+        self._remainder_memo: dict[PTLFormula, bool] = {}
+        self.memo_hits = 0
+        self.decisions = 0
 
     @property
     def log(self) -> list[Firing]:
         """All firings so far, in order of detection."""
         return list(self._log)
 
+    def _record(self, remainder: PTLFormula, fired: bool) -> bool:
+        """Memoize one decided remainder, counting hits and decisions."""
+        known = self._remainder_memo.get(remainder)
+        if known is None:
+            self._remainder_memo[remainder] = fired
+            self.decisions += 1
+            return fired
+        self.memo_hits += 1
+        return known
+
+    def _decide_pending(
+        self,
+        trigger: Trigger,
+        history: History,
+        substitutions: list[Substitution],
+    ) -> list[bool]:
+        """Duality verdicts for the not-yet-fired substitutions, in order."""
+        if self._jobs > 1 and len(substitutions) > 1:
+            chunk_results = parallel_map(
+                _fires_chunk,
+                [
+                    (
+                        trigger.condition,
+                        history,
+                        chunk,
+                        self._assume_safety,
+                        self._method,
+                        self._engine,
+                    )
+                    for chunk in split_chunks(substitutions, self._jobs)
+                ],
+                jobs=self._jobs,
+            )
+            return [
+                self._record(remainder, fired)
+                for chunk in chunk_results
+                for remainder, fired in chunk
+            ]
+        verdicts: list[bool] = []
+        for substitution in substitutions:
+            remainder = _condition_remainder(
+                trigger.condition, history, substitution, self._assume_safety
+            )
+            known = self._remainder_memo.get(remainder)
+            if known is None:
+                known = _remainder_fires(
+                    remainder, self._method, self._engine, self._kernel
+                )
+                self._remainder_memo[remainder] = known
+                self.decisions += 1
+            else:
+                self.memo_hits += 1
+            verdicts.append(known)
+        return verdicts
+
     def check(self, history: History) -> list[Firing]:
         """Detect new firings at the history's current instant and run their
         actions."""
         new: list[Firing] = []
         for trigger in self._triggers:
-            for firing in firings(
-                trigger,
-                history,
-                include_fresh=self._include_fresh,
-                assume_safety=self._assume_safety,
-                method=self._method,
+            pending: list[
+                tuple[tuple[str, tuple[tuple[str, int], ...]], Substitution]
+            ] = []
+            for substitution in candidate_substitutions(
+                trigger, history, include_fresh=self._include_fresh
             ):
-                key = (firing.trigger, firing.substitution)
-                if key in self._fired:
+                key = (trigger.name, _substitution_key(substitution))
+                # Already-fired pairs stay fired (safety violations are
+                # irrecoverable) — skip the re-decision entirely.
+                if key not in self._fired:
+                    pending.append((key, substitution))
+            verdicts = self._decide_pending(
+                trigger, history, [s for _, s in pending]
+            )
+            for (key, _substitution), fired in zip(pending, verdicts):
+                if not fired:
                     continue
+                firing = Firing(
+                    trigger=trigger.name,
+                    instant=history.now,
+                    substitution=key[1],
+                )
                 self._fired.add(key)
                 new.append(firing)
                 self._log.append(firing)

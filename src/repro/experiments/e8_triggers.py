@@ -21,7 +21,7 @@ from .common import print_table
 X = Variable("x")
 
 
-def run(fast: bool = False) -> list[dict]:
+def run(fast: bool = False, jobs: int = 1) -> list[dict]:
     length = 10 if fast else 16
     trace = trace_with_duplicate(length, violate_at=length // 2, seed=21)
     triggers = {
@@ -32,7 +32,7 @@ def run(fast: bool = False) -> list[dict]:
             "double_fill", parse("F (Fill(x) & X F Fill(x))")
         ),
     }
-    manager = TriggerManager(list(triggers.values()))
+    manager = TriggerManager(list(triggers.values()), jobs=jobs)
 
     firings = []
     duality_checks = 0
@@ -80,7 +80,8 @@ def run(fast: bool = False) -> list[dict]:
         rows,
         note=f"duality verified pointwise: {duality_agreements}/"
         f"{duality_checks} (trigger fires iff !C-theta not potentially "
-        "satisfied)",
+        "satisfied); remainder memo: "
+        f"{manager.memo_hits} hits / {manager.decisions} decisions",
     )
     assert duality_agreements == duality_checks
     return rows

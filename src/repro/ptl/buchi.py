@@ -622,18 +622,37 @@ def product(
 def automaton_cache_clear() -> None:
     """Empty the automaton and satisfiability memos (benchmark harness)."""
     build_automaton.cache_clear()
-    is_satisfiable_buchi.cache_clear()
+    _is_satisfiable_buchi_reference.cache_clear()
 
 
 @lru_cache(maxsize=1 << 12)
-def is_satisfiable_buchi(formula: PTLFormula) -> bool:
-    """PTL satisfiability by Büchi nonemptiness.
+def _is_satisfiable_buchi_reference(formula: PTLFormula) -> bool:
+    """Reference-engine satisfiability (frozenset GPVW + SCC emptiness).
 
     Memoized: the SCC nonemptiness analysis itself is linear in the (often
     large) automaton, so repeated decisions on the same interned formula
     collapse to a dict hit.
     """
     return not build_automaton(formula).is_empty()
+
+
+def is_satisfiable_buchi(formula: PTLFormula, engine: str = "bitset") -> bool:
+    """PTL satisfiability by Büchi nonemptiness.
+
+    ``engine="bitset"`` (default) decides through the compiled mask kernel
+    of :mod:`repro.ptl.bitset`; ``engine="reference"`` keeps the original
+    frozenset GPVW construction.  The two agree on every formula (the test
+    suite cross-validates them on random inputs).
+    """
+    if engine == "bitset":
+        from .bitset import is_satisfiable_buchi_bitset
+
+        return is_satisfiable_buchi_bitset(formula)
+    if engine == "reference":
+        return _is_satisfiable_buchi_reference(formula)
+    raise ValueError(
+        f"unknown engine {engine!r}; expected 'bitset' or 'reference'"
+    )
 
 
 def find_lasso_model(formula: PTLFormula) -> LassoModel | None:

@@ -16,13 +16,19 @@ from __future__ import annotations
 
 from typing import Any
 
-from .buchi import automaton_cache_clear, build_automaton, is_satisfiable_buchi
+from .bitset import bitset_cache_clear, bitset_cache_info
+from .buchi import (
+    _is_satisfiable_buchi_reference,
+    automaton_cache_clear,
+    build_automaton,
+)
 from .formulas import intern_cache_info
 from .nnf import _nnf, nnf_cache_clear
 from .progression import progress_cache_clear, progress_cache_info
+from .sat import _quick_cache, quick_cache_clear
 from .tableau import (
+    _is_satisfiable_tableau_reference,
     build_tableau,
-    is_satisfiable_tableau,
     tableau_cache_clear,
 )
 
@@ -33,6 +39,8 @@ def clear_all_caches() -> None:
     nnf_cache_clear()
     automaton_cache_clear()
     tableau_cache_clear()
+    bitset_cache_clear()
+    quick_cache_clear()
 
 
 def cache_info() -> dict[str, Any]:
@@ -48,7 +56,11 @@ def cache_info() -> dict[str, Any]:
         },
         "nnf": _nnf.cache_info()._asdict(),
         "automaton": build_automaton.cache_info()._asdict(),
-        "buchi_sat": is_satisfiable_buchi.cache_info()._asdict(),
+        "buchi_sat": _is_satisfiable_buchi_reference.cache_info()._asdict(),
         "tableau": build_tableau.cache_info()._asdict(),
-        "tableau_sat": is_satisfiable_tableau.cache_info()._asdict(),
+        "tableau_sat": (
+            _is_satisfiable_tableau_reference.cache_info()._asdict()
+        ),
+        "bitset": bitset_cache_info(),
+        "quick": {"currsize": len(_quick_cache)},
     }

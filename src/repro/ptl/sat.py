@@ -12,14 +12,84 @@ A thin facade over the two engines:
 from __future__ import annotations
 
 from .buchi import LassoModel, find_lasso_model, is_satisfiable_buchi
-from .formulas import PTLFormula, pand, pnot, por
+from .formulas import (
+    PAlways,
+    PAnd,
+    PEventually,
+    PImplies,
+    PNext,
+    PNot,
+    POr,
+    PRelease,
+    PTLFalse,
+    PTLFormula,
+    PTLTrue,
+    PUntil,
+    PWeakUntil,
+    Prop,
+    pand,
+    pnot,
+    por,
+)
 from .lasso import evaluate_lasso
 from .tableau import is_satisfiable_tableau
 
 _METHODS = ("buchi", "tableau")
+_ENGINES = ("bitset", "reference")
 
 #: The "nothing ever happens again" model: every letter false forever.
 _EMPTY_LASSO = LassoModel(stem=(), loop=(frozenset(),))
+
+#: Truth on the all-false model, per interned formula.  The verdict is a
+#: semantic constant of the formula, so the cache never needs invalidation
+#: for correctness; it is registered with ``clear_all_caches`` anyway so
+#: benchmarks can measure cold starts.
+_quick_cache: dict[PTLFormula, bool] = {}
+
+
+def _holds_quiescent(formula: PTLFormula) -> bool:
+    """Truth of ``formula`` on the all-false constant model.
+
+    Every position of that model is identical, which collapses the
+    temporal semantics pointwise: ``X``/``G``/``F`` strip, ``a U b`` is
+    ``b``, ``a W b`` is ``a or b``, ``a R b`` is ``b``.  Memoized per
+    interned formula — monitoring remainders at successive instants share
+    almost all their subterms, so repeated checks are near-free.
+    """
+    cached = _quick_cache.get(formula)
+    if cached is not None:
+        return cached
+    if isinstance(formula, PTLTrue):
+        value = True
+    elif isinstance(formula, (PTLFalse, Prop)):
+        value = isinstance(formula, PTLTrue)  # False for both
+    elif isinstance(formula, PNot):
+        value = not _holds_quiescent(formula.operand)
+    elif isinstance(formula, PAnd):
+        value = all(_holds_quiescent(f) for f in formula.operands)
+    elif isinstance(formula, POr):
+        value = any(_holds_quiescent(f) for f in formula.operands)
+    elif isinstance(formula, PImplies):
+        value = not _holds_quiescent(
+            formula.antecedent
+        ) or _holds_quiescent(formula.consequent)
+    elif isinstance(formula, (PNext, PAlways, PEventually)):
+        value = _holds_quiescent(formula.body)
+    elif isinstance(formula, (PUntil, PRelease)):
+        value = _holds_quiescent(formula.right)
+    elif isinstance(formula, PWeakUntil):
+        value = _holds_quiescent(formula.left) or _holds_quiescent(
+            formula.right
+        )
+    else:  # pragma: no cover - future node types
+        value = evaluate_lasso(formula, _EMPTY_LASSO)
+    _quick_cache[formula] = value
+    return value
+
+
+def quick_cache_clear() -> None:
+    """Empty the all-false-model memo (cold-start benchmarking only)."""
+    _quick_cache.clear()
 
 
 def quick_model_check(formula: PTLFormula) -> bool:
@@ -28,28 +98,34 @@ def quick_model_check(formula: PTLFormula) -> bool:
     Most monitoring remainders — conjunctions of ``G``-guarded prohibitions
     plus progressed residues — are satisfied by the quiescent future in
     which no further fact ever holds.  Evaluating that one candidate is
-    linear in the formula, versus the exponential automaton construction.
+    linear in the formula (amortized far below that: the verdict memoizes
+    per interned subterm), versus the exponential automaton construction.
     True means definitely satisfiable; False means only that this candidate
     failed.
     """
-    return evaluate_lasso(formula, _EMPTY_LASSO)
+    return _holds_quiescent(formula)
 
 
 def is_satisfiable(
-    formula: PTLFormula, method: str = "buchi", quick: bool = False
+    formula: PTLFormula,
+    method: str = "buchi",
+    quick: bool = False,
+    engine: str = "bitset",
 ) -> bool:
     """True iff some infinite sequence of propositional states satisfies the
     formula at instant 0.
 
     With ``quick=True`` the all-false candidate model is tried first (see
     :func:`quick_model_check`) — a pure optimization with identical answers.
+    ``engine`` selects the compiled bitset kernel (default) or the original
+    frozenset construction (``"reference"``); both give identical answers.
     """
     if quick and quick_model_check(formula):
         return True
     if method == "buchi":
-        return is_satisfiable_buchi(formula)
+        return is_satisfiable_buchi(formula, engine=engine)
     if method == "tableau":
-        return is_satisfiable_tableau(formula)
+        return is_satisfiable_tableau(formula, engine=engine)
     raise ValueError(f"unknown method {method!r}; expected one of {_METHODS}")
 
 

@@ -235,13 +235,34 @@ def build_tableau(
 def tableau_cache_clear() -> None:
     """Empty the tableau memos (exposed for the benchmark harness)."""
     build_tableau.cache_clear()
-    is_satisfiable_tableau.cache_clear()
+    _is_satisfiable_tableau_reference.cache_clear()
 
 
 @lru_cache(maxsize=1 << 12)
-def is_satisfiable_tableau(formula: PTLFormula, max_base: int = 16) -> bool:
+def _is_satisfiable_tableau_reference(
+    formula: PTLFormula, max_base: int = 16
+) -> bool:
+    """Reference-engine tableau satisfiability (frozenset atoms)."""
+    return not build_tableau(formula, max_base).is_empty()
+
+
+def is_satisfiable_tableau(
+    formula: PTLFormula, max_base: int = 16, engine: str = "bitset"
+) -> bool:
     """PTL satisfiability by atom-graph tableau nonemptiness.
 
     Independent oracle for :func:`repro.ptl.buchi.is_satisfiable_buchi`.
+    ``engine="bitset"`` (default) decides over truth-table bitmaps
+    (:mod:`repro.ptl.bitset`); ``engine="reference"`` enumerates frozenset
+    atoms as the paper describes.  Both raise :class:`ValueError` beyond
+    ``max_base`` base subformulas.
     """
-    return not build_tableau(formula, max_base).is_empty()
+    if engine == "bitset":
+        from .bitset import is_satisfiable_tableau_bitset
+
+        return is_satisfiable_tableau_bitset(formula, max_base)
+    if engine == "reference":
+        return _is_satisfiable_tableau_reference(formula, max_base)
+    raise ValueError(
+        f"unknown engine {engine!r}; expected 'bitset' or 'reference'"
+    )

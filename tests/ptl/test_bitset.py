@@ -1,0 +1,145 @@
+"""The bitset satisfiability kernel agrees with the reference engines.
+
+The kernels compile the *same* constructions — GPVW node expansion and the
+classical atom tableau — to integer masks; faithfulness is checked by
+property tests against the frozenset reference implementations on random
+formulas, plus targeted cases for the encodings' edge conditions.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.ptl import (
+    BuchiKernel,
+    ClosureIndex,
+    bitset_cache_clear,
+    bitset_cache_info,
+    is_satisfiable,
+    is_satisfiable_buchi,
+    is_satisfiable_buchi_bitset,
+    is_satisfiable_tableau,
+    is_satisfiable_tableau_bitset,
+    palways,
+    pand,
+    peventually,
+    pnext,
+    pnot,
+    por,
+    progress_sequence,
+    prop,
+    ptl_nnf,
+    puntil,
+)
+from repro.ptl.formulas import PFALSE, PTRUE
+
+from ..conftest import prop_states, ptl_formulas
+
+P, Q, R = prop("p0"), prop("p1"), prop("p2")
+
+
+class TestBuchiAgreement:
+    @settings(max_examples=150, deadline=None)
+    @given(ptl_formulas())
+    def test_matches_reference(self, formula):
+        assert is_satisfiable_buchi_bitset(formula) == is_satisfiable_buchi(
+            formula, engine="reference"
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(ptl_formulas(), prop_states(), prop_states())
+    def test_progressed_remainders_agree(self, formula, s0, s1):
+        """Monitor-shaped inputs: remainders after consuming states."""
+        remainder = progress_sequence(ptl_nnf(formula), [s0, s1])
+        assert is_satisfiable_buchi_bitset(
+            remainder
+        ) == is_satisfiable_buchi(remainder, engine="reference")
+
+    @settings(max_examples=100, deadline=None)
+    @given(ptl_formulas())
+    def test_shared_kernel_consistent(self, formula):
+        """One long-lived kernel (the monitor's usage pattern) answers the
+        same as a fresh per-formula decision."""
+        shared = BuchiKernel()
+        assert shared.is_satisfiable(formula) == is_satisfiable_buchi_bitset(
+            formula
+        )
+        # Asking again must hit the verdict memo, not recompute wrongly.
+        assert shared.is_satisfiable(formula) == is_satisfiable_buchi_bitset(
+            formula
+        )
+
+
+class TestTableauAgreement:
+    @settings(max_examples=100, deadline=None)
+    @given(ptl_formulas(max_props=2, max_depth=3))
+    def test_matches_reference(self, formula):
+        try:
+            expected = is_satisfiable_tableau(
+                formula, max_base=10, engine="reference"
+            )
+        except ValueError:
+            with pytest.raises(ValueError):
+                is_satisfiable_tableau_bitset(formula, max_base=10)
+            return
+        assert (
+            is_satisfiable_tableau_bitset(formula, max_base=10) == expected
+        )
+
+    def test_base_cap_enforced(self):
+        wide = pand(
+            *(puntil(prop(f"p{i}"), prop(f"p{i + 1}")) for i in range(6))
+        )
+        with pytest.raises(ValueError):
+            is_satisfiable_tableau_bitset(wide, max_base=3)
+
+
+class TestKernelBasics:
+    def test_constants(self):
+        kernel = BuchiKernel()
+        assert kernel.is_satisfiable(PTRUE)
+        assert not kernel.is_satisfiable(PFALSE)
+        assert is_satisfiable_tableau_bitset(PTRUE)
+        assert not is_satisfiable_tableau_bitset(PFALSE)
+
+    def test_classic_verdicts(self):
+        kernel = BuchiKernel()
+        assert kernel.is_satisfiable(puntil(P, Q))
+        assert not kernel.is_satisfiable(pand(palways(P), pnot(P)))
+        assert not kernel.is_satisfiable(
+            pand(peventually(P), palways(pnot(P)))
+        )
+        assert kernel.is_satisfiable(
+            pand(palways(por(P, Q)), peventually(pnot(P)))
+        )
+        # G X (p U q): the eventuality lives under nesting.
+        assert kernel.is_satisfiable(palways(pnext(puntil(P, Q))))
+
+    def test_closure_index_stable_bits(self):
+        index = ClosureIndex()
+        bit_p = index.bit(P)
+        index.bit(Q)
+        index.bit(R)
+        assert index.bit(P) == bit_p  # re-registration never moves a bit
+        assert index.get(P) == bit_p
+        assert set(index.formulas((1 << bit_p))) == {P}
+
+    def test_engine_dispatch(self):
+        formula = puntil(P, palways(Q))
+        for method in ("buchi", "tableau"):
+            assert is_satisfiable(
+                formula, method=method, engine="bitset"
+            ) == is_satisfiable(formula, method=method, engine="reference")
+        with pytest.raises(ValueError):
+            is_satisfiable(formula, engine="nonsense")
+
+    def test_cache_clear_and_info(self):
+        is_satisfiable_buchi_bitset(puntil(P, Q))
+        info = bitset_cache_info()
+        assert info["buchi_kernel"]["verdicts"] >= 1
+        bitset_cache_clear()
+        info = bitset_cache_info()
+        assert info["buchi_kernel"]["verdicts"] == 0
+        # Still correct after a clear.
+        assert is_satisfiable_buchi_bitset(puntil(P, Q))

@@ -53,6 +53,18 @@ class TestQuickPath:
         assert not quick_model_check(parse_ptl("F p"))
 
     @given(formula=ptl_formulas())
+    @settings(max_examples=200, deadline=None)
+    def test_quick_equals_lasso_evaluation(self, formula):
+        """The memoized collapse rules equal exact evaluation on the
+        all-false lasso — the model they are derived from."""
+        from repro.ptl.lasso import evaluate_lasso
+        from repro.ptl.sat import _EMPTY_LASSO
+
+        assert quick_model_check(formula) == evaluate_lasso(
+            formula, _EMPTY_LASSO
+        )
+
+    @given(formula=ptl_formulas())
     @settings(max_examples=150, deadline=None)
     def test_quick_never_changes_answers(self, formula):
         assert is_satisfiable(formula, quick=True) == is_satisfiable(
