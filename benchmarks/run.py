@@ -3,10 +3,11 @@
 Runs the monitoring-shaped benchmarks (A1 incremental strategies, E3
 progression phases, E6 orders workload, E7 detection latency), the
 satisfiability microbenchmarks (bitset kernel vs reference engines, on
-identical formulas) and the parallel trigger sweep against the *current*
-checkout and writes a machine-readable ``BENCH_core.json`` so every
-performance PR leaves a trajectory point that later PRs can compare
-against.
+identical formulas), the parallel trigger sweep, and the semantic lint of
+the seeded orders constraint set (per-formula TIC1xx passes + pairwise
+sweep, serial vs jobs=4) against the *current* checkout and writes a
+machine-readable ``BENCH_core.json`` so every performance PR leaves a
+trajectory point that later PRs can compare against.
 
 Usage::
 
@@ -49,12 +50,17 @@ from repro.workloads.orders import (  # noqa: E402
     submit_once,
 )
 
-SCHEMA = "repro-bench-core/v2"
+SCHEMA = "repro-bench-core/v3"
 
-#: Schemas ``--validate`` accepts: v2 adds the ``sat_*`` engine-comparison
-#: and ``parallel_triggers`` shapes (with their extra record keys), and is
-#: otherwise backward compatible, so v1 reports stay usable as baselines.
-ACCEPTED_SCHEMAS = ("repro-bench-core/v1", SCHEMA)
+#: Schemas ``--validate`` accepts: v2 added the ``sat_*`` engine-comparison
+#: and ``parallel_triggers`` shapes (with their extra record keys); v3 adds
+#: the ``lint_semantic`` shape.  Each version is otherwise backward
+#: compatible, so v1/v2 reports stay usable as baselines.
+ACCEPTED_SCHEMAS = (
+    "repro-bench-core/v1",
+    "repro-bench-core/v2",
+    SCHEMA,
+)
 
 #: Required keys of every per-benchmark result record.
 RESULT_KEYS = frozenset(
@@ -458,6 +464,69 @@ def bench_parallel_triggers(smoke: bool) -> dict[str, dict[str, Any]]:
     }
 
 
+def bench_lint_semantic(smoke: bool) -> dict[str, dict[str, Any]]:
+    """Semantic lint of the seeded orders constraint set, serial vs
+    ``jobs=4``: the full TIC0xx+TIC1xx pass stack plus the pairwise
+    entailment/conflict sweep.  Reports are asserted identical across
+    worker counts; ``wall_s`` tracks the serial run.
+    """
+    from repro.lint import (
+        analysis_cache_clear,
+        cache_clear,
+        lint_constraint_set,
+    )
+    from repro.lint.setanalysis import SetAnalyzer
+    from repro.workloads.orders import fill_once, no_fill_before_submit
+
+    named = list(standard_constraints().items()) + [
+        ("no_fill_before_submit", no_fill_before_submit()),
+        (
+            "fill_once_weak",
+            parse("forall x . G (Fill(x) -> X !Fill(x))"),
+        ),
+        ("always_submitted", parse("forall x . G Sub(x)")),
+    ]
+    assert fill_once  # the subsumer of fill_once_weak (TIC110)
+
+    def run(jobs: int) -> tuple[float, list[dict[str, Any]]]:
+        _clear_caches()
+        analysis_cache_clear()
+        cache_clear()
+        start = time.perf_counter()
+        reports = lint_constraint_set(named, jobs=jobs)
+        wall = time.perf_counter() - start
+        return wall, [report.to_dict() for report in reports]
+
+    serial_wall, serial_reports = run(jobs=1)
+    parallel_wall, parallel_reports = run(jobs=4)
+    assert serial_reports == parallel_reports, (
+        "jobs=1 and jobs=4 semantic reports differ"
+    )
+    semantic_findings = sum(
+        1
+        for report in serial_reports
+        for diagnostic in report["diagnostics"]
+        if diagnostic["code"].startswith("TIC1")
+    )
+    analysis_cache_clear()
+    analyzer = SetAnalyzer(constraints=named)
+    analyzer.sweep()
+    stats = analyzer.stats()
+    return {
+        "lint_semantic": _result(
+            serial_wall,
+            len(named),
+            _zero_totals(),
+            parallel_wall_s=round(parallel_wall, 6),
+            jobs=4,
+            constraints=len(named),
+            semantic_findings=semantic_findings,
+            sweep_decisions=stats["decisions"],
+            safety_checks=stats["safety_checks"],
+        )
+    }
+
+
 BENCHMARKS: tuple[Callable[[bool], dict[str, dict[str, Any]]], ...] = (
     bench_a1_strategies,
     bench_e3_progression,
@@ -465,6 +534,7 @@ BENCHMARKS: tuple[Callable[[bool], dict[str, dict[str, Any]]], ...] = (
     bench_e7_detection,
     bench_sat_micro,
     bench_parallel_triggers,
+    bench_lint_semantic,
 )
 
 

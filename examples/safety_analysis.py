@@ -11,7 +11,12 @@ Run with:  python examples/safety_analysis.py
 
 from repro import NotSafetyError, check_extension, parse, vocabulary
 from repro.database import History
-from repro.lint import lint_formula, lint_source
+from repro.lint import (
+    SetAnalyzer,
+    lint_constraint_set,
+    lint_formula,
+    lint_source,
+)
 from repro.logic.safety import is_syntactically_safe, why_not_safe
 from repro.ptl import is_liveness, is_safety, parse_ptl
 from repro.workloads import ConstraintConfig, random_universal_constraint
@@ -101,6 +106,32 @@ def main() -> None:
     print("-" * 64)
     report = lint_source("forall x . G (Sub(x) -> F (exists y . Fill(y)))")
     print(report.format())
+    print()
+
+    print("Set-level semantic analysis (TIC1xx): the kernels as deciders")
+    print("-" * 64)
+    # The seeded set adds a weaker duplicate of fill_once and an
+    # unsatisfiable constraint; the automaton-backed passes catch both.
+    seeded = {
+        "submit_once": submit_once(),
+        "fill_once": fill_once(),
+        "fill_once_weak": parse("forall x . G (Fill(x) -> X !Fill(x))"),
+        "always_submitted": parse("forall x . G Sub(x)"),
+    }
+    reports = lint_constraint_set(seeded, vocabulary=ORDER_VOCABULARY)
+    for name, report in zip(seeded, reports):
+        semantic = [d for d in report.diagnostics
+                    if d.code.startswith("TIC1")]
+        verdict = "clean" if not semantic else ""
+        print(f"  {name:<18} {verdict}")
+        for diagnostic in semantic:
+            print(f"    {diagnostic.code} {diagnostic.severity}: "
+                  f"{diagnostic.message[:60]}...")
+    analyzer = SetAnalyzer(constraints=tuple(seeded.items()))
+    analyzer.sweep()
+    stats = analyzer.stats()
+    print(f"  sweep: {stats['decisions']} kernel decision(s), "
+          f"{stats['safety_checks']} instance safety check(s)")
 
 
 if __name__ == "__main__":

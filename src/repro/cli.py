@@ -33,13 +33,15 @@ from .core.parallel import run_monitor
 from .database.history import History
 from .database.serialize import load_history
 from .errors import ParseError, ReproError
-from .lint import lint_source
+from .lint import lint_constraint_set, lint_formula, lint_source
+from .lint.diagnostics import LintReport
 from .logic.classify import classify
 from .logic.parser import parse
 from .logic.safety import is_syntactically_safe, why_not_safe
 
 #: Schema version of the ``lint --json`` output; bump on breaking change.
-LINT_JSON_VERSION = 1
+#: v2: added the top-level ``semantic`` marker (TIC100+ passes opt-in).
+LINT_JSON_VERSION = 2
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -102,27 +104,114 @@ def _cmd_classify(args: argparse.Namespace) -> int:
 def _lint_inputs(target: str) -> list[str]:
     """The constraints to lint: the expression itself, or — when ``target``
     names a file — one constraint per non-blank, non-``#`` line."""
+    return [source for _name, source in _named_lint_inputs(target)]
+
+
+def _named_lint_inputs(target: str) -> list[tuple[str | None, str]]:
+    """``(name, source)`` pairs for every constraint in ``target``.
+
+    A constraint's name is taken from the immediately preceding comment
+    when its first word is an identifier (``# fill_once: ...`` names the
+    next constraint ``fill_once``); unnamed constraints get ``None`` and
+    the caller falls back to positional ``c<index>`` names.
+    """
     if not os.path.exists(target):
         if os.sep in target or target.endswith(".tic"):
             raise ReproError(f"file not found: {target}")
-        return [target]
+        return [(None, target)]
+    pairs: list[tuple[str | None, str]] = []
+    pending: str | None = None
     with open(target, encoding="utf-8") as handle:
-        return [
-            line.strip()
-            for line in handle
-            if line.strip() and not line.strip().startswith("#")
-        ]
+        for raw in handle:
+            line = raw.strip()
+            if not line:
+                pending = None
+                continue
+            if line.startswith("#"):
+                first = line.lstrip("#").strip().split(None, 1)
+                word = first[0].rstrip(":") if first else ""
+                pending = word if word.isidentifier() else None
+                continue
+            pairs.append((pending, line))
+            pending = None
+    return pairs
+
+
+def _semantic_lint_reports(
+    sources: list[str], mode: str, args: argparse.Namespace
+) -> list[LintReport]:
+    """Set-aware semantic linting: one report per source, input order.
+
+    Sources that fail to parse get their usual ``TIC000`` report and are
+    excluded from the set analysis; the rest share one grounded analyzer
+    (constraint mode) or are each checked against the ``--constraint-set``
+    file (trigger mode).
+    """
+    names = getattr(args, "lint_names", None) or [None] * len(sources)
+    reports: list[LintReport | None] = [None] * len(sources)
+    parsed: list[tuple[int, str]] = []
+    for index, source in enumerate(sources):
+        try:
+            parse(source)
+        except ParseError:
+            reports[index] = lint_source(
+                source, mode=mode, domain_size=args.domain_size
+            )
+        else:
+            parsed.append((index, source))
+    if mode == "constraint":
+        named = tuple(
+            (names[index] or f"c{index}", parse(source))
+            for index, source in parsed
+        )
+        set_reports = lint_constraint_set(
+            named,
+            domain_size=args.domain_size,
+            engine=args.engine,
+            jobs=args.jobs,
+            sources=[source for _index, source in parsed],
+        )
+        for (index, _source), report in zip(parsed, set_reports):
+            reports[index] = report
+    else:
+        monitored: tuple[tuple[str, object], ...] = ()
+        if args.constraint_set:
+            monitored = tuple(
+                (name or f"c{index}", parse(text))
+                for index, (name, text) in enumerate(
+                    _named_lint_inputs(args.constraint_set)
+                )
+            )
+        for index, source in parsed:
+            reports[index] = lint_formula(
+                parse(source),
+                source=source,
+                mode="trigger",
+                domain_size=args.domain_size,
+                semantic=True,
+                constraint_set=monitored or None,
+                engine=args.engine,
+                jobs=args.jobs,
+            )
+    return [report for report in reports if report is not None]
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
     if args.domain_size < 0:
         raise ReproError("--domain-size must be non-negative")
-    sources = _lint_inputs(args.target)
+    if args.constraint_set and not args.trigger:
+        raise ReproError("--constraint-set requires --trigger")
+    named_inputs = _named_lint_inputs(args.target)
+    sources = [source for _name, source in named_inputs]
+    args.lint_names = [name for name, _source in named_inputs]
     mode = "trigger" if args.trigger else "constraint"
-    reports = [
-        lint_source(source, mode=mode, domain_size=args.domain_size)
-        for source in sources
-    ]
+    if args.semantic:
+        reports = _semantic_lint_reports(sources, mode, args)
+    else:
+        reports = [
+            lint_source(source, mode=mode, domain_size=args.domain_size)
+            for source in sources
+        ]
     errors = sum(len(r.errors) for r in reports)
     warnings_ = sum(len(r.warnings) for r in reports)
     infos = sum(len(r.infos) for r in reports)
@@ -130,6 +219,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         payload = {
             "version": LINT_JSON_VERSION,
             "mode": mode,
+            "semantic": bool(args.semantic),
             "results": [r.to_dict() for r in reports],
             "summary": {
                 "constraints": len(reports),
@@ -247,6 +337,21 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--domain-size", type=int, default=8,
                       help="assumed |R_D| for the grounding cost "
                       "estimate (default 8)")
+    lint.add_argument("--semantic", action="store_true",
+                      help="also run the TIC100+ semantic passes "
+                      "(kernel-backed unsatisfiability, validity, "
+                      "safety, vacuity, redundancy, conflicts)")
+    lint.add_argument("--engine", choices=("bitset", "reference"),
+                      default="bitset",
+                      help="satisfiability kernel for --semantic "
+                      "(default bitset)")
+    lint.add_argument("--jobs", type=int, default=1,
+                      help="worker processes for the semantic pairwise "
+                      "sweep (1 = serial, 0 = one per CPU)")
+    lint.add_argument("--constraint-set", metavar="FILE",
+                      help="with --trigger --semantic: file of monitored "
+                      "constraints the trigger conditions are checked "
+                      "against (TIC112 conflicts)")
     lint.set_defaults(func=_cmd_lint)
 
     mon = sub.add_parser("monitor", help="replay a history through the "

@@ -45,8 +45,8 @@ class AnalysisResult:
 
 def _ground_sentence(
     constraint: Formula,
-    domain,
-    bindings,
+    domain: tuple[int, ...],
+    bindings: dict[str, int],
 ) -> PTLFormula:
     info = require_universal(constraint)
     context = GroundContext(constant_bindings=bindings, fold=True)
@@ -61,7 +61,7 @@ def _ground_sentence(
 
 def _shared_domain(
     left: Formula, right: Formula, domain_size: int | None
-):
+) -> tuple[tuple[int, ...], int]:
     k_left = len(require_universal(left).external_universals)
     k_right = len(require_universal(right).external_universals)
     if domain_size is None:

@@ -153,7 +153,7 @@ class IntegrityMonitor:
         fold: bool = True,
         lint: str = "warn",
         engine: str = "bitset",
-    ):
+    ) -> None:
         if strategy not in _STRATEGIES:
             raise ValueError(
                 f"strategy must be one of {_STRATEGIES}, got {strategy!r}"
@@ -261,7 +261,9 @@ class IntegrityMonitor:
             new_violations=tuple(new_violations),
         )
 
-    def _entry_domain(self, entry: _ConstraintEntry, state) -> frozenset[int]:
+    def _entry_domain(
+        self, entry: _ConstraintEntry, state: DatabaseState
+    ) -> frozenset[int]:
         """Elements of one state visible to this entry's constraint."""
         predicates = {
             pred for pred, _arity in entry.constraint.predicates()

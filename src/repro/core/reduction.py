@@ -31,6 +31,7 @@ from typing import Iterable, Mapping, Sequence
 from ..database.history import History
 from ..database.lasso import LassoDatabase
 from ..database.state import DatabaseState
+from ..database.vocabulary import Vocabulary
 from ..errors import SchemaError
 from ..logic.classify import FormulaInfo
 from ..logic.terms import Variable
@@ -227,7 +228,7 @@ def _check_vocabulary(history: History, info: FormulaInfo) -> None:
 
 
 def decode_state(
-    props: PropState, vocabulary, reduction: Reduction
+    props: PropState, vocabulary: Vocabulary, reduction: Reduction
 ) -> DatabaseState:
     """Decode one propositional state into a database state.
 

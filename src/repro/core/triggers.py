@@ -300,7 +300,7 @@ class TriggerManager:
         lint: str = "warn",
         engine: str = "bitset",
         jobs: int = 1,
-    ):
+    ) -> None:
         if engine not in ("bitset", "reference"):
             raise ValueError(
                 f"engine must be 'bitset' or 'reference', got {engine!r}"

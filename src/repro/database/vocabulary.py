@@ -41,6 +41,9 @@ class Vocabulary:
 
     predicates: Mapping[str, int] = field(default_factory=dict)
     constant_symbols: frozenset[str] = frozenset()
+    _hash: int = field(
+        init=False, repr=False, compare=False, default=0
+    )
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "predicates", dict(self.predicates))
@@ -57,6 +60,23 @@ class Vocabulary:
                 raise SchemaError(
                     f"predicate {name!r} must have arity >= 1, got {arity!r}"
                 )
+        # Predicates are stored as a plain dict (picklable, preserves the
+        # declaration interface), which would make the frozen dataclass
+        # unhashable; an explicit order-independent hash restores it so
+        # vocabularies can key memo tables (e.g. the lint report cache).
+        object.__setattr__(
+            self,
+            "_hash",
+            hash(
+                (
+                    frozenset(self.predicates.items()),
+                    self.constant_symbols,
+                )
+            ),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def arity(self, name: str) -> int:
         """Arity of a declared predicate."""

@@ -115,7 +115,7 @@ class _FiniteEvaluator:
         history: History,
         future: str,
         domain: frozenset[int] | None,
-    ):
+    ) -> None:
         if future not in _FUTURE_POLICIES:
             raise ValueError(
                 f"future policy must be one of {_FUTURE_POLICIES}, "

@@ -76,7 +76,7 @@ def _uses_builtins(formula: Formula) -> bool:
 
 
 class _LassoEvaluator:
-    def __init__(self, database: LassoDatabase, domain: frozenset[int] | None):
+    def __init__(self, database: LassoDatabase, domain: frozenset[int] | None) -> None:
         self._db = database
         self._domain = domain
         self._positions = database.positions()

@@ -12,11 +12,15 @@ import inspect
 import io
 import sys
 
+from typing import Callable
+
 from . import RUNNERS
 from ..core.parallel import parallel_map, resolve_jobs
 
 
-def _runner_kwargs(runner, fast: bool, jobs: int) -> dict:
+def _runner_kwargs(
+    runner: Callable[..., object], fast: bool, jobs: int
+) -> dict:
     kwargs: dict = {"fast": fast}
     if "jobs" in inspect.signature(runner).parameters:
         kwargs["jobs"] = jobs

@@ -17,6 +17,7 @@ import time
 
 from ..core.monitor import IntegrityMonitor
 from ..database.history import History
+from ..database.state import DatabaseState
 from ..workloads.orders import (
     ORDER_VOCABULARY,
     OrderWorkloadConfig,
@@ -26,7 +27,9 @@ from ..workloads.orders import (
 from .common import print_table
 
 
-def _run(strategy: str, trace_states, spare: int) -> dict:
+def _run(
+    strategy: str, trace_states: list[DatabaseState], spare: int
+) -> dict:
     monitor = IntegrityMonitor(
         {"once": submit_once()},
         History.empty(ORDER_VOCABULARY),

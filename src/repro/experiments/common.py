@@ -71,7 +71,7 @@ def timed_with_timeout(
     """
     import multiprocessing
 
-    def worker(queue):  # pragma: no cover - child process
+    def worker(queue: multiprocessing.Queue) -> None:  # pragma: no cover - child process
         start = time.perf_counter()
         result = callable_()
         queue.put((time.perf_counter() - start, result))

@@ -16,11 +16,11 @@ from __future__ import annotations
 
 from ..ptl.caches import clear_all_caches
 from ..ptl.extension import check_extension_detailed
-from ..ptl.formulas import palways, pand, pimplies, pnext, prop
+from ..ptl.formulas import PTLFormula, palways, pand, pimplies, pnext, prop
 from .common import print_table
 
 
-def _cycle_formula(letters: int):
+def _cycle_formula(letters: int) -> PTLFormula:
     """``G (p_i -> X p_{i+1 mod n})`` for all i — satisfiable, never
     collapsing under progression along its own cyclic models."""
     return pand(
@@ -36,7 +36,7 @@ def _cycle_formula(letters: int):
     )
 
 
-def _cycle_prefix(length: int, letters: int):
+def _cycle_prefix(length: int, letters: int) -> list[frozenset[PTLFormula]]:
     """States tracing the formula's intended model: p_{t mod n} at t."""
     return [
         frozenset({prop(f"p{instant % letters}")})
@@ -44,7 +44,7 @@ def _cycle_prefix(length: int, letters: int):
     ]
 
 
-def _obligation_formula(width: int):
+def _obligation_formula(width: int) -> PTLFormula:
     """``G (p_i -> X q_i)`` for independent letter pairs: the automaton is
     (roughly) a product over pairs — exponential in ``width``."""
     return pand(
@@ -55,7 +55,7 @@ def _obligation_formula(width: int):
     )
 
 
-def _all_p_prefix(length: int, width: int):
+def _all_p_prefix(length: int, width: int) -> list[frozenset[PTLFormula]]:
     """Every p letter in every state: keeps all obligations alive."""
     state = frozenset(
         {prop(f"p{index}") for index in range(width)}

@@ -14,10 +14,13 @@ Three scenario families:
 
 from __future__ import annotations
 
+from collections.abc import Iterator
+
 from ..core.monitor import IntegrityMonitor
 from ..database.history import History
 from ..database.state import DatabaseState
-from ..database.vocabulary import vocabulary
+from ..database.vocabulary import Vocabulary, vocabulary
+from ..logic.formulas import Formula
 from ..logic.parser import parse
 from ..pasteval.baseline import WeakTruncationChecker
 from ..workloads.orders import ORDER_VOCABULARY, submit_once
@@ -26,7 +29,11 @@ from .common import print_table
 VP = vocabulary({"p": 1, "q": 1})
 
 
-def _first_violation(checker, vocab, trace) -> int | None:
+def _first_violation(
+    checker: IntegrityMonitor | WeakTruncationChecker,
+    vocab: Vocabulary,
+    trace: list[list[tuple]],
+) -> int | None:
     for facts in trace:
         report = checker.append_state(
             DatabaseState.from_facts(vocab, facts)
@@ -36,7 +43,9 @@ def _first_violation(checker, vocab, trace) -> int | None:
     return None
 
 
-def _scenarios(fast: bool):
+def _scenarios(
+    fast: bool,
+) -> Iterator[tuple[str, Vocabulary, dict[str, Formula], list[list[tuple]]]]:
     yield (
         "visible: duplicate submission",
         ORDER_VOCABULARY,

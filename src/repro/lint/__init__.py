@@ -25,6 +25,7 @@ Three ways in:
 
 from __future__ import annotations
 
+import functools
 import warnings
 from functools import lru_cache
 
@@ -37,23 +38,54 @@ from .engine import (
     LintContext,
     LintPass,
     PASS_REGISTRY,
+    SEMANTIC_PASS_REGISTRY,
     all_passes,
     lint_formula,
     lint_source,
     register,
+    register_semantic,
+    semantic_passes,
 )
+from .semantic import lint_constraint_set, lint_trigger_conditions
+from .setanalysis import SetAnalyzer, analysis_cache_clear
 
 #: Pre-flight gate modes accepted by the monitor / checker constructors.
 GATE_MODES = ("off", "warn", "strict")
 
 
 @lru_cache(maxsize=1024)
-def _cached_report(formula: Formula, mode: str, domain_size: int) -> LintReport:
-    # Formulas are immutable and hashable, so reports can be memoized;
-    # the hot path (triggers re-checking one condition per update) then
-    # pays for the analysis once.  Vocabulary-aware lints bypass the
-    # cache (vocabularies are not part of the key).
-    return lint_formula(formula, mode=mode, domain_size=domain_size)
+def _cached_report(
+    formula: Formula,
+    mode: str,
+    domain_size: int,
+    vocabulary: Vocabulary | None = None,
+    semantic: bool = False,
+) -> LintReport:
+    # Formulas and vocabularies are immutable and hashable, so reports
+    # can be memoized on the full argument tuple; the hot path (triggers
+    # re-checking one condition per update) then pays for the analysis
+    # once, vocabulary-aware or not.
+    return lint_formula(
+        formula,
+        mode=mode,
+        domain_size=domain_size,
+        vocabulary=vocabulary,
+        semantic=semantic,
+    )
+
+
+def cache_info() -> functools._CacheInfo:
+    """Hit/miss counters of the pre-flight report cache.
+
+    >>> cache_info().maxsize
+    1024
+    """
+    return _cached_report.cache_info()
+
+
+def cache_clear() -> None:
+    """Drop every memoized pre-flight report (benchmark hygiene)."""
+    _cached_report.cache_clear()
 
 
 def preflight(
@@ -63,6 +95,7 @@ def preflight(
     assume_safety: bool = False,
     vocabulary: Vocabulary | None = None,
     domain_size: int = 8,
+    semantic: bool = False,
 ) -> LintReport:
     """Lint a constraint as a deploy-time gate.
 
@@ -77,6 +110,10 @@ def preflight(
         Suppress the safety-fragment error (``TIC005``) for callers with
         out-of-band knowledge, mirroring
         :func:`repro.core.checker.validate_constraint`.
+    semantic:
+        Run the TIC100+ decision-procedure passes as well (semantic
+        unsatisfiability, validity, automaton-backed safety, vacuity) —
+        a deeper, kernel-backed gate for deploy-time vetting.
 
     Returns the report (an empty one when ``gate="off"``).
     """
@@ -84,15 +121,9 @@ def preflight(
         raise ValueError(f"gate must be one of {GATE_MODES}, got {gate!r}")
     if gate == "off":
         return LintReport(diagnostics=(), mode=mode)
-    if vocabulary is None:
-        report = _cached_report(formula, mode, domain_size)
-    else:
-        report = lint_formula(
-            formula,
-            vocabulary=vocabulary,
-            mode=mode,
-            domain_size=domain_size,
-        )
+    report = _cached_report(
+        formula, mode, domain_size, vocabulary, semantic
+    )
     errors = [
         d
         for d in report.errors
@@ -120,10 +151,19 @@ __all__ = [
     "LintWarning",
     "MODES",
     "PASS_REGISTRY",
+    "SEMANTIC_PASS_REGISTRY",
     "Severity",
+    "SetAnalyzer",
     "all_passes",
+    "analysis_cache_clear",
+    "cache_clear",
+    "cache_info",
+    "lint_constraint_set",
     "lint_formula",
     "lint_source",
+    "lint_trigger_conditions",
     "preflight",
     "register",
+    "register_semantic",
+    "semantic_passes",
 ]

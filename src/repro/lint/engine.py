@@ -23,7 +23,10 @@ populated by importing :mod:`repro.lint.passes`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Protocol
+from typing import TYPE_CHECKING, Iterable, Protocol
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .setanalysis import SetAnalyzer
 
 from ..database.vocabulary import Vocabulary
 from ..errors import ParseError
@@ -64,7 +67,12 @@ class LintContext:
     vocabulary: Vocabulary | None = None
     mode: str = "constraint"
     domain_size: int = 8
+    constraint_set: tuple[tuple[str, "Formula"], ...] | None = None
+    set_index: int = 0
+    engine: str = "bitset"
+    jobs: int = 1
     _info: FormulaInfo | None = field(default=None, repr=False)
+    _analyzer: object | None = field(default=None, repr=False)
 
     @property
     def info(self) -> FormulaInfo:
@@ -72,6 +80,47 @@ class LintContext:
         if self._info is None:
             self._info = classify(self.formula)
         return self._info
+
+    @property
+    def analyzer(self) -> "SetAnalyzer":
+        """The (cached) semantic analyzer shared by the TIC1xx passes.
+
+        In constraint mode the analyzer covers ``constraint_set`` (with
+        this formula at ``set_index``) or, absent a set, just this
+        formula.  In trigger mode the formula is a *condition* analyzed
+        against ``constraint_set`` as the monitored constraints.
+        """
+        from .setanalysis import SetAnalyzer
+
+        if self._analyzer is None:
+            constraints = self.constraint_set or ()
+            if self.mode == "trigger":
+                conditions: tuple[tuple[str, Formula], ...] = (
+                    ("condition", self.formula),
+                )
+            else:
+                conditions = ()
+                if not constraints:
+                    constraints = (("constraint", self.formula),)
+            self._analyzer = SetAnalyzer(
+                constraints=constraints,
+                conditions=conditions,
+                engine=self.engine,
+                jobs=self.jobs,
+            )
+        assert isinstance(self._analyzer, SetAnalyzer)
+        return self._analyzer
+
+    @property
+    def analysis_index(self) -> int:
+        """Index of this formula inside the analyzer.
+
+        Constraint mode: position in ``constraint_set`` (0 for a lone
+        formula).  Trigger mode: always 0 — the single condition.
+        """
+        if self.mode == "trigger":
+            return 0
+        return self.set_index if self.constraint_set else 0
 
     def span_of(self, node: Formula) -> Span | None:
         """Best-effort span for a node of this formula.
@@ -134,6 +183,10 @@ class LintPass(Protocol):
 #: Registry of all known passes, in registration (= execution) order.
 PASS_REGISTRY: dict[str, LintPass] = {}
 
+#: Registry of the *semantic* (TIC100+) passes: decision procedures on the
+#: bitset kernels rather than syntax visitors, opt-in via ``semantic=``.
+SEMANTIC_PASS_REGISTRY: dict[str, LintPass] = {}
+
 
 def register(lint_pass: LintPass) -> LintPass:
     """Add a pass to the default registry (class decorator friendly)."""
@@ -144,15 +197,33 @@ def register(lint_pass: LintPass) -> LintPass:
     return lint_pass
 
 
+def register_semantic(lint_pass: LintPass) -> LintPass:
+    """Add a pass to the semantic (TIC100+) registry."""
+    instance = lint_pass() if isinstance(lint_pass, type) else lint_pass
+    if instance.name in SEMANTIC_PASS_REGISTRY:
+        raise ValueError(
+            f"duplicate semantic lint pass name {instance.name!r}"
+        )
+    SEMANTIC_PASS_REGISTRY[instance.name] = instance
+    return lint_pass
+
+
 def all_passes() -> tuple[LintPass, ...]:
-    """Every registered pass, in execution order."""
+    """Every registered syntactic pass, in execution order."""
     _ensure_loaded()
     return tuple(PASS_REGISTRY.values())
 
 
+def semantic_passes() -> tuple[LintPass, ...]:
+    """Every registered semantic (TIC100+) pass, in execution order."""
+    _ensure_loaded()
+    return tuple(SEMANTIC_PASS_REGISTRY.values())
+
+
 def _ensure_loaded() -> None:
-    # Importing the module populates PASS_REGISTRY via @register.
+    # Importing the modules populates the registries via the decorators.
     from . import passes as _passes  # noqa: F401
+    from . import semantic as _semantic  # noqa: F401
 
 
 def lint_formula(
@@ -162,8 +233,20 @@ def lint_formula(
     mode: str = "constraint",
     domain_size: int = 8,
     passes: Iterable[LintPass] | None = None,
+    semantic: bool = False,
+    constraint_set: tuple[tuple[str, Formula], ...] | None = None,
+    set_index: int = 0,
+    engine: str = "bitset",
+    jobs: int = 1,
+    analyzer: "SetAnalyzer | None" = None,
 ) -> LintReport:
     """Run every applicable pass over one formula and collect the report.
+
+    With ``semantic=True`` the TIC100+ decision-procedure passes run as
+    well; ``constraint_set`` (with this formula at ``set_index``) enables
+    the set-level passes, and a pre-built ``analyzer`` lets callers share
+    one grounded analysis across a whole set (see
+    :func:`repro.lint.semantic.lint_constraint_set`).
 
     >>> from repro.logic import parse
     >>> report = lint_formula(parse("forall x . G (Sub(x) -> X G !Sub(x))"))
@@ -178,8 +261,18 @@ def lint_formula(
         vocabulary=vocabulary,
         mode=mode,
         domain_size=domain_size,
+        constraint_set=constraint_set,
+        set_index=set_index,
+        engine=engine,
+        jobs=jobs,
+        _analyzer=analyzer,
     )
-    selected = tuple(passes) if passes is not None else all_passes()
+    if passes is not None:
+        selected = tuple(passes)
+    elif semantic:
+        selected = all_passes() + semantic_passes()
+    else:
+        selected = all_passes()
     findings: list[Diagnostic] = []
     for lint_pass in selected:
         if mode not in lint_pass.modes:
@@ -198,6 +291,9 @@ def lint_source(
     vocabulary: Vocabulary | None = None,
     mode: str = "constraint",
     domain_size: int = 8,
+    semantic: bool = False,
+    engine: str = "bitset",
+    jobs: int = 1,
 ) -> LintReport:
     """Parse a constraint from text and lint it.
 
@@ -238,4 +334,7 @@ def lint_source(
         vocabulary=vocabulary,
         mode=mode,
         domain_size=domain_size,
+        semantic=semantic,
+        engine=engine,
+        jobs=jobs,
     )

@@ -106,7 +106,7 @@ def _tokenize(source: str, lines: LineIndex) -> list[_Token]:
 
 
 class _Parser:
-    def __init__(self, source: str):
+    def __init__(self, source: str) -> None:
         self._source = source
         self._lines = LineIndex(source)
         self._tokens = _tokenize(source, self._lines)

@@ -66,7 +66,7 @@ class Span:
 class LineIndex:
     """Offset → (line, column) conversion for one source text."""
 
-    def __init__(self, source: str):
+    def __init__(self, source: str) -> None:
         self._starts = [0]
         for index, char in enumerate(source):
             if char == "\n":

@@ -65,7 +65,7 @@ class WeakTruncationChecker:
         self,
         constraints: Mapping[str, Formula] | Sequence[Formula],
         initial: History,
-    ):
+    ) -> None:
         if not isinstance(constraints, Mapping):
             constraints = {
                 f"constraint_{index}": formula

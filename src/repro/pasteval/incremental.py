@@ -36,7 +36,7 @@ from typing import Iterator, Mapping
 
 from ..core.grounding import Anon, GroundElement
 from ..database.state import DatabaseState
-from ..database.vocabulary import BUILTIN_PREDICATES
+from ..database.vocabulary import BUILTIN_PREDICATES, Vocabulary
 from ..errors import ClassificationError, EvaluationError
 from ..logic.classify import is_past_formula
 from ..logic.formulas import (
@@ -99,7 +99,7 @@ class IncrementalPastEvaluator:
     False
     """
 
-    def __init__(self, formula: Formula, vocabulary) -> None:
+    def __init__(self, formula: Formula, vocabulary: Vocabulary) -> None:
         if not is_past_formula(formula):
             raise ClassificationError(
                 "the incremental evaluator handles past formulas only "

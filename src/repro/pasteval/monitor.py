@@ -99,7 +99,7 @@ class PastMonitor:
         constraints: Mapping[str, Formula] | Sequence[Formula],
         vocabulary: Vocabulary,
         constant_bindings: Mapping[str, int] | None = None,
-    ):
+    ) -> None:
         if not isinstance(constraints, Mapping):
             constraints = {
                 f"constraint_{index}": formula

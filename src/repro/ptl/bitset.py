@@ -150,7 +150,7 @@ class BuchiKernel:
     generalized Büchi condition of the reference construction.
     """
 
-    def __init__(self, max_states: int = 1 << 18):
+    def __init__(self, max_states: int = 1 << 18) -> None:
         self.max_states = max_states
         self.decisions = 0
         self.reset()
@@ -491,7 +491,7 @@ class TableauKernel:
     reference, but over ints.
     """
 
-    def __init__(self, base: Sequence[PTLFormula]):
+    def __init__(self, base: Sequence[PTLFormula]) -> None:
         self.base = tuple(base)
         count = 1 << len(self.base)
         self.atom_count = count

@@ -95,7 +95,7 @@ class _Node:
         new: set[PTLFormula],
         old: set[PTLFormula],
         next_: set[PTLFormula],
-    ):
+    ) -> None:
         self.node_id = node_id
         self.incoming = incoming
         self.new = new

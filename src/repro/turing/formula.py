@@ -159,7 +159,7 @@ class Phi:
 class PhiBuilder:
     """Builds the Proposition 3.1 formula for one machine encoding."""
 
-    def __init__(self, encoding: MachineEncoding):
+    def __init__(self, encoding: MachineEncoding) -> None:
         self._encoding = encoding
         self._machine = encoding.machine
 

@@ -68,6 +68,7 @@ from ..logic.builders import (
     var,
 )
 from ..logic.formulas import FALSE, Formula
+from ..logic.terms import Term
 from ..logic.transform import merge_universal_conjunction
 
 # ---------------------------------------------------------------------------
@@ -213,7 +214,7 @@ def build_sat_formula() -> Formula:
     u, v, c, w = var("u"), var("v"), var("c"), var("w")
     d = var("d")
 
-    def a(pred, *args):
+    def a(pred: str, *args: Term) -> Formula:
         return atom(pred, *args)
 
     rules: list[Formula] = []

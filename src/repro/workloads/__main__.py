@@ -1,0 +1,29 @@
+"""Dump the shipped future-fragment constraints, one per line.
+
+``python -m repro.workloads`` prints every standard order-domain
+constraint (plus ``no_fill_before_submit``) in concrete syntax, one per
+line with a ``#`` name comment — exactly the file format ``repro-tic
+lint`` accepts, so CI can self-test the shipped workloads:
+
+    python -m repro.workloads | repro-tic lint --semantic --strict /dev/stdin
+
+The past-tense variant (``fill_after_submit_past``) is omitted: it is
+outside the Theorem 4.1 future fragment the lint grounding covers.
+"""
+
+from __future__ import annotations
+
+from ..logic.printer import to_str
+from .orders import no_fill_before_submit, standard_constraints
+
+
+def main() -> None:
+    constraints = dict(standard_constraints())
+    constraints["no_fill_before_submit"] = no_fill_before_submit()
+    for name, formula in constraints.items():
+        print(f"# {name}")
+        print(to_str(formula))
+
+
+if __name__ == "__main__":
+    main()

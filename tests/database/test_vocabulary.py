@@ -29,6 +29,32 @@ class TestConstruction:
             v.arity("q")
 
 
+class TestHashability:
+    def test_equal_vocabularies_hash_equal(self):
+        a = vocabulary({"Sub": 1, "edge": 2}, constants=["vip"])
+        b = vocabulary({"edge": 2, "Sub": 1}, constants=["vip"])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_usable_as_dict_key(self):
+        a = vocabulary({"Sub": 1})
+        b = vocabulary({"Sub": 1})
+        assert {a: "report"}[b] == "report"
+
+    def test_distinct_vocabularies_differ(self):
+        a = vocabulary({"Sub": 1})
+        b = vocabulary({"Sub": 1}, constants=["vip"])
+        assert a != b
+
+    def test_hash_survives_pickle(self):
+        import pickle
+
+        a = vocabulary({"Sub": 1, "edge": 2}, constants=["vip"])
+        copy = pickle.loads(pickle.dumps(a))
+        assert copy == a
+        assert hash(copy) == hash(a)
+
+
 class TestFactChecking:
     def test_valid_fact(self):
         vocabulary({"p": 2}).check_fact("p", (0, 5))

@@ -74,9 +74,16 @@ class TestLintJson:
     def test_schema_top_level(self, capsys):
         code, payload = self.payload(capsys, SIGMA1)
         assert code == 1
-        assert set(payload) == {"version", "mode", "results", "summary"}
+        assert set(payload) == {
+            "version",
+            "mode",
+            "semantic",
+            "results",
+            "summary",
+        }
         assert payload["version"] == LINT_JSON_VERSION
         assert payload["mode"] == "constraint"
+        assert payload["semantic"] is False
         assert set(payload["summary"]) == {
             "constraints",
             "error",
@@ -115,6 +122,110 @@ class TestLintJson:
         code, payload = self.payload(capsys, "--trigger", "G Sub(x)")
         assert code == 1
         assert payload["mode"] == "trigger"
+
+
+SEEDED = (
+    "# fill_once\n"
+    "forall x . G (Fill(x) -> X G !Fill(x))\n"
+    "# fill_once_weak\n"
+    "forall x . G (Fill(x) -> X !Fill(x))\n"
+    "# always_submitted\n"
+    "forall x . G Sub(x)\n"
+)
+
+
+class TestLintSemantic:
+    def seeded_path(self, tmp_path):
+        path = tmp_path / "seeded.tic"
+        path.write_text(SEEDED)
+        return str(path)
+
+    def test_semantic_reports_redundancy_and_unsat(
+        self, tmp_path, capsys
+    ):
+        assert main(["lint", "--semantic", self.seeded_path(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "TIC110" in out
+        assert "fill_once" in out
+        assert "TIC100" in out
+
+    def test_comment_names_used_in_diagnostics(self, tmp_path, capsys):
+        main(["lint", "--semantic", self.seeded_path(tmp_path)])
+        out = capsys.readouterr().out
+        assert "subsumed by constraint 'fill_once'" in out
+
+    def test_without_semantic_no_tic1xx(self, tmp_path, capsys):
+        assert main(["lint", self.seeded_path(tmp_path)]) == 0
+        assert "TIC1" not in capsys.readouterr().out
+
+    def test_json_marker_and_version(self, tmp_path, capsys):
+        main(["lint", "--semantic", "--json", self.seeded_path(tmp_path)])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == LINT_JSON_VERSION == 2
+        assert payload["semantic"] is True
+        assert payload["summary"]["error"] >= 1
+        assert payload["summary"]["warning"] >= 1
+
+    def test_serial_matches_jobs(self, tmp_path, capsys):
+        path = self.seeded_path(tmp_path)
+        main(["lint", "--semantic", "--json", path])
+        serial = json.loads(capsys.readouterr().out)
+        main(["lint", "--semantic", "--json", "--jobs", "4", path])
+        parallel = json.loads(capsys.readouterr().out)
+        assert serial == parallel
+
+    def test_parse_failure_excluded_from_set(self, tmp_path, capsys):
+        path = tmp_path / "mixed.tic"
+        path.write_text(f"forall x .\n{SEEDED}")
+        assert main(["lint", "--semantic", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "TIC000" in out
+        assert "TIC110" in out
+        assert "4 constraint(s)" in out
+
+    def test_trigger_constraint_set(self, tmp_path, capsys):
+        constraints = tmp_path / "cons.tic"
+        constraints.write_text("# never_fill\nforall x . G !Fill(x)\n")
+        assert (
+            main(
+                [
+                    "lint",
+                    "--trigger",
+                    "--semantic",
+                    "--constraint-set",
+                    str(constraints),
+                    "Fill(x)",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "TIC112" in out
+        assert "never_fill" in out
+
+    def test_constraint_set_requires_trigger(self, tmp_path, capsys):
+        constraints = tmp_path / "cons.tic"
+        constraints.write_text("forall x . G !Fill(x)\n")
+        code = main(
+            ["lint", "--semantic", "--constraint-set", str(constraints), "G p"]
+        )
+        assert code == 2
+        assert "--trigger" in capsys.readouterr().err
+
+    def test_reference_engine(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "lint",
+                    "--semantic",
+                    "--engine",
+                    "reference",
+                    self.seeded_path(tmp_path),
+                ]
+            )
+            == 1
+        )
+        assert "TIC110" in capsys.readouterr().out
 
 
 class TestExitCodeContract:

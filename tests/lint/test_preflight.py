@@ -66,6 +66,41 @@ class TestPreflightFunction:
         second = preflight(submit_once, gate="warn")
         assert first is second
 
+    def test_vocabulary_aware_reports_cached(self, submit_once):
+        from repro.lint import cache_info
+        from repro.workloads import ORDER_VOCABULARY
+
+        first = preflight(
+            submit_once, gate="warn", vocabulary=ORDER_VOCABULARY
+        )
+        hits = cache_info().hits
+        second = preflight(
+            submit_once, gate="warn", vocabulary=ORDER_VOCABULARY
+        )
+        assert first is second
+        assert cache_info().hits == hits + 1
+
+    def test_cache_info_exposed(self):
+        from repro.lint import cache_info
+
+        info = cache_info()
+        assert info.maxsize == 1024
+        assert info.hits >= 0
+
+    def test_semantic_gate_catches_unsatisfiable(self):
+        with pytest.raises(LintError) as excinfo:
+            preflight(
+                parse("forall x . G Sub(x)"),
+                gate="strict",
+                semantic=True,
+            )
+        codes = {d.code for d in excinfo.value.diagnostics}
+        assert "TIC100" in codes
+
+    def test_semantic_gate_off_by_default(self, submit_once):
+        report = preflight(parse("forall x . G Sub(x)"), gate="warn")
+        assert "TIC100" not in {d.code for d in report.diagnostics}
+
 
 class TestMonitorGate:
     def test_strict_monitor_rejects_non_safety(self, order_vocabulary):

@@ -6,8 +6,6 @@ from repro.logic import (
     FALSE,
     TRUE,
     And,
-    Always,
-    Atom,
     Constant,
     Eventually,
     Forall,

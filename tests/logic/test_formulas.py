@@ -9,8 +9,6 @@ from repro.logic import (
     Atom,
     Eq,
     Exists,
-    Forall,
-    Next,
     Not,
     Or,
     Until,

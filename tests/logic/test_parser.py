@@ -7,14 +7,12 @@ from hypothesis import strategies as st
 from repro.errors import ParseError
 from repro.logic import (
     Always,
-    Eq,
     Eventually,
     Exists,
     Forall,
     Iff,
     Implies,
     Next,
-    Not,
     Once,
     Prev,
     Release,

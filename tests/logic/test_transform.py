@@ -1,14 +1,11 @@
 """Tests for substitution, normal forms, and prenexing."""
 
-import pytest
-
 from repro.logic import (
     FALSE,
     TRUE,
     Always,
     Eventually,
     Exists,
-    Forall,
     Not,
     Release,
     Until,
@@ -21,7 +18,6 @@ from repro.logic import (
     exists,
     iff,
     implies,
-    next_,
     nnf,
     not_,
     or_,
@@ -31,7 +27,6 @@ from repro.logic import (
     strip_universal_prefix,
     substitute,
     to_core,
-    to_str,
     until,
     var,
     weak_until,

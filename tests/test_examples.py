@@ -46,6 +46,11 @@ def test_safety_analysis(capsys):
     out = _run_example("safety_analysis", capsys)
     assert "NotSafetyError" in out
     assert "WRONG" in out
+    # The closing set-level semantic analysis catches the seeded pair.
+    assert "TIC110" in out
+    assert "subsumed by constraint 'fill_once'" in out
+    assert "TIC100" in out
+    assert "kernel decision(s)" in out
 
 
 @pytest.mark.slow

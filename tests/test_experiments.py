@@ -5,8 +5,6 @@ the qualitative claim — linearity, exponential growth, who-wins — rather
 than absolute numbers.  These are the checks EXPERIMENTS.md is built on.
 """
 
-import pytest
-
 from repro.experiments import (
     RUNNERS,
     a1_incremental,

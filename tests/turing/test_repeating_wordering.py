@@ -119,7 +119,6 @@ class TestWOrdering:
         from repro.database import vocabulary
         from repro.eval import evaluate_lasso_db
         from repro.database import LassoDatabase
-        from repro.logic import parse
 
         v = vocabulary({"W": 1})
         h = History.from_facts(
@@ -134,8 +133,6 @@ class TestWOrdering:
         from repro.logic.terms import Variable
 
         x, y = Variable("x"), Variable("y")
-        from repro.logic.builders import exists, forall, implies
-
         # 0 <=_W 2 holds; 2 <=_W 0 does not.
         from repro.eval import evaluate_lasso_db
 

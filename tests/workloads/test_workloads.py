@@ -36,7 +36,7 @@ class TestOrderConstraints:
             assert is_syntactically_safe(constraint), name
 
     def test_past_audit_is_past_formula(self):
-        from repro.logic.classify import uses_future, uses_past
+        from repro.logic.classify import uses_past
 
         f = fill_after_submit_past()
         # G (past): future G over a past body.
