@@ -50,15 +50,18 @@ from repro.workloads.orders import (  # noqa: E402
     submit_once,
 )
 
-SCHEMA = "repro-bench-core/v3"
+SCHEMA = "repro-bench-core/v4"
 
 #: Schemas ``--validate`` accepts: v2 added the ``sat_*`` engine-comparison
 #: and ``parallel_triggers`` shapes (with their extra record keys); v3 adds
-#: the ``lint_semantic`` shape.  Each version is otherwise backward
-#: compatible, so v1/v2 reports stay usable as baselines.
+#: the ``lint_semantic`` shape; v4 adds the ``e6_monitoring_pruned`` shape
+#: (dependence-pruned monitoring, with ``skipped_constraints`` /
+#: ``idle_steps`` counters).  Each version is otherwise backward
+#: compatible, so v1-v3 reports stay usable as baselines.
 ACCEPTED_SCHEMAS = (
     "repro-bench-core/v1",
     "repro-bench-core/v2",
+    "repro-bench-core/v3",
     SCHEMA,
 )
 
@@ -96,6 +99,8 @@ def _sum_stats(monitor: IntegrityMonitor) -> dict[str, Any]:
         "sat_cache_hits": 0,
         "progress_cache_hits": 0,
         "regrounds": 0,
+        "skipped_constraints": 0,
+        "idle_steps": 0,
         "sat_time_s": 0.0,
         "progress_time_s": 0.0,
     }
@@ -107,6 +112,10 @@ def _sum_stats(monitor: IntegrityMonitor) -> dict[str, Any]:
         totals["progress_cache_hits"] += getattr(
             stats, "progress_cache_hits", 0
         )
+        totals["skipped_constraints"] += getattr(
+            stats, "skipped_constraints", 0
+        )
+        totals["idle_steps"] += getattr(stats, "idle_steps", 0)
         totals["sat_time_s"] += getattr(stats, "sat_time", 0.0)
         totals["progress_time_s"] += getattr(stats, "progress_time", 0.0)
     return totals
@@ -197,12 +206,8 @@ def bench_e3_progression(smoke: bool) -> dict[str, dict[str, Any]]:
     return {"e3_progression": _result(wall, length, totals)}
 
 
-def bench_e6_monitoring(smoke: bool) -> dict[str, dict[str, Any]]:
-    """E6-shaped: online monitoring of the paper's order constraints.
-
-    The full size runs at history length 200 — the headline monitoring
-    loop the PR's speedup target is measured on.
-    """
+def _run_e6(smoke: bool, prune: bool) -> tuple[float, int, IntegrityMonitor]:
+    """One E6 monitoring loop; ``prune`` toggles dependence pruning."""
     length = 12 if smoke else 200
     spare = 4 if smoke else 16
     trace = generate_orders(
@@ -214,11 +219,24 @@ def bench_e6_monitoring(smoke: bool) -> dict[str, dict[str, Any]]:
         History.empty(ORDER_VOCABULARY),
         strategy="spare",
         spare=spare,
+        prune=prune,
     )
     start = time.perf_counter()
     for state in trace.states():
         monitor.append_state(state)
     wall = time.perf_counter() - start
+    return wall, length, monitor
+
+
+def bench_e6_monitoring(smoke: bool) -> dict[str, dict[str, Any]]:
+    """E6-shaped: online monitoring of the paper's order constraints.
+
+    The full size runs at history length 200 — the headline monitoring
+    loop the PR's speedup target is measured on.  This record is the
+    *unpruned* baseline (``prune=False``); ``e6_monitoring_pruned`` runs
+    the identical trace with dependence pruning on.
+    """
+    wall, length, monitor = _run_e6(smoke, prune=False)
     totals = _sum_stats(monitor)
     return {
         "e6_monitoring": _result(
@@ -228,6 +246,29 @@ def bench_e6_monitoring(smoke: bool) -> dict[str, dict[str, Any]]:
             ms_per_update=round(1e3 * wall / length, 3),
             regrounds=totals["regrounds"],
             violations=len(monitor.violations()),
+        )
+    }
+
+
+def bench_e6_monitoring_pruned(smoke: bool) -> dict[str, dict[str, Any]]:
+    """E6 with static dependence pruning (idle transitions + skips).
+
+    Same trace, constraints and strategy as ``e6_monitoring``; verdicts
+    are identical by the pruning soundness property, only the per-instant
+    work differs (``skipped_constraints`` / ``idle_steps`` account it).
+    """
+    wall, length, monitor = _run_e6(smoke, prune=True)
+    totals = _sum_stats(monitor)
+    return {
+        "e6_monitoring_pruned": _result(
+            wall,
+            length,
+            totals,
+            ms_per_update=round(1e3 * wall / length, 3),
+            regrounds=totals["regrounds"],
+            violations=len(monitor.violations()),
+            skipped_constraints=totals["skipped_constraints"],
+            idle_steps=totals["idle_steps"],
         )
     }
 
@@ -248,15 +289,7 @@ def bench_e7_detection(smoke: bool) -> dict[str, dict[str, Any]]:
     period = 8
     vocab = vocabulary({"p": 1, "q": 1})
     wall_total = 0.0
-    totals = {
-        "progressions": 0,
-        "sat_calls": 0,
-        "sat_cache_hits": 0,
-        "progress_cache_hits": 0,
-        "regrounds": 0,
-        "sat_time_s": 0.0,
-        "progress_time_s": 0.0,
-    }
+    totals = _zero_totals()
     detections: list[int | None] = []
     Facts = list[tuple[str, tuple[int, ...]]]
     for lookahead in lookaheads:
@@ -319,6 +352,8 @@ def _zero_totals() -> dict[str, Any]:
         "sat_cache_hits": 0,
         "progress_cache_hits": 0,
         "regrounds": 0,
+        "skipped_constraints": 0,
+        "idle_steps": 0,
         "sat_time_s": 0.0,
         "progress_time_s": 0.0,
     }
@@ -531,6 +566,7 @@ BENCHMARKS: tuple[Callable[[bool], dict[str, dict[str, Any]]], ...] = (
     bench_a1_strategies,
     bench_e3_progression,
     bench_e6_monitoring,
+    bench_e6_monitoring_pruned,
     bench_e7_detection,
     bench_sat_micro,
     bench_parallel_triggers,

@@ -22,6 +22,14 @@ See README.md for the architecture overview and DESIGN.md for the paper
 mapping.
 """
 
+from .analysis import (
+    AffectSet,
+    IdleClass,
+    UpdateDependencyIndex,
+    affect_set,
+    idle_class,
+    static_verdict,
+)
 from .core.checker import (
     CheckResult,
     certify,
@@ -71,10 +79,12 @@ from .pasteval.incremental import IncrementalPastEvaluator
 __version__ = "1.0.0"
 
 __all__ = [
+    "AffectSet",
     "BudgetExceeded",
     "CheckResult",
     "ClassificationError",
     "DatabaseState",
+    "IdleClass",
     "Diagnostic",
     "EvaluationError",
     "Firing",
@@ -99,10 +109,12 @@ __all__ = [
     "Trigger",
     "TriggerManager",
     "Update",
+    "UpdateDependencyIndex",
     "UpdateReport",
     "Vocabulary",
     "WeakTruncationChecker",
     "__version__",
+    "affect_set",
     "certify",
     "check_extension",
     "classify",
@@ -111,6 +123,7 @@ __all__ = [
     "evaluate_past",
     "fires",
     "firings",
+    "idle_class",
     "is_syntactically_safe",
     "lint_formula",
     "lint_source",
@@ -119,6 +132,7 @@ __all__ = [
     "preflight",
     "reduce_universal",
     "require_universal",
+    "static_verdict",
     "to_str",
     "validate_constraint",
     "vocabulary",

@@ -1,0 +1,31 @@
+"""Static update–constraint dependence analysis.
+
+Everything here is computed *before* any history arrives: which relations a
+constraint mentions and with what polarity (:mod:`.affect`), and how a
+formula behaves across instants that do not touch it (:mod:`.idle`).  The
+monitor and the TIC12x lint passes consume these to skip provably
+irrelevant work; DESIGN.md section 9 carries the soundness arguments.
+"""
+
+from .affect import (
+    AffectSet,
+    Polarity,
+    RelationProfile,
+    UpdateDependencyIndex,
+    affect_set,
+    index_for,
+)
+from .idle import IdleClass, idle_class, ptl_idle_class, static_verdict
+
+__all__ = [
+    "AffectSet",
+    "Polarity",
+    "RelationProfile",
+    "UpdateDependencyIndex",
+    "affect_set",
+    "index_for",
+    "IdleClass",
+    "idle_class",
+    "ptl_idle_class",
+    "static_verdict",
+]

@@ -8,9 +8,13 @@ Subcommands:
   safety) and which results of the paper apply to it.
 * ``lint``     — run the static analysis passes of :mod:`repro.lint` over
   one constraint or a file of constraints; ``--json`` for machine-readable
-  reports, ``--strict`` to fail on warnings too.
+  reports, ``--strict`` to fail on warnings too, ``--deps`` for the TIC12x
+  dependence passes (with ``--vocabulary`` to compare against a schema).
+* ``analyze-deps`` — emit the static update–constraint dependence matrix
+  (:mod:`repro.analysis`) of a constraint set as JSON.
 * ``monitor``  — replay a history state by state through the online monitor
-  and report violations with their detection instants.
+  and report violations with their detection instants (``--no-prune``
+  disables the static dependence pruning).
 * ``experiment`` — run one of the paper-claim experiments (E1..E9, A1..A3)
   and print its table.
 
@@ -28,20 +32,52 @@ import json
 import os
 import sys
 
+from .analysis import UpdateDependencyIndex, idle_class, static_verdict
 from .core.checker import check_extension
 from .core.parallel import run_monitor
 from .database.history import History
 from .database.serialize import load_history
+from .database.vocabulary import Vocabulary, vocabulary
 from .errors import ParseError, ReproError
 from .lint import lint_constraint_set, lint_formula, lint_source
 from .lint.diagnostics import LintReport
 from .logic.classify import classify
+from .logic.formulas import Formula
 from .logic.parser import parse
 from .logic.safety import is_syntactically_safe, why_not_safe
 
 #: Schema version of the ``lint --json`` output; bump on breaking change.
 #: v2: added the top-level ``semantic`` marker (TIC100+ passes opt-in).
 LINT_JSON_VERSION = 2
+
+#: Schema version of the ``analyze-deps`` JSON output.
+DEPS_JSON_VERSION = 1
+
+
+def _parse_vocabulary_spec(spec: str) -> Vocabulary:
+    """Build a vocabulary from a ``Name:arity,Name:arity`` spec string."""
+    predicates: dict[str, int] = {}
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        name, _sep, arity_text = item.partition(":")
+        name = name.strip()
+        if not name.isidentifier():
+            raise ReproError(
+                f"bad --vocabulary entry {item!r}: predicate name must be "
+                "an identifier"
+            )
+        try:
+            arity = int(arity_text)
+        except ValueError:
+            raise ReproError(
+                f"bad --vocabulary entry {item!r}: expected Name:arity"
+            ) from None
+        predicates[name] = arity
+    if not predicates:
+        raise ReproError("--vocabulary spec declares no predicates")
+    return vocabulary(predicates)
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -148,6 +184,8 @@ def _semantic_lint_reports(
     file (trigger mode).
     """
     names = getattr(args, "lint_names", None) or [None] * len(sources)
+    vocab = getattr(args, "lint_vocabulary", None)
+    deps = bool(getattr(args, "deps", False))
     reports: list[LintReport | None] = [None] * len(sources)
     parsed: list[tuple[int, str]] = []
     for index, source in enumerate(sources):
@@ -166,10 +204,13 @@ def _semantic_lint_reports(
         )
         set_reports = lint_constraint_set(
             named,
+            vocabulary=vocab,
             domain_size=args.domain_size,
             engine=args.engine,
             jobs=args.jobs,
+            semantic=bool(args.semantic),
             sources=[source for _index, source in parsed],
+            deps=deps,
         )
         for (index, _source), report in zip(parsed, set_reports):
             reports[index] = report
@@ -187,11 +228,13 @@ def _semantic_lint_reports(
                 parse(source),
                 source=source,
                 mode="trigger",
+                vocabulary=vocab,
                 domain_size=args.domain_size,
-                semantic=True,
+                semantic=bool(args.semantic),
                 constraint_set=monitored or None,
                 engine=args.engine,
                 jobs=args.jobs,
+                deps=deps,
             )
     return [report for report in reports if report is not None]
 
@@ -204,12 +247,22 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     named_inputs = _named_lint_inputs(args.target)
     sources = [source for _name, source in named_inputs]
     args.lint_names = [name for name, _source in named_inputs]
+    args.lint_vocabulary = (
+        _parse_vocabulary_spec(args.vocabulary) if args.vocabulary else None
+    )
     mode = "trigger" if args.trigger else "constraint"
-    if args.semantic:
+    if args.semantic or args.deps:
+        # The set-aware path: semantic passes share one analyzer, and the
+        # TIC12x set-level dependence passes see the whole constraint set.
         reports = _semantic_lint_reports(sources, mode, args)
     else:
         reports = [
-            lint_source(source, mode=mode, domain_size=args.domain_size)
+            lint_source(
+                source,
+                mode=mode,
+                domain_size=args.domain_size,
+                vocabulary=args.lint_vocabulary,
+            )
             for source in sources
         ]
     errors = sum(len(r.errors) for r in reports)
@@ -244,6 +297,49 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_analyze_deps(args: argparse.Namespace) -> int:
+    """Emit the static update–constraint dependence matrix as JSON."""
+    named_inputs = _named_lint_inputs(args.target)
+    constraints: dict[str, Formula] = {}
+    for index, (name, source) in enumerate(named_inputs):
+        label = name or f"c{index}"
+        if label in constraints:
+            label = f"{label}_{index}"
+        constraints[label] = parse(source)
+    vocab = _parse_vocabulary_spec(args.vocabulary) if args.vocabulary else None
+    index_ = UpdateDependencyIndex(constraints)
+    payload = index_.to_dict()
+    constraint_block = payload["constraints"]
+    assert isinstance(constraint_block, dict)
+    for label, formula in constraints.items():
+        entry = constraint_block[label]
+        entry["idle_class"] = idle_class(formula).value
+        entry["static_verdict"] = static_verdict(formula)
+    dead = list(index_.dead(vocab)) if vocab is not None else []
+    unmonitored = list(index_.unmonitored(vocab)) if vocab is not None else []
+    document = {
+        "version": DEPS_JSON_VERSION,
+        "constraints": payload["constraints"],
+        "relations": payload["relations"],
+        "vocabulary": (
+            dict(sorted(vocab.predicates.items())) if vocab is not None else None
+        ),
+        "dead": dead,
+        "unmonitored": unmonitored,
+        "summary": {
+            "constraints": len(constraints),
+            "relations": len(index_.relations()),
+            "dead": len(dead),
+            "unmonitored": len(unmonitored),
+        },
+    }
+    json.dump(document, sys.stdout, indent=2)
+    print()
+    if args.strict and (dead or unmonitored):
+        return 1
+    return 0
+
+
 def _cmd_monitor(args: argparse.Namespace) -> int:
     history = load_history(args.history)
     constraints = {
@@ -262,6 +358,7 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         assume_safety=args.assume_safety,
         strategy=args.strategy,
         engine=args.engine,
+        prune=not args.no_prune,
     )
     for report in run.reports:
         for name in report.new_violations:
@@ -352,7 +449,31 @@ def build_parser() -> argparse.ArgumentParser:
                       help="with --trigger --semantic: file of monitored "
                       "constraints the trigger conditions are checked "
                       "against (TIC112 conflicts)")
+    lint.add_argument("--deps", action="store_true",
+                      help="also run the TIC12x dependence passes (dead "
+                      "constraints, unmonitored relations, polarity "
+                      "monotonicity, statically idle constraints)")
+    lint.add_argument("--vocabulary", metavar="SPEC",
+                      help="database schema as 'Name:arity,Name:arity' — "
+                      "enables the vocabulary-aware passes")
     lint.set_defaults(func=_cmd_lint)
+
+    deps = sub.add_parser(
+        "analyze-deps",
+        help="emit the static update-constraint dependence matrix as JSON",
+    )
+    deps.add_argument(
+        "target",
+        help="a constraint expression, or a path to a file with one "
+        "constraint per line ('#' comments allowed)",
+    )
+    deps.add_argument("--vocabulary", metavar="SPEC",
+                      help="database schema as 'Name:arity,Name:arity' — "
+                      "enables the dead/unmonitored reports")
+    deps.add_argument("--strict", action="store_true",
+                      help="exit 1 when dead constraints or unmonitored "
+                      "relations are found (requires --vocabulary)")
+    deps.set_defaults(func=_cmd_analyze_deps)
 
     mon = sub.add_parser("monitor", help="replay a history through the "
                          "online monitor")
@@ -369,6 +490,9 @@ def build_parser() -> argparse.ArgumentParser:
     mon.add_argument("--jobs", type=int, default=1,
                      help="worker processes for independent constraints "
                      "(1 = serial, 0 = one per CPU)")
+    mon.add_argument("--no-prune", action="store_true",
+                     help="disable static dependence pruning (exhaustive "
+                     "per-instant progression and decisions)")
     mon.set_defaults(func=_cmd_monitor)
 
     exp = sub.add_parser("experiment", help="run a paper-claim experiment")

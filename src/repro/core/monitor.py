@@ -34,12 +34,13 @@ and reported, not re-checked.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import AbstractSet, Mapping, Sequence
 
+from ..analysis.affect import UpdateDependencyIndex
 from ..database.history import History
 from ..database.state import DatabaseState
-from ..database.updates import Update
+from ..database.updates import Update, diff_states
 from ..logic.classify import FormulaInfo
 from ..logic.formulas import Formula
 from ..ptl.bitset import BuchiKernel
@@ -69,6 +70,12 @@ class MonitorStats:
     ``sat_time``/``progress_time`` are cumulative ``perf_counter`` seconds
     spent in the two Lemma 4.2 phases, so experiments and the benchmark
     harness can report where time goes.
+
+    ``idle_steps`` counts instants handled through the precomputed idle
+    transition (the update touched none of the constraint's relations);
+    ``skipped_constraints`` counts instants whose satisfiability decision
+    was skipped because the remainder did not move.  Both stay zero with
+    ``prune=False`` and under the scratch strategy.
     """
 
     progressions: int = 0
@@ -77,8 +84,24 @@ class MonitorStats:
     sat_calls: int = 0
     sat_cache_hits: int = 0
     progress_cache_hits: int = 0
+    skipped_constraints: int = 0
+    idle_steps: int = 0
     sat_time: float = 0.0
     progress_time: float = 0.0
+
+    def as_dict(self) -> dict[str, int | float]:
+        """A plain-dict view (benchmark shapes, JSON round-trips)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, int | float]) -> "MonitorStats":
+        """Inverse of :meth:`as_dict`."""
+        return cls(**data)  # type: ignore[arg-type]
+
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        for spec in fields(self):
+            setattr(self, spec.name, spec.default)
 
 
 @dataclass
@@ -93,6 +116,15 @@ class _ConstraintEntry:
     spare_map: dict[int, int] = field(default_factory=dict)
     violated_at: int | None = None
     stats: MonitorStats = field(default_factory=MonitorStats)
+    # Restricted propositional state used by the last progression step;
+    # on an idle instant the entry-visible state is unchanged, so this is
+    # exactly what the normal path would recompute.
+    last_props: frozenset[Prop] | None = None
+    # Precomputed idle transitions: (remainder, last_props) -> remainder'.
+    # A pure function of its key, so it is never invalidated.
+    idle_memo: dict[
+        tuple[PTLFormula, frozenset[Prop]], PTLFormula
+    ] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -128,6 +160,16 @@ class IntegrityMonitor:
     constraint with error diagnostics (:class:`repro.errors.LintError`
     listing all of them), ``lint="off"`` skips the gate.
 
+    ``prune=True`` (default) enables static dependence pruning: a
+    registration-time :class:`repro.analysis.UpdateDependencyIndex` tells
+    the monitor which constraints each instant's delta can even reach, so
+    unaffected constraints are progressed through a precomputed idle
+    transition and their unchanged decisions are skipped (counters
+    ``idle_steps`` / ``skipped_constraints``).  ``prune=False`` keeps the
+    exhaustive per-instant path; both produce identical verdicts and
+    remainders (property-tested), mirroring the ``engine="reference"``
+    oracle pattern.  The scratch strategy is never pruned.
+
     >>> from ..logic import parse
     >>> from ..database import History, Update, vocabulary
     >>> v = vocabulary({"Sub": 1})
@@ -153,6 +195,7 @@ class IntegrityMonitor:
         fold: bool = True,
         lint: str = "warn",
         engine: str = "bitset",
+        prune: bool = True,
     ) -> None:
         if strategy not in _STRATEGIES:
             raise ValueError(
@@ -177,6 +220,13 @@ class IntegrityMonitor:
         self._fold = fold
         self._engine = engine
         self._history = initial
+        # Static dependence pruning (see repro.analysis and DESIGN.md §9):
+        # instants whose delta touches none of a constraint's relations go
+        # through the idle transition, and decisions whose remainder did
+        # not move are skipped.  The scratch strategy stays fully naive —
+        # it is the ablation baseline and must pay for every instant.
+        self._prune = prune and strategy != "scratch"
+        self._index = UpdateDependencyIndex(constraints)
         # Monitor-wide satisfiability memo, shared across constraints and
         # keyed by the interned remainder: the same ground obligation shows
         # up under several constraints (and across regrounds), and interned
@@ -224,6 +274,29 @@ class IntegrityMonitor:
         """Per-constraint work counters."""
         return {entry.name: entry.stats for entry in self._entries}
 
+    def reset(self) -> None:
+        """Zero every per-constraint work counter.
+
+        Monitoring state (history, remainders, violations) is untouched:
+        this exists so benchmark shapes measuring successive phases on one
+        monitor cannot leak counters across runs.
+        """
+        for entry in self._entries:
+            entry.stats.reset()
+
+    def remainders(self) -> dict[str, PTLFormula]:
+        """The current progressed remainder of each constraint."""
+        out: dict[str, PTLFormula] = {}
+        for entry in self._entries:
+            assert entry.remainder is not None
+            out[entry.name] = entry.remainder
+        return out
+
+    @property
+    def dependency_index(self) -> UpdateDependencyIndex:
+        """The static update-dependence index built at construction."""
+        return self._index
+
     def is_satisfied(self, name: str) -> bool:
         for entry in self._entries:
             if entry.name == name:
@@ -244,13 +317,31 @@ class IntegrityMonitor:
 
     def _recheck(self) -> UpdateReport:
         instant = self._history.now
+        touched = self._touched_now()
         new_violations: list[str] = []
         satisfied: dict[str, bool] = {}
         for entry in self._entries:
             if entry.violated_at is not None:
                 satisfied[entry.name] = False
                 continue
-            self._advance(entry)
+            before = entry.remainder
+            if (
+                touched is not None
+                and entry.name not in touched
+                and entry.last_props is not None
+            ):
+                self._advance_idle(entry)
+            else:
+                self._advance(entry)
+            if self._prune and entry.remainder is before:
+                # The remainder did not move, so its satisfiability did
+                # not either: the previous instant's verdict (OK, or this
+                # entry would be frozen) carries over.  Interned formulas
+                # make `is` the exact fixed-point test.
+                entry.stats.sat_cache_hits += 1
+                entry.stats.skipped_constraints += 1
+                satisfied[entry.name] = True
+                continue
             ok = self._decide(entry, instant)
             satisfied[entry.name] = ok
             if not ok:
@@ -260,6 +351,46 @@ class IntegrityMonitor:
             satisfied=satisfied,
             new_violations=tuple(new_violations),
         )
+
+    def _touched_now(self) -> frozenset[str] | None:
+        """Constraints whose relations the newest delta touches.
+
+        ``None`` means "assume everything is touched" (pruning disabled,
+        or no previous state to diff against).
+        """
+        if not self._prune:
+            return None
+        states = self._history.states
+        if len(states) < 2:
+            return None
+        delta = diff_states(states[-2], states[-1])
+        return self._index.touched_by_update(delta)
+
+    def _advance_idle(self, entry: _ConstraintEntry) -> None:
+        """Progress through an instant that cannot move this entry's state.
+
+        The delta touched none of the constraint's relations, so the
+        entry-visible restriction of the new state equals the one used by
+        the last progression step (``entry.last_props``): re-deriving the
+        domain scan, freshness check and ``state_to_props`` would
+        reproduce it letter-for-letter on every letter the remainder can
+        see.  The (remainder, props) -> remainder' transition is a pure
+        function, memoized per entry so repeated quiet instants cost a
+        dict hit.
+        """
+        assert entry.remainder is not None and entry.last_props is not None
+        key = (entry.remainder, entry.last_props)
+        cached = entry.idle_memo.get(key)
+        if cached is None:
+            cached = self._progress(entry, entry.remainder, entry.last_props)
+            entry.idle_memo[key] = cached
+        else:
+            # Count the step as a (fully cached) progression so pruned and
+            # unpruned runs report comparable totals.
+            entry.stats.progressions += 1
+            entry.stats.progress_cache_hits += 1
+        entry.stats.idle_steps += 1
+        entry.remainder = cached
 
     def _entry_domain(
         self, entry: _ConstraintEntry, state: DatabaseState
@@ -292,6 +423,9 @@ class IntegrityMonitor:
         for props in reduction.prefix:
             remainder = self._progress(entry, remainder, props)
         entry.remainder = remainder
+        entry.last_props = (
+            frozenset(reduction.prefix[-1]) if reduction.prefix else None
+        )
 
     def _progress(
         self,
@@ -362,6 +496,7 @@ class IntegrityMonitor:
         if self._strategy == "spare":
             props = _rename_props(props, entry.spare_map)
         entry.remainder = self._progress(entry, entry.remainder, props)
+        entry.last_props = props
 
     def _try_rename(
         self, entry: _ConstraintEntry, fresh: frozenset[int]

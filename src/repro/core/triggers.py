@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from itertools import product as cartesian
 from typing import Callable, Iterator, Mapping, Sequence
 
+from ..analysis.affect import affect_set
 from ..database.history import History
 from ..database.vocabulary import Vocabulary
 from ..errors import ClassificationError
@@ -289,6 +290,17 @@ class TriggerManager:
     With ``jobs > 1`` the candidate substitutions of each trigger are
     chunked across a process pool; firings are identical to the serial
     run (the verdict is a pure function of the substitution and history).
+
+    ``prune=True`` (default) adds a static sweep skip on top: when a
+    trigger's negated condition has only negative relation occurrences,
+    an instant whose state is empty on the condition's relations cannot
+    create a *new* firing (satisfiability of every pending remainder is
+    preserved — DESIGN.md §9.3), so the whole ``R_D^k`` sweep is skipped
+    (``skipped_sweeps`` counts them).  Guarded by a consecutive-check and
+    a relevant-elements-unchanged test so the skipped verdicts are exactly
+    the ones the full sweep would produce; ``prune=False`` restores the
+    exhaustive sweep, and both are property-tested to log identical
+    firings.
     """
 
     def __init__(
@@ -300,6 +312,7 @@ class TriggerManager:
         lint: str = "warn",
         engine: str = "bitset",
         jobs: int = 1,
+        prune: bool = True,
     ) -> None:
         if engine not in ("bitset", "reference"):
             raise ValueError(
@@ -330,6 +343,20 @@ class TriggerManager:
         self._remainder_memo: dict[PTLFormula, bool] = {}
         self.memo_hits = 0
         self.decisions = 0
+        self._prune = prune
+        # Static per-trigger analysis: a sweep may be skipped only when the
+        # negated condition is purely negative in its relation occurrences
+        # (or mentions no relation at all) — the polarity half of the
+        # skip lemma.  Keyed by position: trigger names may repeat.
+        self._prunable: list[bool] = []
+        for trigger in triggers:
+            aff = affect_set(not_(trigger.condition))
+            self._prunable.append(aff.pure_negative or aff.state_independent)
+        # History length at the last sweep of each trigger (consecutive
+        # check) and the relevant-element set it ranged over.
+        self._last_checked: dict[int, int] = {}
+        self._last_relevant: dict[int, frozenset[int]] = {}
+        self.skipped_sweeps = 0
 
     @property
     def log(self) -> list[Firing]:
@@ -391,11 +418,39 @@ class TriggerManager:
             verdicts.append(known)
         return verdicts
 
+    def _can_skip_sweep(
+        self, index: int, trigger: Trigger, history: History
+    ) -> bool:
+        """Is the whole sweep of ``trigger`` provably firing-free here?
+
+        All four guards are required: (1) the static polarity condition,
+        (2) this instant's state is empty on the condition's relations,
+        (3) the previous instant was actually swept (so the preserved
+        verdicts exist), (4) no new relevant element appeared (so the
+        candidate substitution set is the one those verdicts cover).
+        """
+        if not self._prunable[index]:
+            return False
+        if self._last_checked.get(index) != len(history.states) - 1:
+            return False
+        relevant = frozenset(history.relevant_elements())
+        if self._last_relevant.get(index) != relevant:
+            return False
+        predicates = {
+            pred for pred, _arity in trigger.condition.predicates()
+        }
+        current = history.current.relations
+        return all(not current.get(pred) for pred in predicates)
+
     def check(self, history: History) -> list[Firing]:
         """Detect new firings at the history's current instant and run their
         actions."""
         new: list[Firing] = []
-        for trigger in self._triggers:
+        for index, trigger in enumerate(self._triggers):
+            if self._prune and self._can_skip_sweep(index, trigger, history):
+                self.skipped_sweeps += 1
+                self._last_checked[index] = len(history.states)
+                continue
             pending: list[
                 tuple[tuple[str, tuple[tuple[str, int], ...]], Substitution]
             ] = []
@@ -423,4 +478,8 @@ class TriggerManager:
                 self._log.append(firing)
                 if trigger.action is not None:
                     trigger.action(history, dict(firing.values()))
+            self._last_checked[index] = len(history.states)
+            self._last_relevant[index] = frozenset(
+                history.relevant_elements()
+            )
         return new

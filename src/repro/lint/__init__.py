@@ -34,15 +34,18 @@ from ..errors import LintError
 from ..logic.formulas import Formula
 from .diagnostics import Diagnostic, LintReport, LintWarning, Severity
 from .engine import (
+    DEPS_PASS_REGISTRY,
     MODES,
     LintContext,
     LintPass,
     PASS_REGISTRY,
     SEMANTIC_PASS_REGISTRY,
     all_passes,
+    deps_passes,
     lint_formula,
     lint_source,
     register,
+    register_deps,
     register_semantic,
     semantic_passes,
 )
@@ -60,6 +63,7 @@ def _cached_report(
     domain_size: int,
     vocabulary: Vocabulary | None = None,
     semantic: bool = False,
+    deps: bool = False,
 ) -> LintReport:
     # Formulas and vocabularies are immutable and hashable, so reports
     # can be memoized on the full argument tuple; the hot path (triggers
@@ -71,6 +75,7 @@ def _cached_report(
         domain_size=domain_size,
         vocabulary=vocabulary,
         semantic=semantic,
+        deps=deps,
     )
 
 
@@ -96,6 +101,7 @@ def preflight(
     vocabulary: Vocabulary | None = None,
     domain_size: int = 8,
     semantic: bool = False,
+    deps: bool = False,
 ) -> LintReport:
     """Lint a constraint as a deploy-time gate.
 
@@ -114,6 +120,10 @@ def preflight(
         Run the TIC100+ decision-procedure passes as well (semantic
         unsatisfiability, validity, automaton-backed safety, vacuity) —
         a deeper, kernel-backed gate for deploy-time vetting.
+    deps:
+        Run the TIC12x dependence passes as well (dead constraints,
+        unmonitored relations, polarity monotonicity, statically idle
+        constraints) — the static update-dependence gate.
 
     Returns the report (an empty one when ``gate="off"``).
     """
@@ -122,7 +132,7 @@ def preflight(
     if gate == "off":
         return LintReport(diagnostics=(), mode=mode)
     report = _cached_report(
-        formula, mode, domain_size, vocabulary, semantic
+        formula, mode, domain_size, vocabulary, semantic, deps
     )
     errors = [
         d
@@ -142,6 +152,7 @@ def preflight(
 
 
 __all__ = [
+    "DEPS_PASS_REGISTRY",
     "Diagnostic",
     "GATE_MODES",
     "LintContext",
@@ -158,12 +169,14 @@ __all__ = [
     "analysis_cache_clear",
     "cache_clear",
     "cache_info",
+    "deps_passes",
     "lint_constraint_set",
     "lint_formula",
     "lint_source",
     "lint_trigger_conditions",
     "preflight",
     "register",
+    "register_deps",
     "register_semantic",
     "semantic_passes",
 ]

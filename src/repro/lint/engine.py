@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Protocol
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..analysis.affect import AffectSet
     from .setanalysis import SetAnalyzer
 
 from ..database.vocabulary import Vocabulary
@@ -73,6 +74,7 @@ class LintContext:
     jobs: int = 1
     _info: FormulaInfo | None = field(default=None, repr=False)
     _analyzer: object | None = field(default=None, repr=False)
+    _affect: "AffectSet | None" = field(default=None, repr=False)
 
     @property
     def info(self) -> FormulaInfo:
@@ -80,6 +82,15 @@ class LintContext:
         if self._info is None:
             self._info = classify(self.formula)
         return self._info
+
+    @property
+    def affect(self) -> "AffectSet":
+        """The (cached) polarity-aware affect set of the formula."""
+        from ..analysis.affect import affect_set
+
+        if self._affect is None:
+            self._affect = affect_set(self.formula)
+        return self._affect
 
     @property
     def analyzer(self) -> "SetAnalyzer":
@@ -187,6 +198,10 @@ PASS_REGISTRY: dict[str, LintPass] = {}
 #: bitset kernels rather than syntax visitors, opt-in via ``semantic=``.
 SEMANTIC_PASS_REGISTRY: dict[str, LintPass] = {}
 
+#: Registry of the *dependence* (TIC12x) passes: polarity-aware static
+#: update-dependence analysis (:mod:`repro.analysis`), opt-in via ``deps=``.
+DEPS_PASS_REGISTRY: dict[str, LintPass] = {}
+
 
 def register(lint_pass: LintPass) -> LintPass:
     """Add a pass to the default registry (class decorator friendly)."""
@@ -208,6 +223,17 @@ def register_semantic(lint_pass: LintPass) -> LintPass:
     return lint_pass
 
 
+def register_deps(lint_pass: LintPass) -> LintPass:
+    """Add a pass to the dependence (TIC12x) registry."""
+    instance = lint_pass() if isinstance(lint_pass, type) else lint_pass
+    if instance.name in DEPS_PASS_REGISTRY:
+        raise ValueError(
+            f"duplicate dependence lint pass name {instance.name!r}"
+        )
+    DEPS_PASS_REGISTRY[instance.name] = instance
+    return lint_pass
+
+
 def all_passes() -> tuple[LintPass, ...]:
     """Every registered syntactic pass, in execution order."""
     _ensure_loaded()
@@ -220,8 +246,15 @@ def semantic_passes() -> tuple[LintPass, ...]:
     return tuple(SEMANTIC_PASS_REGISTRY.values())
 
 
+def deps_passes() -> tuple[LintPass, ...]:
+    """Every registered dependence (TIC12x) pass, in execution order."""
+    _ensure_loaded()
+    return tuple(DEPS_PASS_REGISTRY.values())
+
+
 def _ensure_loaded() -> None:
     # Importing the modules populates the registries via the decorators.
+    from . import deps as _deps  # noqa: F401
     from . import passes as _passes  # noqa: F401
     from . import semantic as _semantic  # noqa: F401
 
@@ -239,6 +272,7 @@ def lint_formula(
     engine: str = "bitset",
     jobs: int = 1,
     analyzer: "SetAnalyzer | None" = None,
+    deps: bool = False,
 ) -> LintReport:
     """Run every applicable pass over one formula and collect the report.
 
@@ -246,7 +280,9 @@ def lint_formula(
     well; ``constraint_set`` (with this formula at ``set_index``) enables
     the set-level passes, and a pre-built ``analyzer`` lets callers share
     one grounded analysis across a whole set (see
-    :func:`repro.lint.semantic.lint_constraint_set`).
+    :func:`repro.lint.semantic.lint_constraint_set`).  With ``deps=True``
+    the TIC12x dependence passes run as well (vocabulary-aware ones stay
+    silent without a ``vocabulary``).
 
     >>> from repro.logic import parse
     >>> report = lint_formula(parse("forall x . G (Sub(x) -> X G !Sub(x))"))
@@ -269,10 +305,12 @@ def lint_formula(
     )
     if passes is not None:
         selected = tuple(passes)
-    elif semantic:
-        selected = all_passes() + semantic_passes()
     else:
         selected = all_passes()
+        if semantic:
+            selected += semantic_passes()
+        if deps:
+            selected += deps_passes()
     findings: list[Diagnostic] = []
     for lint_pass in selected:
         if mode not in lint_pass.modes:
@@ -294,6 +332,7 @@ def lint_source(
     semantic: bool = False,
     engine: str = "bitset",
     jobs: int = 1,
+    deps: bool = False,
 ) -> LintReport:
     """Parse a constraint from text and lint it.
 
@@ -337,4 +376,5 @@ def lint_source(
         semantic=semantic,
         engine=engine,
         jobs=jobs,
+        deps=deps,
     )

@@ -470,6 +470,7 @@ def lint_constraint_set(
     jobs: int = 1,
     semantic: bool = True,
     sources: Sequence[str | None] | None = None,
+    deps: bool = False,
 ) -> list[LintReport]:
     """Lint a whole constraint set, sharing one semantic analyzer.
 
@@ -503,6 +504,7 @@ def lint_constraint_set(
                 engine=engine,
                 jobs=jobs,
                 analyzer=analyzer,
+                deps=deps,
             )
         )
     return reports

@@ -1,0 +1,167 @@
+"""Pruned-vs-unpruned equivalence for the monitor and trigger manager.
+
+The dependence-pruned paths (idle transitions, fixed-point decision skips,
+trigger sweep skips) must be observationally identical to the exhaustive
+ones: same per-instant verdicts, same violation instants, same remainders,
+same firing logs.  The unpruned path is kept as the in-tree oracle, so
+these tests are the soundness argument of DESIGN.md §9 run in anger.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import IntegrityMonitor
+from repro.core.triggers import Trigger, TriggerManager
+from repro.database import DatabaseState, History, Update, vocabulary
+from repro.logic import parse
+
+V = vocabulary({"Sub": 1, "Fill": 1})
+SUBMIT_ONCE = parse("forall x . G (Sub(x) -> X G !Sub(x))")
+FIFO_FILL = parse(
+    "forall x y . G !(x != y & Sub(x) & ((!Fill(x)) U "
+    "(Sub(y) & ((!Fill(x)) U (Fill(y) & !Fill(x))))))"
+)
+CONSTRAINTS = {"once": SUBMIT_ONCE, "fifo": FIFO_FILL}
+
+traces = st.lists(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["Sub", "Fill"]),
+            st.tuples(st.integers(0, 2)),
+        ),
+        max_size=2,
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+def monitor_with(constraints, **kwargs):
+    return IntegrityMonitor(constraints, History.empty(V), **kwargs)
+
+
+class TestMonitorEquivalence:
+    @given(trace=traces, strategy=st.sampled_from(["incremental", "spare"]))
+    @settings(max_examples=200, deadline=None)
+    def test_pruned_matches_unpruned(self, trace, strategy):
+        pruned = monitor_with(CONSTRAINTS, strategy=strategy, prune=True)
+        naive = monitor_with(CONSTRAINTS, strategy=strategy, prune=False)
+        for facts in trace:
+            state = DatabaseState.from_facts(V, facts)
+            rp = pruned.append_state(state)
+            rn = naive.append_state(state)
+            assert dict(rp.satisfied) == dict(rn.satisfied)
+            assert rp.new_violations == rn.new_violations
+            # Remainders are interned, so equality here is identity: the
+            # pruned run's Lemma 4.2 state is bit-for-bit the naive one's.
+            assert pruned.remainders() == naive.remainders()
+        assert pruned.violations() == naive.violations()
+
+    @given(trace=traces)
+    @settings(max_examples=25, deadline=None)
+    def test_pruned_matches_scratch_oracle(self, trace):
+        pruned = monitor_with(CONSTRAINTS, strategy="incremental", prune=True)
+        oracle = monitor_with(CONSTRAINTS, strategy="scratch")
+        for facts in trace:
+            state = DatabaseState.from_facts(V, facts)
+            assert (
+                pruned.append_state(state).new_violations
+                == oracle.append_state(state).new_violations
+            )
+        assert pruned.violations() == oracle.violations()
+
+
+class TestPruningCounters:
+    def quiet_run(self, **kwargs):
+        # Every delta inserts/deletes only Fill facts, which submit_once
+        # never mentions: all four instants are idle for it.
+        m = monitor_with({"once": SUBMIT_ONCE}, **kwargs)
+        for element in (1, 2, 1, 2):
+            m.append_state(
+                DatabaseState.from_facts(V, [("Fill", (element,))])
+            )
+        return m
+
+    def test_quiet_instants_take_the_idle_path(self):
+        m = self.quiet_run()
+        stats = m.stats()["once"]
+        assert stats.idle_steps == 4
+        assert stats.skipped_constraints >= 3
+        assert m.violations() == {}
+
+    def test_unpruned_counters_stay_zero(self):
+        stats = self.quiet_run(prune=False).stats()["once"]
+        assert stats.idle_steps == 0
+        assert stats.skipped_constraints == 0
+
+    def test_scratch_is_never_pruned(self):
+        stats = self.quiet_run(strategy="scratch").stats()["once"]
+        assert stats.idle_steps == 0
+        assert stats.skipped_constraints == 0
+
+    def test_dependency_index_exposed(self):
+        m = monitor_with(CONSTRAINTS)
+        assert m.dependency_index.touched_by_update(
+            Update.insert(("Fill", (1,)))
+        ) == {"fifo"}
+
+    def test_violation_still_detected_after_idle_stretch(self):
+        m = monitor_with({"once": SUBMIT_ONCE})
+        m.append_state(DatabaseState.from_facts(V, [("Sub", (1,))]))
+        for _ in range(3):
+            m.append_state(DatabaseState.from_facts(V, [("Fill", (2,))]))
+        report = m.append_state(DatabaseState.from_facts(V, [("Sub", (1,))]))
+        assert report.new_violations == ("once",)
+
+
+class TestMonitorStatsRoundTrip:
+    def test_as_dict_from_dict(self):
+        m = monitor_with({"once": SUBMIT_ONCE})
+        m.append_state(DatabaseState.from_facts(V, [("Sub", (1,))]))
+        stats = m.stats()["once"]
+        data = stats.as_dict()
+        assert data["progressions"] == stats.progressions
+        assert type(stats).from_dict(data) == stats
+
+    def test_reset_zeroes_every_counter(self):
+        m = monitor_with({"once": SUBMIT_ONCE})
+        m.append_state(DatabaseState.from_facts(V, [("Sub", (1,))]))
+        m.append_state(DatabaseState.from_facts(V, [("Fill", (1,))]))
+        assert any(v for v in m.stats()["once"].as_dict().values())
+        m.reset()
+        assert all(not v for v in m.stats()["once"].as_dict().values())
+        # Monitoring state survives the counter reset.
+        assert m.now == 2
+        assert m.violations() == {}
+
+
+RESUBMIT = parse("F (Sub(x) & X F Sub(x))")
+
+
+def run_triggers(trace, prune):
+    manager = TriggerManager(
+        [Trigger("resub", RESUBMIT)], lint="off", prune=prune
+    )
+    history = History.empty(V)
+    for facts in trace:
+        history = history.extended(DatabaseState.from_facts(V, facts))
+        manager.check(history)
+    return manager
+
+
+class TestTriggerEquivalence:
+    @given(trace=traces)
+    @settings(max_examples=40, deadline=None)
+    def test_pruned_matches_unpruned_firings(self, trace):
+        assert run_triggers(trace, True).log == run_triggers(trace, False).log
+
+    def test_quiet_sweeps_are_skipped(self):
+        trace = [[("Sub", (1,))], [], [], [("Sub", (1,))]]
+        pruned = run_triggers(trace, True)
+        naive = run_triggers(trace, False)
+        assert pruned.skipped_sweeps > 0
+        assert naive.skipped_sweeps == 0
+        assert pruned.log == naive.log
+        # The resubmission at the last instant is still caught after the
+        # skipped sweeps.
+        assert any(f.instant == 4 for f in pruned.log)

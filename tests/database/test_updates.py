@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.analysis import UpdateDependencyIndex
 from repro.database import (
     DatabaseState,
     Update,
@@ -9,7 +10,8 @@ from repro.database import (
     diff_states,
     vocabulary,
 )
-from repro.errors import StateError
+from repro.errors import SchemaError, StateError
+from repro.logic.parser import parse
 
 V = vocabulary({"p": 1})
 
@@ -76,3 +78,56 @@ class TestDiff:
     def test_diff_of_equal_states_is_noop(self):
         a = state(("p", (1,)))
         assert diff_states(a, a).is_noop()
+
+
+class TestDeltaEdgeCases:
+    """The deltas the pruning index must classify correctly."""
+
+    def test_noop_update_touches_nothing(self):
+        u = Update.noop()
+        assert u.touched_elements() == frozenset()
+        index = UpdateDependencyIndex({"c": parse("forall x . G p(x)")})
+        assert index.touched_by_update(u) == frozenset()
+        assert index.affected_by_update(u) == frozenset()
+
+    def test_diff_ignores_redundant_insert(self):
+        # Re-inserting a present fact while deleting another one: the
+        # diff of the resulting transition must only contain the real
+        # change, so the dependence index sees a pure delete.
+        a = state(("p", (1,)), ("p", (2,)))
+        u = Update.insert(("p", (1,))) | Update.delete(("p", (2,)))
+        b = u.apply(a)
+        delta = diff_states(a, b)
+        assert delta.inserts == frozenset()
+        assert delta.deletes == {("p", (2,))}
+
+    def test_duplicate_insert_then_delete_across_instants(self):
+        # Inserting a fact that is already there is a semantic no-op;
+        # the later delete is the only observable transition.
+        log = UpdateLog(initial=state(("p", (1,))))
+        log.append(Update.insert(("p", (1,))))
+        log.append(Update.delete(("p", (1,))))
+        states = log.replay()
+        assert states[0] == states[1]
+        assert diff_states(states[0], states[1]).is_noop()
+        assert not states[2].holds("p", (1,))
+
+    def test_insert_and_delete_same_fact_one_instant_rejected(self):
+        # Within a single instant there is no ordering, so
+        # insert-then-delete of one fact is a conflict, not a no-op.
+        with pytest.raises(StateError, match="inserts and deletes"):
+            Update(
+                inserts=frozenset({("p", (1,))}),
+                deletes=frozenset({("p", (1,))}),
+            )
+
+    def test_update_on_relation_outside_vocabulary(self):
+        # The update itself is schema-agnostic; applying it to a state
+        # over a vocabulary without the relation fails loudly, and the
+        # dependence index classifies it as touching no constraint.
+        u = Update.insert(("q", (1,)))
+        with pytest.raises(SchemaError, match="q"):
+            u.apply(state(("p", (1,))))
+        index = UpdateDependencyIndex({"c": parse("forall x . G p(x)")})
+        assert index.touched_by_update(u) == frozenset()
+        assert index.affected_by_update(u) == frozenset()

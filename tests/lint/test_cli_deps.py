@@ -1,0 +1,114 @@
+"""The ``repro-tic analyze-deps`` subcommand and ``lint --deps``."""
+
+import json
+
+from repro.cli import DEPS_JSON_VERSION, main
+
+CLEAN = "forall x . G (Sub(x) -> X G !Sub(x))"
+IDLE = "forall x . G (x = x)"
+
+
+class TestLintDepsFlag:
+    def test_deps_diagnostics_appear(self, capsys):
+        assert main(["lint", "--deps", CLEAN]) == 0
+        out = capsys.readouterr().out
+        assert "TIC122" in out
+
+    def test_deps_with_vocabulary(self, capsys):
+        assert main(
+            ["lint", "--deps", "--vocabulary", "Sub:1,Audit:2", CLEAN]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "TIC121" in out and "Audit" in out
+
+    def test_deps_off_without_flag(self, capsys):
+        assert main(["lint", CLEAN]) == 0
+        assert "TIC122" not in capsys.readouterr().out
+
+    def test_statically_idle_constraint_warns(self, capsys):
+        assert main(["lint", "--deps", IDLE]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--deps", "--strict", IDLE]) == 1
+        assert "TIC123" in capsys.readouterr().out
+
+    def test_bad_vocabulary_spec_is_usage_error(self, capsys):
+        assert main(["lint", "--deps", "--vocabulary", "Sub", CLEAN]) == 2
+        assert "Name:arity" in capsys.readouterr().err
+
+
+class TestAnalyzeDeps:
+    def write_constraints(self, tmp_path):
+        path = tmp_path / "constraints.tic"
+        path.write_text(
+            "# once: no resubmission\n"
+            f"{CLEAN}\n"
+            "\n"
+            "# fill: nothing is ever filled\n"
+            "forall x . G !Fill(x)\n"
+        )
+        return path
+
+    def test_json_document_shape(self, tmp_path, capsys):
+        path = self.write_constraints(tmp_path)
+        assert main(["analyze-deps", str(path)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == DEPS_JSON_VERSION
+        assert set(doc) == {
+            "version",
+            "constraints",
+            "relations",
+            "vocabulary",
+            "dead",
+            "unmonitored",
+            "summary",
+        }
+        assert set(doc["constraints"]) == {"once", "fill"}
+        once = doc["constraints"]["once"]
+        assert once["relations"]["Sub"] == {"positive": 0, "negative": 2}
+        assert once["pure_negative"] is True
+        assert once["idle_class"] == "live"
+        assert once["static_verdict"] is None
+        assert doc["relations"]["Sub"]["monitored_by"] == ["once"]
+        assert doc["vocabulary"] is None
+        assert doc["summary"]["constraints"] == 2
+
+    def test_vocabulary_reports_dead_and_unmonitored(self, tmp_path, capsys):
+        path = self.write_constraints(tmp_path)
+        assert main(
+            ["analyze-deps", str(path), "--vocabulary", "Sub:1,Audit:2"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["vocabulary"] == {"Audit": 2, "Sub": 1}
+        # fill only mentions Fill, which the vocabulary does not declare.
+        assert doc["dead"] == ["fill"]
+        assert doc["unmonitored"] == ["Audit"]
+
+    def test_strict_fails_on_findings(self, tmp_path, capsys):
+        path = self.write_constraints(tmp_path)
+        assert main(
+            [
+                "analyze-deps",
+                str(path),
+                "--vocabulary",
+                "Sub:1,Audit:2",
+                "--strict",
+            ]
+        ) == 1
+        capsys.readouterr()
+        assert main(
+            [
+                "analyze-deps",
+                str(path),
+                "--vocabulary",
+                "Sub:1,Fill:1",
+                "--strict",
+            ]
+        ) == 0
+
+    def test_expression_target(self, capsys):
+        assert main(["analyze-deps", IDLE]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        entry = doc["constraints"]["c0"]
+        assert entry["state_independent"] is True
+        assert entry["idle_class"] == "state_independent"
+        assert entry["static_verdict"] is True

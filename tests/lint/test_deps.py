@@ -1,0 +1,152 @@
+"""Tests for the TIC12x dependence lint passes (repro.lint.deps)."""
+
+import pytest
+
+from repro.database import vocabulary
+from repro.lint import (
+    DEPS_PASS_REGISTRY,
+    LintWarning,
+    deps_passes,
+    lint_constraint_set,
+    lint_formula,
+    preflight,
+)
+from repro.logic import parse
+
+ORDER_VOCAB = vocabulary({"Sub": 1, "Fill": 1})
+
+
+def codes(report):
+    return [d.code for d in report.diagnostics]
+
+
+def deps_codes(report):
+    return [c for c in codes(report) if c.startswith("TIC12")]
+
+
+def lint_deps(text, **kwargs):
+    return lint_formula(parse(text), deps=True, **kwargs)
+
+
+class TestRegistry:
+    def test_deps_passes_registered(self):
+        declared = {code for p in deps_passes() for code in p.codes}
+        assert declared == {"TIC120", "TIC121", "TIC122", "TIC123"}
+
+    def test_disjoint_from_other_registries(self):
+        from repro.lint import PASS_REGISTRY, SEMANTIC_PASS_REGISTRY
+
+        assert not set(DEPS_PASS_REGISTRY) & set(PASS_REGISTRY)
+        assert not set(DEPS_PASS_REGISTRY) & set(SEMANTIC_PASS_REGISTRY)
+
+    def test_deps_off_by_default(self):
+        report = lint_formula(parse("forall x . G (x = x)"))
+        assert not deps_codes(report)
+
+
+class TestDeadConstraint:
+    def test_tic120_fires_outside_vocabulary(self):
+        report = lint_deps(
+            "forall x . G Audit(x)", vocabulary=ORDER_VOCAB
+        )
+        assert "TIC120" in codes(report)
+
+    def test_tic120_silent_when_any_relation_declared(self):
+        report = lint_deps(
+            "forall x . G (Sub(x) -> !Audit(x))", vocabulary=ORDER_VOCAB
+        )
+        assert "TIC120" not in codes(report)
+
+    def test_tic120_silent_without_vocabulary(self):
+        assert "TIC120" not in codes(lint_deps("forall x . G Audit(x)"))
+
+    def test_tic120_silent_for_state_independent(self):
+        # No relations at all is TIC123's case, not a dead constraint.
+        report = lint_deps("forall x . G (x = x)", vocabulary=ORDER_VOCAB)
+        assert "TIC120" not in codes(report)
+
+
+class TestUnmonitoredRelation:
+    def test_tic121_fires_for_unmentioned_relation(self):
+        wide = vocabulary({"Sub": 1, "Audit": 2})
+        report = lint_deps("forall x . G !Sub(x)", vocabulary=wide)
+        tic121 = [d for d in report.diagnostics if d.code == "TIC121"]
+        assert len(tic121) == 1
+        assert "Audit" in tic121[0].message
+
+    def test_tic121_silent_when_all_relations_mentioned(self):
+        report = lint_deps(
+            "forall x . G (Sub(x) -> X G !Fill(x))", vocabulary=ORDER_VOCAB
+        )
+        assert "TIC121" not in codes(report)
+
+    def test_tic121_reported_once_per_set(self):
+        wide = vocabulary({"Sub": 1, "Fill": 1, "Audit": 2})
+        reports = lint_constraint_set(
+            {
+                "once": parse("forall x . G (Sub(x) -> X G !Sub(x))"),
+                "fill": parse("forall x . G !Fill(x)"),
+            },
+            vocabulary=wide,
+            semantic=False,
+            deps=True,
+        )
+        hits = [
+            d
+            for report in reports
+            for d in report.diagnostics
+            if d.code == "TIC121"
+        ]
+        # The set as a whole covers Sub and Fill; only Audit is reported,
+        # and only on the first constraint.
+        assert len(hits) == 1
+        assert "Audit" in hits[0].message
+
+
+class TestPolarityMonotonicity:
+    def test_tic122_pure_negative(self):
+        report = lint_deps("forall x . G (Sub(x) -> X G !Sub(x))")
+        tic122 = [d for d in report.diagnostics if d.code == "TIC122"]
+        assert len(tic122) == 1
+        assert "only negatively" in tic122[0].message
+
+    def test_tic122_pure_positive(self):
+        report = lint_deps("forall x . G Sub(x)")
+        tic122 = [d for d in report.diagnostics if d.code == "TIC122"]
+        assert len(tic122) == 1
+        assert "only positively" in tic122[0].message
+
+    def test_tic122_silent_for_mixed_polarity(self):
+        # Iff puts Sub on both sides with both polarities: mixed.
+        report = lint_deps("forall x . G (Sub(x) <-> X Sub(x))")
+        assert "TIC122" not in codes(report)
+
+
+class TestStaticallyIdle:
+    def test_tic123_valid_constraint(self):
+        report = lint_deps("forall x . G (x = x)")
+        tic123 = [d for d in report.diagnostics if d.code == "TIC123"]
+        assert len(tic123) == 1
+        assert "holds over every history" in tic123[0].message
+
+    def test_tic123_unsatisfiable_constraint(self):
+        report = lint_deps("forall x . F !(x = x)")
+        tic123 = [d for d in report.diagnostics if d.code == "TIC123"]
+        assert "violated by every history" in tic123[0].message
+
+    def test_tic123_silent_for_state_dependent(self):
+        assert "TIC123" not in codes(lint_deps("forall x . G Sub(x)"))
+
+
+class TestPreflightGate:
+    def test_preflight_runs_deps_passes(self):
+        # The equality-only formula also trips TIC007, so capture every
+        # LintWarning and look for the dependence one.
+        with pytest.warns(LintWarning) as record:
+            report = preflight(parse("forall x . G (x = x)"), deps=True)
+        assert any("statically idle" in str(w.message) for w in record)
+        assert "TIC123" in codes(report)
+
+    def test_preflight_skips_deps_by_default(self):
+        report = preflight(parse("forall x . G Sub(x)"), gate="off")
+        assert not deps_codes(report)
