@@ -50,18 +50,23 @@ from repro.workloads.orders import (  # noqa: E402
     submit_once,
 )
 
-SCHEMA = "repro-bench-core/v4"
+SCHEMA = "repro-bench-core/v5"
 
 #: Schemas ``--validate`` accepts: v2 added the ``sat_*`` engine-comparison
 #: and ``parallel_triggers`` shapes (with their extra record keys); v3 adds
 #: the ``lint_semantic`` shape; v4 adds the ``e6_monitoring_pruned`` shape
 #: (dependence-pruned monitoring, with ``skipped_constraints`` /
-#: ``idle_steps`` counters).  Each version is otherwise backward
-#: compatible, so v1-v3 reports stay usable as baselines.
+#: ``idle_steps`` counters); v5 adds the ``e6_monitoring_compiled`` shape
+#: (table-driven progression kernel + shared obligation ledger, with its
+#: compiled-vs-reference cross-validation fields) and the
+#: ``progress_cache_hit_rate`` field on the monitoring records.  Each
+#: version is otherwise backward compatible, so v1-v4 reports stay usable
+#: as baselines.
 ACCEPTED_SCHEMAS = (
     "repro-bench-core/v1",
     "repro-bench-core/v2",
     "repro-bench-core/v3",
+    "repro-bench-core/v4",
     SCHEMA,
 )
 
@@ -101,6 +106,8 @@ def _sum_stats(monitor: IntegrityMonitor) -> dict[str, Any]:
         "regrounds": 0,
         "skipped_constraints": 0,
         "idle_steps": 0,
+        "shared_obligations": 0,
+        "fanout": 0,
         "sat_time_s": 0.0,
         "progress_time_s": 0.0,
     }
@@ -116,9 +123,21 @@ def _sum_stats(monitor: IntegrityMonitor) -> dict[str, Any]:
             stats, "skipped_constraints", 0
         )
         totals["idle_steps"] += getattr(stats, "idle_steps", 0)
+        totals["shared_obligations"] += getattr(
+            stats, "shared_obligations", 0
+        )
+        totals["fanout"] += getattr(stats, "fanout", 0)
         totals["sat_time_s"] += getattr(stats, "sat_time", 0.0)
         totals["progress_time_s"] += getattr(stats, "progress_time", 0.0)
     return totals
+
+
+def _progress_hit_rate() -> float:
+    """The process-wide progression-memo hit rate since the last cache
+    clear (the satellite cache-health signal benchmark reports carry)."""
+    from repro.ptl.progression import progress_cache_info
+
+    return round(progress_cache_info().hit_rate, 4)
 
 
 def _result(
@@ -206,8 +225,11 @@ def bench_e3_progression(smoke: bool) -> dict[str, dict[str, Any]]:
     return {"e3_progression": _result(wall, length, totals)}
 
 
-def _run_e6(smoke: bool, prune: bool) -> tuple[float, int, IntegrityMonitor]:
-    """One E6 monitoring loop; ``prune`` toggles dependence pruning."""
+def _run_e6(
+    smoke: bool, prune: bool, engine: str = "bitset"
+) -> tuple[float, int, IntegrityMonitor]:
+    """One E6 monitoring loop; ``prune`` toggles dependence pruning,
+    ``engine`` selects the monitor's decision machinery."""
     length = 12 if smoke else 200
     spare = 4 if smoke else 16
     trace = generate_orders(
@@ -220,6 +242,7 @@ def _run_e6(smoke: bool, prune: bool) -> tuple[float, int, IntegrityMonitor]:
         strategy="spare",
         spare=spare,
         prune=prune,
+        engine=engine,
     )
     start = time.perf_counter()
     for state in trace.states():
@@ -228,16 +251,30 @@ def _run_e6(smoke: bool, prune: bool) -> tuple[float, int, IntegrityMonitor]:
     return wall, length, monitor
 
 
+#: Cross-validation handoff from ``bench_e6_monitoring`` (the reference
+#: engine run) to ``bench_e6_monitoring_compiled``: violations, final
+#: remainders and the progression time to compare against.
+_E6_REFERENCE: dict[str, Any] = {}
+
+
 def bench_e6_monitoring(smoke: bool) -> dict[str, dict[str, Any]]:
     """E6-shaped: online monitoring of the paper's order constraints.
 
     The full size runs at history length 200 — the headline monitoring
     loop the PR's speedup target is measured on.  This record is the
     *unpruned* baseline (``prune=False``); ``e6_monitoring_pruned`` runs
-    the identical trace with dependence pruning on.
+    the identical trace with dependence pruning on, and
+    ``e6_monitoring_compiled`` with the table-driven progression kernel.
     """
     wall, length, monitor = _run_e6(smoke, prune=False)
     totals = _sum_stats(monitor)
+    hit_rate = _progress_hit_rate()
+    _E6_REFERENCE.clear()
+    _E6_REFERENCE.update(
+        violations=dict(monitor.violations()),
+        remainders=dict(monitor.remainders()),
+        progress_time_s=totals["progress_time_s"],
+    )
     return {
         "e6_monitoring": _result(
             wall,
@@ -246,6 +283,7 @@ def bench_e6_monitoring(smoke: bool) -> dict[str, dict[str, Any]]:
             ms_per_update=round(1e3 * wall / length, 3),
             regrounds=totals["regrounds"],
             violations=len(monitor.violations()),
+            progress_cache_hit_rate=hit_rate,
         )
     }
 
@@ -269,6 +307,58 @@ def bench_e6_monitoring_pruned(smoke: bool) -> dict[str, dict[str, Any]]:
             violations=len(monitor.violations()),
             skipped_constraints=totals["skipped_constraints"],
             idle_steps=totals["idle_steps"],
+            progress_cache_hit_rate=_progress_hit_rate(),
+        )
+    }
+
+
+def bench_e6_monitoring_compiled(smoke: bool) -> dict[str, dict[str, Any]]:
+    """E6 through the compiled progression kernel + shared obligation
+    ledger (``engine="compiled"``), cross-validated in the same run.
+
+    Same trace, constraints and strategy as ``e6_monitoring`` — that
+    record is this one's in-run reference: violations must be identical
+    and the final remainders pointer-identical (hash-consing makes the
+    comparison exact), which the harness asserts before writing the
+    report.  ``progress_speedup`` is this PR's headline number: the
+    reference engine's cumulative progression seconds over the compiled
+    engine's, on the identical workload.
+    """
+    wall, length, monitor = _run_e6(smoke, prune=False, engine="compiled")
+    totals = _sum_stats(monitor)
+    assert _E6_REFERENCE, "bench_e6_monitoring must run first"
+    violations = dict(monitor.violations())
+    assert violations == _E6_REFERENCE["violations"], (
+        "compiled and reference engines disagree on violations: "
+        f"{violations} vs {_E6_REFERENCE['violations']}"
+    )
+    remainders = monitor.remainders()
+    remainders_match = all(
+        remainders[name] is formula
+        for name, formula in _E6_REFERENCE["remainders"].items()
+    )
+    assert remainders_match, (
+        "compiled and reference engines disagree on final remainders"
+    )
+    reference_progress = _E6_REFERENCE["progress_time_s"]
+    compiled_progress = totals["progress_time_s"]
+    return {
+        "e6_monitoring_compiled": _result(
+            wall,
+            length,
+            totals,
+            ms_per_update=round(1e3 * wall / length, 3),
+            regrounds=totals["regrounds"],
+            violations=len(violations),
+            shared_obligations=totals["shared_obligations"],
+            fanout=totals["fanout"],
+            remainders_match=remainders_match,
+            reference_progress_time_s=round(reference_progress, 6),
+            progress_speedup=round(
+                reference_progress / compiled_progress, 2
+            )
+            if compiled_progress > 0
+            else None,
         )
     }
 
@@ -354,6 +444,8 @@ def _zero_totals() -> dict[str, Any]:
         "regrounds": 0,
         "skipped_constraints": 0,
         "idle_steps": 0,
+        "shared_obligations": 0,
+        "fanout": 0,
         "sat_time_s": 0.0,
         "progress_time_s": 0.0,
     }
@@ -567,6 +659,7 @@ BENCHMARKS: tuple[Callable[[bool], dict[str, dict[str, Any]]], ...] = (
     bench_e3_progression,
     bench_e6_monitoring,
     bench_e6_monitoring_pruned,
+    bench_e6_monitoring_compiled,
     bench_e7_detection,
     bench_sat_micro,
     bench_parallel_triggers,

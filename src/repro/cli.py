@@ -484,9 +484,13 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=("scratch", "incremental", "spare"),
                      default="incremental")
     mon.add_argument("--assume-safety", action="store_true")
-    mon.add_argument("--engine", choices=("bitset", "reference"),
+    mon.add_argument("--engine",
+                     choices=("compiled", "bitset", "reference"),
                      default="bitset",
-                     help="satisfiability kernel (default bitset)")
+                     help="decision machinery: 'compiled' adds the "
+                     "table-driven progression kernel and shared "
+                     "obligation ledger on top of the bitset "
+                     "satisfiability kernel (default bitset)")
     mon.add_argument("--jobs", type=int, default=1,
                      help="worker processes for independent constraints "
                      "(1 = serial, 0 = one per CPU)")

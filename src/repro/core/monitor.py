@@ -45,6 +45,7 @@ from ..logic.classify import FormulaInfo
 from ..logic.formulas import Formula
 from ..ptl.bitset import BuchiKernel
 from ..ptl.formulas import PTLFalse, PTLFormula, PTLTrue, Prop
+from ..ptl.progkernel import ProgressionKernel
 from ..ptl.progression import progress, progress_cache_info
 from ..ptl.sat import is_satisfiable, quick_model_check
 from .checker import validate_constraint
@@ -57,7 +58,7 @@ from .reduction import (
 )
 
 _STRATEGIES = ("scratch", "incremental", "spare")
-_ENGINES = ("bitset", "reference")
+_ENGINES = ("compiled", "bitset", "reference")
 
 
 @dataclass
@@ -76,6 +77,14 @@ class MonitorStats:
     ``skipped_constraints`` counts instants whose satisfiability decision
     was skipped because the remainder did not move.  Both stay zero with
     ``prune=False`` and under the scratch strategy.
+
+    ``shared_obligations``/``fanout`` account the shared obligation ledger
+    (``engine="compiled"`` only): at each instant, entries whose
+    (obligation, sliced state) pair coincides with an already-progressed
+    one receive the fanned-out result instead of progressing themselves
+    (``shared_obligations``), and the entry that did the work counts how
+    many sharers it served (``fanout``) — so the two totals are equal
+    across a monitor.
     """
 
     progressions: int = 0
@@ -86,6 +95,8 @@ class MonitorStats:
     progress_cache_hits: int = 0
     skipped_constraints: int = 0
     idle_steps: int = 0
+    shared_obligations: int = 0
+    fanout: int = 0
     sat_time: float = 0.0
     progress_time: float = 0.0
 
@@ -95,8 +106,12 @@ class MonitorStats:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, int | float]) -> "MonitorStats":
-        """Inverse of :meth:`as_dict`."""
-        return cls(**data)  # type: ignore[arg-type]
+        """Inverse of :meth:`as_dict`; unknown keys (from older or newer
+        cores) are ignored, missing ones default."""
+        names = {spec.name for spec in fields(cls)}
+        return cls(
+            **{key: value for key, value in data.items() if key in names}
+        )  # type: ignore[arg-type]
 
     def reset(self) -> None:
         """Zero every counter in place."""
@@ -170,6 +185,20 @@ class IntegrityMonitor:
     remainders (property-tested), mirroring the ``engine="reference"``
     oracle pattern.  The scratch strategy is never pruned.
 
+    ``engine`` selects the decision machinery: ``"compiled"`` runs the
+    bitset satisfiability kernel *and* the table-driven
+    :class:`repro.ptl.progkernel.ProgressionKernel` behind a shared
+    obligation ledger — each instant, the per-constraint obligations are
+    grouped by (obligation id, sliced state mask), every distinct group is
+    progressed exactly once through the kernel's transition table, and the
+    result is fanned back out to all constraint instances sharing it
+    (hash-consing makes structurally equal remainders pointer-identical
+    across constraints, so sharing is an identity test).  ``"bitset"``
+    keeps the compiled satisfiability kernel but the reference recursive
+    progression; ``"reference"`` uses the reference engines for both.  All
+    three produce identical verdicts, violations and remainders
+    (property-tested).
+
     >>> from ..logic import parse
     >>> from ..database import History, Update, vocabulary
     >>> v = vocabulary({"Sub": 1})
@@ -237,7 +266,15 @@ class IntegrityMonitor:
         # with overlapping closures share compiled states, successor masks
         # and fairness verdicts across constraints and updates.
         self._kernel: BuchiKernel | None = (
-            BuchiKernel() if engine == "bitset" and method == "buchi" else None
+            BuchiKernel()
+            if engine in ("compiled", "bitset") and method == "buchi"
+            else None
+        )
+        # Compiled progression: one kernel (and its transition table) is
+        # shared by every constraint, and _recheck batches the per-entry
+        # steps through the obligation ledger.
+        self._progkernel: ProgressionKernel | None = (
+            ProgressionKernel() if engine == "compiled" else None
         )
         self._entries: list[_ConstraintEntry] = []
         for name, formula in constraints.items():
@@ -320,19 +357,34 @@ class IntegrityMonitor:
         touched = self._touched_now()
         new_violations: list[str] = []
         satisfied: dict[str, bool] = {}
+        # Advance phase.  With the compiled engine the per-entry steps are
+        # collected and batched through the shared obligation ledger; the
+        # reference engines advance entry by entry.  Entries that reground
+        # (or take the idle transition) progress inside the first loop
+        # either way.
+        active: list[tuple[_ConstraintEntry, PTLFormula | None]] = []
+        batch: list[tuple[_ConstraintEntry, frozenset[Prop]]] = []
         for entry in self._entries:
             if entry.violated_at is not None:
                 satisfied[entry.name] = False
                 continue
-            before = entry.remainder
+            active.append((entry, entry.remainder))
             if (
                 touched is not None
                 and entry.name not in touched
                 and entry.last_props is not None
             ):
                 self._advance_idle(entry)
+            elif self._progkernel is not None:
+                props = self._prepare_advance(entry)
+                if props is not None:
+                    batch.append((entry, props))
             else:
                 self._advance(entry)
+        if batch:
+            self._ledger_step(batch)
+        # Decide phase, in registration order.
+        for entry, before in active:
             if self._prune and entry.remainder is before:
                 # The remainder did not move, so its satisfiability did
                 # not either: the previous instant's verdict (OK, or this
@@ -351,6 +403,56 @@ class IntegrityMonitor:
             satisfied=satisfied,
             new_violations=tuple(new_violations),
         )
+
+    def _ledger_step(
+        self, batch: Sequence[tuple["_ConstraintEntry", frozenset[Prop]]]
+    ) -> None:
+        """One instant of the shared obligation ledger.
+
+        Hash-consing makes structurally equal remainders pointer-identical
+        across every monitored constraint, so the kernel id of a remainder
+        plus the state sliced to its letters fully determines the
+        progression step.  Entries are grouped by that pair, each distinct
+        group is progressed exactly once (by its first member, which pays
+        the — usually table-hit — cost), and the successor is fanned back
+        out to every sharing instance.  ``shared_obligations``/``fanout``
+        account the sharing; per-group work lands on the group leader's
+        timers so totals stay comparable with the reference engines.
+        """
+        kernel = self._progkernel
+        assert kernel is not None
+        groups: dict[
+            tuple[int, int],
+            list[tuple[_ConstraintEntry, frozenset[Prop]]],
+        ] = {}
+        masks: dict[tuple[int, int], int] = {}
+        for entry, props in batch:
+            assert entry.remainder is not None
+            oid = kernel.intern(entry.remainder)
+            state_mask = kernel.encode_state(props)
+            key = (oid, kernel.sliced(oid, state_mask))
+            group = groups.get(key)
+            if group is None:
+                groups[key] = group = []
+                masks[key] = state_mask
+            group.append((entry, props))
+        for key, group in groups.items():
+            leader = group[0][0]
+            stats = leader.stats
+            hits_before = kernel.hits
+            start = time.perf_counter()
+            # Materializing the successor formula counts as progression
+            # work, like the reference engine's result construction.
+            result = kernel.formula(kernel.progress_id(key[0], masks[key]))
+            stats.progress_time += time.perf_counter() - start
+            stats.progress_cache_hits += kernel.hits - hits_before
+            stats.fanout += len(group) - 1
+            for index, (entry, props) in enumerate(group):
+                entry.remainder = result
+                entry.last_props = props
+                entry.stats.progressions += 1
+                if index:
+                    entry.stats.shared_obligations += 1
 
     def _touched_now(self) -> frozenset[str] | None:
         """Constraints whose relations the newest delta touches.
@@ -420,12 +522,44 @@ class IntegrityMonitor:
             self._history, entry.info
         )
         remainder = reduction.formula
-        for props in reduction.prefix:
-            remainder = self._progress(entry, remainder, props)
+        if self._progkernel is not None and reduction.prefix:
+            remainder = self._replay_compiled(
+                entry, remainder, reduction.prefix
+            )
+        else:
+            for props in reduction.prefix:
+                remainder = self._progress(entry, remainder, props)
         entry.remainder = remainder
         entry.last_props = (
             frozenset(reduction.prefix[-1]) if reduction.prefix else None
         )
+
+    def _replay_compiled(
+        self,
+        entry: _ConstraintEntry,
+        formula: PTLFormula,
+        prefix: Sequence[AbstractSet[Prop]],
+    ) -> PTLFormula:
+        """Replay a reground prefix entirely in kernel id-space.
+
+        Intermediate remainders stay unmaterialized ids — nothing observes
+        them — and only the final remainder is built as a formula.  Counts
+        one progression per prefix state, like the step-by-step path, so
+        totals stay comparable across engines.
+        """
+        kernel = self._progkernel
+        assert kernel is not None
+        stats = entry.stats
+        start = time.perf_counter()
+        hits_before = kernel.hits
+        oid = kernel.intern(formula)
+        encode = kernel.encode_state
+        masks = [encode(props) for props in prefix]
+        result = kernel.formula(kernel.progress_replay(oid, masks))
+        stats.progress_time += time.perf_counter() - start
+        stats.progress_cache_hits += kernel.hits - hits_before
+        stats.progressions += len(prefix)
+        return result
 
     def _progress(
         self,
@@ -435,11 +569,20 @@ class IntegrityMonitor:
     ) -> PTLFormula:
         """One timed, hit-counted progression step for this entry."""
         stats = entry.stats
-        hits_before = progress_cache_info().hits
+        kernel = self._progkernel
         start = time.perf_counter()
-        result = progress(formula, props)
-        stats.progress_time += time.perf_counter() - start
-        stats.progress_cache_hits += progress_cache_info().hits - hits_before
+        if kernel is not None:
+            hits_before = kernel.hits
+            result = kernel.progress_formula(formula, props)
+            stats.progress_time += time.perf_counter() - start
+            stats.progress_cache_hits += kernel.hits - hits_before
+        else:
+            hits_before = progress_cache_info().hits
+            result = progress(formula, props)
+            stats.progress_time += time.perf_counter() - start
+            stats.progress_cache_hits += (
+                progress_cache_info().hits - hits_before
+            )
         stats.progressions += 1
         return result
 
@@ -456,11 +599,22 @@ class IntegrityMonitor:
         entry.spare_map = {}
         return frozenset(pool)
 
-    def _advance(self, entry: _ConstraintEntry) -> None:
-        """Incorporate the newest state into the entry's remainder."""
+    def _prepare_advance(
+        self, entry: _ConstraintEntry
+    ) -> frozenset[Prop] | None:
+        """Strategy bookkeeping for one update; the progression input.
+
+        Runs everything *except* the progression step itself — scratch
+        regrounds, spare claiming/renaming, fresh-element detection and
+        the state-to-letters restriction — and returns the propositional
+        state the entry's remainder must progress through.  ``None`` means
+        the entry regrounded (remainder already includes the new instant).
+        Split from :meth:`_advance` so the compiled engine can collect
+        these per-entry steps and batch them through the ledger.
+        """
         if self._strategy == "scratch":
             self._reground(entry)
-            return
+            return None
         assert entry.reduction is not None and entry.remainder is not None
         new_state = self._history.current
         visible = self._entry_domain(entry, new_state)
@@ -477,7 +631,7 @@ class IntegrityMonitor:
                 ):
                     if element in taken:
                         self._reground(entry)
-                        return
+                        return None
                     entry.spare_map[element] = element
         fresh = visible - entry.known_elements
         # Elements already in the grounding's relevant set (e.g. spares of
@@ -488,13 +642,21 @@ class IntegrityMonitor:
                 pass
             else:
                 self._reground(entry)
-                return
+                return None
         entry.known_elements |= visible
         props = state_to_props(
             new_state, entry.reduction.domain, fold=self._fold
         )
         if self._strategy == "spare":
             props = _rename_props(props, entry.spare_map)
+        return props
+
+    def _advance(self, entry: _ConstraintEntry) -> None:
+        """Incorporate the newest state into the entry's remainder."""
+        props = self._prepare_advance(entry)
+        if props is None:
+            return
+        assert entry.remainder is not None
         entry.remainder = self._progress(entry, entry.remainder, props)
         entry.last_props = props
 
@@ -531,8 +693,17 @@ class IntegrityMonitor:
             elif self._kernel is not None:
                 ok = self._kernel.is_satisfiable(remainder)
             else:
+                # The satisfiability facade knows "bitset"/"reference";
+                # "compiled" (a progression-side distinction) decides
+                # through the bitset engine.
                 ok = is_satisfiable(
-                    remainder, method=self._method, engine=self._engine
+                    remainder,
+                    method=self._method,
+                    engine=(
+                        "bitset"
+                        if self._engine == "compiled"
+                        else self._engine
+                    ),
                 )
             entry.stats.sat_time += time.perf_counter() - start
             self._sat_cache[remainder] = ok

@@ -133,19 +133,26 @@ def _condition_remainder(
     history: History,
     substitution: Substitution,
     assume_safety: bool,
+    engine: str = "reference",
 ) -> PTLFormula:
     """The progressed Lemma 4.2 remainder of ``¬Cθ`` over the history.
 
     This is the history-dependent half of the duality check; the verdict
     is then a pure function of the (interned) remainder, which is what
-    makes the :class:`TriggerManager` memo sound.
+    makes the :class:`TriggerManager` memo sound.  ``engine="compiled"``
+    progresses through the table-driven kernel of
+    :mod:`repro.ptl.progkernel` (identical remainders by construction).
     """
     instantiated, bindings = _instantiate(condition, substitution)
     negated = nnf(not_(instantiated))
     augmented = _augment_history(history, bindings)
     info = validate_constraint(negated, assume_safety=assume_safety)
     reduction = reduce_universal(augmented, info)
-    return progress_sequence(reduction.formula, reduction.prefix)
+    return progress_sequence(
+        reduction.formula,
+        reduction.prefix,
+        engine="compiled" if engine == "compiled" else "reference",
+    )
 
 
 def _remainder_fires(
@@ -161,9 +168,17 @@ def _remainder_fires(
         return False
     if quick_model_check(remainder):
         return False
-    if kernel is not None and method == "buchi" and engine == "bitset":
+    if (
+        kernel is not None
+        and method == "buchi"
+        and engine in ("bitset", "compiled")
+    ):
         return not kernel.is_satisfiable(remainder)
-    return not is_satisfiable(remainder, method=method, engine=engine)
+    return not is_satisfiable(
+        remainder,
+        method=method,
+        engine="bitset" if engine == "compiled" else engine,
+    )
 
 
 def _fires_chunk(
@@ -175,7 +190,7 @@ def _fires_chunk(
     out: list[tuple[PTLFormula, bool]] = []
     for substitution in substitutions:
         remainder = _condition_remainder(
-            condition, history, substitution, assume_safety
+            condition, history, substitution, assume_safety, engine=engine
         )
         out.append((remainder, _remainder_fires(remainder, method, engine)))
     return out
@@ -201,7 +216,7 @@ def fires(
             + ", ".join(sorted(v.name for v in missing))
         )
     remainder = _condition_remainder(
-        trigger.condition, history, substitution, assume_safety
+        trigger.condition, history, substitution, assume_safety, engine=engine
     )
     return _remainder_fires(remainder, method, engine)
 
@@ -287,6 +302,13 @@ class TriggerManager:
       :class:`repro.ptl.bitset.BuchiKernel`, so ground instances with
       overlapping closures reuse compiled states and fairness verdicts.
 
+    ``engine="compiled"`` additionally progresses each ``¬Cθ`` through
+    the table-driven :class:`repro.ptl.progkernel.ProgressionKernel`
+    (remainders, and hence firings, are identical by construction);
+    ``"bitset"`` keeps the reference progression with the compiled
+    satisfiability kernel; ``"reference"`` uses reference engines for
+    both.
+
     With ``jobs > 1`` the candidate substitutions of each trigger are
     chunked across a process pool; firings are identical to the serial
     run (the verdict is a pure function of the substitution and history).
@@ -314,9 +336,10 @@ class TriggerManager:
         jobs: int = 1,
         prune: bool = True,
     ) -> None:
-        if engine not in ("bitset", "reference"):
+        if engine not in ("compiled", "bitset", "reference"):
             raise ValueError(
-                f"engine must be 'bitset' or 'reference', got {engine!r}"
+                "engine must be 'compiled', 'bitset' or 'reference', "
+                f"got {engine!r}"
             )
         if lint != "off":
             from ..lint import preflight
@@ -337,7 +360,9 @@ class TriggerManager:
         self._fired: set[tuple[str, tuple[tuple[str, int], ...]]] = set()
         self._log: list[Firing] = []
         self._kernel: BuchiKernel | None = (
-            BuchiKernel() if engine == "bitset" and method == "buchi" else None
+            BuchiKernel()
+            if engine in ("compiled", "bitset") and method == "buchi"
+            else None
         )
         #: Lemma 4.2 verdict per interned remainder (identity-keyed).
         self._remainder_memo: dict[PTLFormula, bool] = {}
@@ -404,7 +429,11 @@ class TriggerManager:
         verdicts: list[bool] = []
         for substitution in substitutions:
             remainder = _condition_remainder(
-                trigger.condition, history, substitution, self._assume_safety
+                trigger.condition,
+                history,
+                substitution,
+                self._assume_safety,
+                engine=self._engine,
             )
             known = self._remainder_memo.get(remainder)
             if known is None:

@@ -24,6 +24,7 @@ from .buchi import (
 )
 from .formulas import intern_cache_info
 from .nnf import _nnf, nnf_cache_clear
+from .progkernel import progkernel_cache_clear, progkernel_cache_info
 from .progression import progress_cache_clear, progress_cache_info
 from .sat import _quick_cache, quick_cache_clear
 from .tableau import (
@@ -36,6 +37,7 @@ from .tableau import (
 def clear_all_caches() -> None:
     """Empty every derived-result cache of the PTL core."""
     progress_cache_clear()
+    progkernel_cache_clear()
     nnf_cache_clear()
     automaton_cache_clear()
     tableau_cache_clear()
@@ -51,9 +53,12 @@ def cache_info() -> dict[str, Any]:
         "progress": {
             "hits": progression.hits,
             "misses": progression.misses,
+            "evictions": progression.evictions,
+            "hit_rate": progression.hit_rate,
             "currsize": progression.currsize,
             "maxsize": progression.maxsize,
         },
+        "progkernel": progkernel_cache_info(),
         "nnf": _nnf.cache_info()._asdict(),
         "automaton": build_automaton.cache_info()._asdict(),
         "buchi_sat": _is_satisfiable_buchi_reference.cache_info()._asdict(),

@@ -1,0 +1,534 @@
+"""Compiled formula progression: one table-driven pass per instant.
+
+:func:`repro.ptl.progression.progress` *interprets* the Section 4 rewrite
+rules: every step walks the obligation's syntax tree, and even when the
+memo answers every subformula from cache, a large ground conjunction costs
+one tree traversal — frozenset slicing, tuple-key hashing and LRU traffic
+per node — per instant.  Monitoring workloads progress millions of
+structurally repetitive obligations, so the *lookup* is the hot path
+(``BENCH_core.json`` E6: ~2.45M memo hits dominating the wall time).
+
+This module compiles that lookup away, the same move
+:mod:`repro.ptl.bitset` made for satisfiability:
+
+* a :class:`ProgressionKernel` assigns every obligation in the progression
+  closure a stable integer id (a :class:`repro.ptl.bitset.ClosureIndex`
+  over whole formulas) and every propositional letter a stable bit, so a
+  propositional state becomes one int mask and "the state restricted to
+  the formula's letters" becomes a single ``&``;
+* per obligation id it keeps a dense transition row ``sliced-state-mask ->
+  successor id``; a progression step that has been seen before is two list
+  indexings, one ``&`` and one int-keyed dict probe — no tree walk, no
+  frozenset, no allocation;
+* on a miss the kernel *discovers* the transition lazily: a top-level
+  conjunction is decomposed into its conjunct ids and progressed as a
+  batch (each distinct conjunct through its own row), any other obligation
+  is handed to the reference :func:`~repro.ptl.progression.progress` on
+  the decoded sliced state, and the resulting remainder is interned into
+  the closure — the table only ever contains rows the workload actually
+  exercised, exactly like the Büchi kernel's lazily grown state space;
+* :meth:`ProgressionKernel.progress_batch` progresses a whole array of
+  obligation ids through one state mask in a single pass, the primitive
+  the monitor's shared obligation ledger batches per-constraint
+  obligations through.
+
+Faithfulness is by construction (DESIGN.md §10, "Why compiled progression
+is faithful"): slicing is the progression memo's own soundness argument,
+conjunction decomposition mirrors the ``PAnd`` rewrite rule verbatim, and
+every genuinely new transition is computed by the reference engine itself.
+The property suite pins the kernel to the reference on random formulas and
+state sequences — remainders are not merely equal but pointer-identical,
+because both sides intern through :mod:`repro.ptl.formulas`.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Any, Iterable, Sequence
+
+from .bitset import ClosureIndex, _iter_bits
+from .formulas import PAnd, PFALSE, PTRUE, PTLFormula, Prop, pand
+from .progression import progress
+
+__all__ = [
+    "ProgressionKernel",
+    "progress_compiled",
+    "progress_sequence_compiled",
+    "progress_trace_compiled",
+    "progkernel_cache_clear",
+    "progkernel_cache_info",
+]
+
+
+class ProgressionKernel:
+    """A shared, lazily grown transition table for formula progression.
+
+    One kernel serves any number of formulas: ids and letter bits are
+    handed out on demand and never reassigned, so every compiled row stays
+    valid as the closure grows (the :class:`ClosureIndex` property).  The
+    intended lifecycle matches :class:`repro.ptl.bitset.BuchiKernel` — one
+    long-lived kernel per monitor (or the module-level default), absorbing
+    the whole run's progression traffic.
+
+    ``max_transitions`` bounds the total number of compiled transitions;
+    on overflow every row is dropped (ids and letter bits are kept, so
+    outstanding masks stay valid) and ``evictions`` is bumped — the
+    equivalent of the reference memo's LRU bound, coarse-grained because a
+    full rebuild is cheap relative to per-entry bookkeeping.
+    """
+
+    __slots__ = (
+        "max_transitions",
+        "hits",
+        "misses",
+        "evictions",
+        "_letters",
+        "_oblig",
+        "_letter_masks",
+        "_trans",
+        "_conjuncts",
+        "_state_masks",
+        "_pand_memo",
+        "_transitions",
+        "true_id",
+        "false_id",
+    )
+
+    def __init__(self, max_transitions: int = 1 << 20) -> None:
+        if max_transitions < 1:
+            raise ValueError(
+                f"max_transitions must be >= 1, got {max_transitions}"
+            )
+        self.max_transitions = max_transitions
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        #: letter -> bit index (letters are Prop nodes, interned).
+        self._letters = ClosureIndex()
+        #: obligation formula -> integer id.
+        self._oblig = ClosureIndex()
+        #: id -> mask of the formula's letters over the letter bits.
+        self._letter_masks: list[int] = []
+        #: id -> {sliced state mask -> successor id} (the transition rows).
+        self._trans: list[dict[int, int]] = []
+        #: id -> conjunct ids when the obligation is a top-level PAnd.
+        self._conjuncts: list[tuple[int, ...] | None] = []
+        #: encoded-state memo: props frozenset -> full state mask.
+        self._state_masks: dict[frozenset[Prop], int] = {}
+        #: canonical conjunction index: flat conjunct ids -> id.  Id-space
+        #: metadata like ``_conjuncts`` (grows with the closure, survives
+        #: eviction): it is how reassembled successor conjunctions find
+        #: existing ids without hashing their member formulas.
+        self._pand_memo: dict[tuple[int, ...], int] = {}
+        self._transitions = 0
+        self.true_id = self.intern(PTRUE)
+        self.false_id = self.intern(PFALSE)
+
+    # -- closure bookkeeping ------------------------------------------------
+
+    def intern(self, formula: PTLFormula) -> int:
+        """The stable id of ``formula``, assigning one (and indexing its
+        letters) on first sight."""
+        oid = self._oblig.get(formula)
+        if oid is not None:
+            return oid
+        oid = self._oblig.bit(formula)
+        # This id's rows are registered before any recursion so indices
+        # stay aligned; the letter mask is patched in afterwards.
+        self._letter_masks.append(0)
+        self._trans.append({})
+        self._conjuncts.append(None)
+        if type(formula) is PAnd:
+            cids = tuple(self.intern(op) for op in formula.operands)
+            self._conjuncts[oid] = cids
+            self._pand_memo.setdefault(cids, oid)
+            # A conjunction's letters are the union of its conjuncts' —
+            # OR the already-computed conjunct masks instead of walking
+            # the (large) letter set of the whole formula.
+            masks = self._letter_masks
+            mask = 0
+            for cid in cids:
+                mask |= masks[cid]
+        else:
+            bit = self._letters.bit
+            mask = 0
+            for letter in formula.propositions():
+                mask |= 1 << bit(letter)
+        self._letter_masks[oid] = mask
+        return oid
+
+    def formula(self, oid: int) -> PTLFormula:
+        """The obligation formula carrying id ``oid``.
+
+        Conjunctions discovered during progression are registered
+        *virtually* (id, conjunct ids and letter mask only — see
+        :meth:`_intern_conjunction`); the ``PAnd`` node itself is built
+        here, on first observation.
+        """
+        members = self._oblig.members
+        result = members[oid]
+        if result is None:
+            key = self._conjuncts[oid]
+            assert key is not None
+            # Flat conjunct ids are always materialized (a conjunct of a
+            # canonical conjunction is never itself a conjunction), so no
+            # recursion is needed.
+            result = PAnd(tuple(members[i] for i in key))
+            members[oid] = result
+            # Bind the node into the index so a later intern() of the
+            # same formula reuses this id's compiled rows.
+            self._oblig._index.setdefault(result, oid)
+        return result
+
+    def encode_state(self, props: AbstractSet[Prop]) -> int:
+        """One propositional state as a mask over the kernel's letter bits.
+
+        Every letter of the state is indexed (bits are stable, so encoding
+        can never go stale); letters no indexed formula mentions are
+        sliced away by the per-row ``&`` anyway.
+        """
+        if not isinstance(props, frozenset):
+            props = frozenset(props)
+        mask = self._state_masks.get(props)
+        if mask is None:
+            bit = self._letters.bit
+            mask = 0
+            for letter in props:
+                mask |= 1 << bit(letter)
+            self._state_masks[props] = mask
+        return mask
+
+    def sliced(self, oid: int, state_mask: int) -> int:
+        """The state restricted to obligation ``oid``'s letters (the
+        transition-row key, and the ledger's sharing key)."""
+        return self._letter_masks[oid] & state_mask
+
+    # -- progression --------------------------------------------------------
+
+    def progress_id(self, oid: int, state_mask: int) -> int:
+        """One progression step, compiled: successor id of ``oid`` through
+        the state mask."""
+        masked = self._letter_masks[oid] & state_mask
+        succ = self._trans[oid].get(masked)
+        if succ is None:
+            return self._miss(oid, masked)
+        self.hits += 1
+        return succ
+
+    def progress_batch(
+        self, ids: Sequence[int], state_mask: int
+    ) -> list[int]:
+        """Progress a whole batch of obligations through one instant.
+
+        The single vectorized pass: an array of obligation ids × one state
+        mask → the array of successor ids, one table probe each.
+        """
+        masks = self._letter_masks
+        trans = self._trans
+        miss = self._miss
+        out: list[int] = []
+        append = out.append
+        hits = 0
+        for oid in ids:
+            masked = masks[oid] & state_mask
+            succ = trans[oid].get(masked)
+            if succ is None:
+                succ = miss(oid, masked)
+            else:
+                hits += 1
+            append(succ)
+        self.hits += hits
+        return out
+
+    def progress_replay(
+        self, oid: int, state_masks: Sequence[int]
+    ) -> int:
+        """Progress ``oid`` through a whole state sequence (reground
+        replay), distributing over top-level conjuncts.
+
+        Progression commutes with conjunction: the ``PAnd`` rewrite rule
+        progresses each conjunct independently and conjoins, so after any
+        number of steps the remainder equals the fold of the conjuncts'
+        individually progressed remainders — flattening, constant folding
+        and first-occurrence dedup included, because duplicates progress
+        identically and order is preserved (DESIGN.md §10).  Chaining per
+        conjunct touches one small transition row at a time and skips the
+        per-step reassembly of the (large) intermediate conjunctions
+        entirely; a conjunct that reaches a constant stops early.
+        """
+        conjuncts = self._conjuncts[oid]
+        masks = self._letter_masks
+        trans = self._trans
+        true_id = self.true_id
+        false_id = self.false_id
+        hits = 0
+        if conjuncts is None:
+            current = oid
+            for mask in state_masks:
+                cm = masks[current] & mask
+                sid = trans[current].get(cm)
+                if sid is None:
+                    sid = self._miss(current, cm)
+                else:
+                    hits += 1
+                current = sid
+                if current == false_id or current == true_id:
+                    break
+            self.hits += hits
+            return current
+        finals: list[int] = []
+        append_final = finals.append
+        for cid in conjuncts:
+            current = cid
+            for mask in state_masks:
+                cm = masks[current] & mask
+                sid = trans[current].get(cm)
+                if sid is None:
+                    sid = self._miss(current, cm)
+                else:
+                    hits += 1
+                current = sid
+                if current == false_id:
+                    # One falsified conjunct sinks the whole conjunction,
+                    # now and at every later instant.
+                    self.hits += hits
+                    return false_id
+                if current == true_id:
+                    break
+            append_final(current)
+        self.hits += hits
+        # The same fold as _progress_conjunction, over the chain finals.
+        all_conjuncts = self._conjuncts
+        flat: list[int] = []
+        seen: set[int] = set()
+        seen_add = seen.add
+        flat_append = flat.append
+        for fid in finals:
+            parts = all_conjuncts[fid]
+            if parts is None:
+                if fid != true_id and fid not in seen:
+                    seen_add(fid)
+                    flat_append(fid)
+            else:
+                for part in parts:
+                    if part != true_id and part not in seen:
+                        seen_add(part)
+                        flat_append(part)
+        if not flat:
+            return true_id
+        if len(flat) == 1:
+            return flat[0]
+        key = tuple(flat)
+        if key == conjuncts:
+            return oid
+        rid = self._pand_memo.get(key)
+        if rid is None:
+            rid = self._intern_conjunction(key)
+            self._pand_memo[key] = rid
+        return rid
+
+    def progress_formula(
+        self, formula: PTLFormula, props: AbstractSet[Prop]
+    ) -> PTLFormula:
+        """Formula-level convenience: intern, encode, progress, decode."""
+        oid = self.intern(formula)
+        succ = self.progress_id(oid, self.encode_state(props))
+        return self.formula(succ)
+
+    def _miss(self, oid: int, masked: int) -> int:
+        """Discover one transition: decompose conjunctions into their
+        conjunct rows, defer everything else to the reference engine."""
+        self.misses += 1
+        conjuncts = self._conjuncts[oid]
+        if conjuncts is not None:
+            rid = self._progress_conjunction(oid, conjuncts, masked)
+        else:
+            result = progress(self._oblig.members[oid], self._decode(masked))
+            rid = self.intern(result)
+        if self._transitions >= self.max_transitions:
+            self._evict()
+        self._trans[oid][masked] = rid
+        self._transitions += 1
+        return rid
+
+    def _progress_conjunction(
+        self, oid: int, conjuncts: tuple[int, ...], masked: int
+    ) -> int:
+        """The ``PAnd`` rewrite rule, run on ids: progress every conjunct
+        through the same instant and conjoin.
+
+        Mirrors :func:`repro.ptl.formulas.pand` exactly — one-level
+        flattening of conjunction successors, constant folding, first-
+        occurrence dedup — but on integer ids, so reassembling the (large,
+        structurally repetitive) successor conjunction costs int-set
+        operations plus one tuple-keyed memo probe instead of hashing
+        thousands of formula nodes.  ``masked`` is already sliced to this
+        formula's letters, a superset of every conjunct's letters, so
+        passing it down as the state mask is exact.
+        """
+        masks = self._letter_masks
+        trans = self._trans
+        all_conjuncts = self._conjuncts
+        true_id = self.true_id
+        false_id = self.false_id
+        flat: list[int] = []
+        seen: set[int] = set()
+        seen_add = seen.add
+        flat_append = flat.append
+        hits = 0
+        for cid in conjuncts:
+            cm = masks[cid] & masked
+            sid = trans[cid].get(cm)
+            if sid is None:
+                sid = self._miss(cid, cm)
+            else:
+                hits += 1
+            if sid == cid:
+                # Self-loop, the common case: a conjunct is never itself
+                # a conjunction or a constant, so only dedup applies.
+                if cid not in seen:
+                    seen_add(cid)
+                    flat_append(cid)
+                continue
+            parts = all_conjuncts[sid]
+            if parts is None:
+                if sid == false_id:
+                    self.hits += hits
+                    return false_id
+                if sid != true_id and sid not in seen:
+                    seen_add(sid)
+                    flat_append(sid)
+            else:
+                for part in parts:
+                    if part == false_id:
+                        self.hits += hits
+                        return false_id
+                    if part != true_id and part not in seen:
+                        seen_add(part)
+                        flat_append(part)
+        self.hits += hits
+        if not flat:
+            return true_id
+        if len(flat) == 1:
+            return flat[0]
+        key = tuple(flat)
+        if key == conjuncts:
+            # Fixed point: every conjunct progressed to itself.
+            return oid
+        rid = self._pand_memo.get(key)
+        if rid is None:
+            rid = self._intern_conjunction(key)
+            self._pand_memo[key] = rid
+        return rid
+
+    def _intern_conjunction(self, key: tuple[int, ...]) -> int:
+        """Register the conjunction whose flat conjunct ids are ``key``.
+
+        ``key`` is already in :func:`~repro.ptl.formulas.pand` canonical
+        form (flattened, constant-free, deduped, ≥ 2 members), so its
+        closure entries — conjunct ids, letter mask — are assembled from
+        the ids at hand.  The ``PAnd`` node itself is *not* built here:
+        reground replays step through long chains of intermediate
+        conjunctions nothing ever observes, and constructing each one
+        costs one pass of member hashing through the global intern cache.
+        The id is virtual (``members[rid] is None``) until
+        :meth:`formula` materializes it on first observation.  Interned
+        conjunctions are found through ``_pand_memo`` (populated by
+        :meth:`intern`), so a pre-existing real id is reused before this
+        method is reached.
+        """
+        oblig = self._oblig
+        rid = len(oblig.members)
+        oblig.members.append(None)  # type: ignore[arg-type]
+        masks = self._letter_masks
+        mask = 0
+        for cid in key:
+            mask |= masks[cid]
+        masks.append(mask)
+        self._trans.append({})
+        self._conjuncts.append(key)
+        return rid
+
+    def _decode(self, masked: int) -> frozenset[Prop]:
+        """The sliced state mask back as a set of letters (miss path)."""
+        members = self._letters.members
+        return frozenset(members[i] for i in _iter_bits(masked))
+
+    def _evict(self) -> None:
+        """Drop every compiled row (ids and letter bits survive)."""
+        for row in self._trans:
+            row.clear()
+        self._state_masks.clear()
+        self._transitions = 0
+        self.evictions += 1
+
+    # -- diagnostics --------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Size and traffic counters for diagnostics and benchmarks."""
+        return {
+            "obligations": len(self._oblig),
+            "letters": len(self._letters),
+            "transitions": self._transitions,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+# --------------------------------------------------------------------------
+# Module-level default kernel (process-wide, like the satisfiability ones)
+# --------------------------------------------------------------------------
+
+_DEFAULT_KERNEL = ProgressionKernel()
+
+
+def progress_compiled(
+    formula: PTLFormula, current: AbstractSet[Prop]
+) -> PTLFormula:
+    """One compiled progression step via the process-wide kernel."""
+    return _DEFAULT_KERNEL.progress_formula(formula, current)
+
+
+def progress_sequence_compiled(
+    formula: PTLFormula, states: Iterable[AbstractSet[Prop]]
+) -> PTLFormula:
+    """Compiled :func:`repro.ptl.progression.progress_sequence`."""
+    kernel = _DEFAULT_KERNEL
+    oid = kernel.intern(formula)
+    constants = (kernel.true_id, kernel.false_id)
+    for current in states:
+        if oid in constants:
+            break
+        oid = kernel.progress_id(oid, kernel.encode_state(current))
+    return kernel.formula(oid)
+
+
+def progress_trace_compiled(
+    formula: PTLFormula, states: Sequence[AbstractSet[Prop]]
+) -> list[PTLFormula]:
+    """Compiled :func:`repro.ptl.progression.progress_trace` (same
+    constant-padding contract)."""
+    kernel = _DEFAULT_KERNEL
+    oid = kernel.intern(formula)
+    constants = (kernel.true_id, kernel.false_id)
+    trace = [formula]
+    for current in states:
+        if oid in constants:
+            break
+        oid = kernel.progress_id(oid, kernel.encode_state(current))
+        trace.append(kernel.formula(oid))
+    missing = len(states) + 1 - len(trace)
+    if missing > 0:
+        trace.extend([kernel.formula(oid)] * missing)
+    return trace
+
+
+def progkernel_cache_clear() -> None:
+    """Reset the default kernel (benchmark harness / tests)."""
+    global _DEFAULT_KERNEL
+    _DEFAULT_KERNEL = ProgressionKernel()
+
+
+def progkernel_cache_info() -> dict[str, Any]:
+    """Counters of the default kernel."""
+    return _DEFAULT_KERNEL.stats()

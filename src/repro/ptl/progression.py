@@ -28,10 +28,28 @@ quiet element progresses to itself under the *same sliced state* at every
 instant, regardless of what the rest of the database is doing, so repeated
 obligations cost a dict hit instead of a structural rewrite.  Interned
 formulas (:mod:`repro.ptl.formulas`) make the key O(1) to hash and compare.
+
+The sliced states themselves are interned too (``_SLICE_INTERN``): equal
+slices become the *same* frozenset object, so the memo-key tuple compares
+by pointer on both components and the recursion passes one shared, already-
+sliced frozenset down instead of re-wrapping and re-intersecting per node.
+The memo is bounded (``PROGRESS_CACHE_MAXSIZE``, overridable through the
+``REPRO_PROGRESS_CACHE_MAXSIZE`` environment variable or
+:func:`set_progress_cache_maxsize`); :func:`progress_cache_info` exposes
+hit/miss/eviction counters and the derived hit rate so long runs can detect
+LRU thrash.
+
+**Compiled engine.**  :func:`progress_sequence` and :func:`progress_trace`
+accept ``engine="compiled"`` to route whole-sequence progression through
+the table-driven :class:`repro.ptl.progkernel.ProgressionKernel`;
+``engine="reference"`` (the default) is this module's recursive rewriting,
+kept as the cross-validation oracle exactly like the satisfiability
+engines' ``engine="reference"``.
 """
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 from dataclasses import dataclass as _dataclass
 from typing import AbstractSet, Iterable, Sequence
@@ -67,21 +85,47 @@ def state(*props: Prop | str) -> PropState:
     return frozenset(p if isinstance(p, Prop) else Prop(p) for p in props)
 
 
-#: Upper bound on memoized (formula, sliced state) pairs.
-PROGRESS_CACHE_MAXSIZE = 1 << 16
+def _initial_maxsize() -> int:
+    """The memo bound: the env override, or the built-in default."""
+    raw = os.environ.get("REPRO_PROGRESS_CACHE_MAXSIZE")
+    if raw is None:
+        return 1 << 16
+    try:
+        size = int(raw)
+    except ValueError:
+        return 1 << 16
+    return size if size >= 1 else 1 << 16
+
+
+#: Upper bound on memoized (formula, sliced state) pairs.  Configurable via
+#: the ``REPRO_PROGRESS_CACHE_MAXSIZE`` environment variable (read once at
+#: import) or :func:`set_progress_cache_maxsize`.
+PROGRESS_CACHE_MAXSIZE = _initial_maxsize()
 
 _PROGRESS_CACHE: "OrderedDict[tuple[PTLFormula, frozenset[Prop]], PTLFormula]"
 _PROGRESS_CACHE = OrderedDict()
 
+#: Interned sliced states: equal slices share one frozenset object, so the
+#: memo key compares by pointer and its hash is computed once per distinct
+#: slice instead of once per lookup.  Bounded alongside the memo.
+_SLICE_INTERN: dict[frozenset[Prop], frozenset[Prop]] = {}
+
 
 @_dataclass
 class ProgressCacheInfo:
-    """Hit/miss counters of the progression memo."""
+    """Hit/miss/eviction counters of the progression memo."""
 
     hits: int = 0
     misses: int = 0
+    evictions: int = 0
     currsize: int = 0
-    maxsize: int = PROGRESS_CACHE_MAXSIZE
+    maxsize: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when the memo was never probed)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
 
 
 _CACHE_STATS = ProgressCacheInfo()
@@ -92,6 +136,7 @@ def progress_cache_info() -> ProgressCacheInfo:
     return ProgressCacheInfo(
         hits=_CACHE_STATS.hits,
         misses=_CACHE_STATS.misses,
+        evictions=_CACHE_STATS.evictions,
         currsize=len(_PROGRESS_CACHE),
         maxsize=PROGRESS_CACHE_MAXSIZE,
     )
@@ -100,8 +145,36 @@ def progress_cache_info() -> ProgressCacheInfo:
 def progress_cache_clear() -> None:
     """Empty the progression memo and reset its counters."""
     _PROGRESS_CACHE.clear()
+    _SLICE_INTERN.clear()
     _CACHE_STATS.hits = 0
     _CACHE_STATS.misses = 0
+    _CACHE_STATS.evictions = 0
+
+
+def set_progress_cache_maxsize(size: int) -> None:
+    """Rebound the progression memo to at most ``size`` entries.
+
+    Shrinking evicts least-recently-used entries immediately (counted in
+    ``evictions``); growing takes effect on the next insert.
+    """
+    global PROGRESS_CACHE_MAXSIZE
+    if size < 1:
+        raise ValueError(f"maxsize must be >= 1, got {size}")
+    PROGRESS_CACHE_MAXSIZE = size
+    while len(_PROGRESS_CACHE) > size:
+        _PROGRESS_CACHE.popitem(last=False)
+        _CACHE_STATS.evictions += 1
+
+
+def _intern_slice(sliced: frozenset[Prop]) -> frozenset[Prop]:
+    """The canonical object for a sliced state (bounded intern table)."""
+    interned = _SLICE_INTERN.get(sliced)
+    if interned is None:
+        if len(_SLICE_INTERN) > 4 * PROGRESS_CACHE_MAXSIZE:
+            _SLICE_INTERN.clear()
+        _SLICE_INTERN[sliced] = sliced
+        interned = sliced
+    return interned
 
 
 def progress(formula: PTLFormula, current: AbstractSet[Prop]) -> PTLFormula:
@@ -121,17 +194,24 @@ def progress(formula: PTLFormula, current: AbstractSet[Prop]) -> PTLFormula:
         return PTRUE if formula in current else PFALSE
     if not isinstance(current, frozenset):
         current = frozenset(current)
-    key = (formula, formula.propositions() & current)
+    props = formula.propositions()
+    # Recursion passes the interned slice down, so the subset test below is
+    # usually an identity-fast "already sliced" hit and the intersection
+    # (with its fresh-frozenset allocation) only runs when the formula
+    # genuinely mentions fewer letters than its parent.
+    sliced = _intern_slice(current if props >= current else props & current)
+    key = (formula, sliced)
     cached = _PROGRESS_CACHE.get(key)
     if cached is not None:
         _CACHE_STATS.hits += 1
         _PROGRESS_CACHE.move_to_end(key)
         return cached
     _CACHE_STATS.misses += 1
-    result = _progress_step(formula, current)
+    result = _progress_step(formula, sliced)
     _PROGRESS_CACHE[key] = result
     if len(_PROGRESS_CACHE) > PROGRESS_CACHE_MAXSIZE:
         _PROGRESS_CACHE.popitem(last=False)
+        _CACHE_STATS.evictions += 1
     return result
 
 
@@ -173,8 +253,20 @@ def _progress_step(
             raise TypeError(f"cannot progress {formula!r}")
 
 
+_PROGRESS_ENGINES = ("compiled", "reference")
+
+
+def _check_engine(engine: str) -> None:
+    if engine not in _PROGRESS_ENGINES:
+        raise ValueError(
+            f"engine must be one of {_PROGRESS_ENGINES}, got {engine!r}"
+        )
+
+
 def progress_sequence(
-    formula: PTLFormula, states: Iterable[AbstractSet[Prop]]
+    formula: PTLFormula,
+    states: Iterable[AbstractSet[Prop]],
+    engine: str = "reference",
 ) -> PTLFormula:
     """Progress through a whole finite sequence of states.
 
@@ -183,7 +275,15 @@ def progress_sequence(
     satisfiable (checked by :mod:`repro.ptl.sat`).
 
     Short-circuits as soon as the obligation collapses to a constant.
+    ``engine="compiled"`` runs the table-driven
+    :class:`repro.ptl.progkernel.ProgressionKernel` instead of the
+    recursive rewriting; the results are identical (property-tested).
     """
+    _check_engine(engine)
+    if engine == "compiled":
+        from .progkernel import progress_sequence_compiled
+
+        return progress_sequence_compiled(formula, states)
     remainder = formula
     for current in states:
         if isinstance(remainder, (PTLTrue, PTLFalse)):
@@ -193,7 +293,9 @@ def progress_sequence(
 
 
 def progress_trace(
-    formula: PTLFormula, states: Sequence[AbstractSet[Prop]]
+    formula: PTLFormula,
+    states: Sequence[AbstractSet[Prop]],
+    engine: str = "reference",
 ) -> list[PTLFormula]:
     """Like :func:`progress_sequence` but return every intermediate formula.
 
@@ -204,8 +306,14 @@ def progress_trace(
     Like :func:`progress_sequence`, short-circuits once the obligation
     collapses to a constant (``PTRUE``/``PFALSE`` progress to themselves
     forever): the rest of the trace is padded with the constant instead of
-    paying for dead progression steps.
+    paying for dead progression steps.  ``engine="compiled"`` selects the
+    table-driven kernel, with identical results.
     """
+    _check_engine(engine)
+    if engine == "compiled":
+        from .progkernel import progress_trace_compiled
+
+        return progress_trace_compiled(formula, states)
     trace = [formula]
     remainder = formula
     for current in states:

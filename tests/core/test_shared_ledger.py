@@ -1,0 +1,194 @@
+"""Compiled-engine monitor (shared obligation ledger) equivalence.
+
+``engine="compiled"`` must be observationally identical to the reference
+engines: same per-instant verdicts, same violation instants, and
+pointer-identical remainders (all three engines intern through
+:mod:`repro.ptl.formulas`).  The ledger's ``shared_obligations``/``fanout``
+counters must balance, and progression totals must stay comparable with
+unshared runs.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import IntegrityMonitor
+from repro.core.monitor import MonitorStats
+from repro.core.triggers import Trigger, TriggerManager
+from repro.database import DatabaseState, History, vocabulary
+from repro.logic import parse
+
+V = vocabulary({"Sub": 1, "Fill": 1})
+SUBMIT_ONCE = parse("forall x . G (Sub(x) -> X G !Sub(x))")
+FIFO_FILL = parse(
+    "forall x y . G !(x != y & Sub(x) & ((!Fill(x)) U "
+    "(Sub(y) & ((!Fill(x)) U (Fill(y) & !Fill(x))))))"
+)
+CONSTRAINTS = {"once": SUBMIT_ONCE, "fifo": FIFO_FILL}
+
+traces = st.lists(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["Sub", "Fill"]),
+            st.tuples(st.integers(0, 2)),
+        ),
+        max_size=2,
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+def monitor_with(constraints, **kwargs):
+    return IntegrityMonitor(constraints, History.empty(V), **kwargs)
+
+
+def replay(monitor, trace):
+    return [
+        monitor.append_state(DatabaseState.from_facts(V, facts))
+        for facts in trace
+    ]
+
+
+class TestCompiledEngineEquivalence:
+    @given(
+        trace=traces,
+        strategy=st.sampled_from(["scratch", "incremental", "spare"]),
+        prune=st.booleans(),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_compiled_matches_bitset(self, trace, strategy, prune):
+        compiled = monitor_with(
+            CONSTRAINTS, engine="compiled", strategy=strategy, prune=prune
+        )
+        bitset = monitor_with(
+            CONSTRAINTS, engine="bitset", strategy=strategy, prune=prune
+        )
+        for rc, rb in zip(replay(compiled, trace), replay(bitset, trace)):
+            assert dict(rc.satisfied) == dict(rb.satisfied)
+            assert rc.new_violations == rb.new_violations
+        assert compiled.violations() == bitset.violations()
+        cr, br = compiled.remainders(), bitset.remainders()
+        assert all(cr[name] is br[name] for name in CONSTRAINTS)
+
+    @given(trace=traces)
+    @settings(max_examples=25, deadline=None)
+    def test_compiled_matches_reference_engine(self, trace):
+        compiled = monitor_with(CONSTRAINTS, engine="compiled")
+        reference = monitor_with(CONSTRAINTS, engine="reference")
+        for rc, rr in zip(
+            replay(compiled, trace), replay(reference, trace)
+        ):
+            assert rc.new_violations == rr.new_violations
+        assert compiled.remainders() == reference.remainders()
+
+    @given(trace=traces)
+    @settings(max_examples=50, deadline=None)
+    def test_progression_totals_match_unshared(self, trace):
+        # Followers in a shared group still count their progression, so
+        # totals are comparable across engines.
+        compiled = monitor_with(CONSTRAINTS, engine="compiled", prune=False)
+        bitset = monitor_with(CONSTRAINTS, engine="bitset", prune=False)
+        replay(compiled, trace)
+        replay(bitset, trace)
+        total = lambda m, f: sum(  # noqa: E731
+            getattr(s, f) for s in m.stats().values()
+        )
+        assert total(compiled, "progressions") == total(
+            bitset, "progressions"
+        )
+
+
+class TestLedgerCounters:
+    def shared_run(self, **kwargs):
+        # Three copies of the same constraint: after the initial reground
+        # their remainders coincide, so non-reground instants form one
+        # ledger group of three.
+        m = monitor_with(
+            {"a": SUBMIT_ONCE, "b": SUBMIT_ONCE, "c": SUBMIT_ONCE},
+            engine="compiled",
+            prune=False,
+            **kwargs,
+        )
+        replay(
+            m,
+            [
+                [("Sub", (1,))],
+                [("Sub", (1,)), ("Fill", (1,))],
+                [("Sub", (1,)), ("Fill", (2,))],
+            ],
+        )
+        return m
+
+    def test_fanout_balances_shared_obligations(self):
+        stats = self.shared_run().stats()
+        shared = sum(s.shared_obligations for s in stats.values())
+        fanout = sum(s.fanout for s in stats.values())
+        assert shared == fanout
+        assert shared > 0
+
+    def test_reference_engines_never_share(self):
+        m = monitor_with(CONSTRAINTS, engine="bitset")
+        replay(m, [[("Sub", (1,))], [("Fill", (1,))]])
+        for stats in m.stats().values():
+            assert stats.shared_obligations == 0
+            assert stats.fanout == 0
+
+    def test_counters_survive_the_dict_round_trip(self):
+        stats = self.shared_run().stats()
+        for s in stats.values():
+            data = s.as_dict()
+            assert "shared_obligations" in data
+            assert "fanout" in data
+            assert MonitorStats.from_dict(data) == s
+
+    def test_from_dict_tolerates_unknown_keys(self):
+        data = MonitorStats(progressions=3).as_dict()
+        data["future_counter"] = 7
+        restored = MonitorStats.from_dict(data)
+        assert restored.progressions == 3
+        assert not hasattr(restored, "future_counter")
+
+
+class TestEngineSelection:
+    def test_bad_engine_rejected(self):
+        try:
+            monitor_with(CONSTRAINTS, engine="vectorized")
+        except ValueError as error:
+            assert "engine" in str(error)
+        else:
+            raise AssertionError("bad engine must be rejected")
+
+    def test_compiled_trigger_manager_matches_bitset(self):
+        trace = [
+            [("Sub", (1,))],
+            [("Sub", (1,))],
+            [("Fill", (1,))],
+            [("Fill", (1,))],
+        ]
+        logs = {}
+        for engine in ("compiled", "bitset", "reference"):
+            manager = TriggerManager(
+                [
+                    Trigger("resub", parse("F (Sub(x) & X F Sub(x))")),
+                    Trigger("refill", parse("F (Fill(x) & X F Fill(x))")),
+                ],
+                engine=engine,
+                lint="off",
+            )
+            history = History.empty(V)
+            for facts in trace:
+                history = history.extended(
+                    DatabaseState.from_facts(V, facts)
+                )
+                manager.check(history)
+            logs[engine] = manager.log
+        assert logs["compiled"] == logs["bitset"] == logs["reference"]
+        assert logs["compiled"]  # the duplicate submission fires
+
+    def test_trigger_manager_rejects_bad_engine(self):
+        try:
+            TriggerManager([], engine="vectorized")
+        except ValueError as error:
+            assert "engine" in str(error)
+        else:
+            raise AssertionError("bad engine must be rejected")

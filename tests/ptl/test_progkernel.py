@@ -1,0 +1,242 @@
+"""The compiled progression kernel pinned to the reference engine.
+
+Every test compares :class:`repro.ptl.progkernel.ProgressionKernel` (and
+the module-level convenience functions) against the recursive
+:func:`repro.ptl.progression.progress` on the same inputs.  Because both
+sides intern through :mod:`repro.ptl.formulas`, agreement is asserted as
+pointer identity, not mere equality — the strongest form the faithfulness
+argument of DESIGN.md §10 admits.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ptl import PFALSE, PTRUE, palways, pand, pnext, prop, puntil
+from repro.ptl.progkernel import (
+    ProgressionKernel,
+    progkernel_cache_clear,
+    progkernel_cache_info,
+    progress_compiled,
+    progress_sequence_compiled,
+    progress_trace_compiled,
+)
+from repro.ptl.progression import (
+    progress,
+    progress_sequence,
+    progress_trace,
+)
+
+from ..conftest import prop_states, ptl_formulas
+
+state_seqs = st.lists(prop_states(), min_size=1, max_size=6)
+
+
+class TestKernelMatchesReference:
+    @given(formula=ptl_formulas(), state=prop_states())
+    @settings(max_examples=300, deadline=None)
+    def test_single_step_identity(self, formula, state):
+        kernel = ProgressionKernel()
+        assert kernel.progress_formula(formula, state) is progress(
+            formula, state
+        )
+
+    @given(formula=ptl_formulas(), states=state_seqs)
+    @settings(max_examples=200, deadline=None)
+    def test_sequence_identity(self, formula, states):
+        kernel = ProgressionKernel()
+        expected = formula
+        oid = kernel.intern(formula)
+        for state in states:
+            expected = progress(expected, state)
+            oid = kernel.progress_id(oid, kernel.encode_state(state))
+            assert kernel.formula(oid) is expected
+
+    @given(formula=ptl_formulas(), states=state_seqs)
+    @settings(max_examples=100, deadline=None)
+    def test_warm_table_is_still_exact(self, formula, states):
+        # Drive the same trajectory twice through one kernel: the second
+        # run answers from the compiled rows and must not drift.
+        kernel = ProgressionKernel()
+        first = [
+            kernel.progress_formula(formula, state) for state in states
+        ]
+        hits_before = kernel.hits
+        second = [
+            kernel.progress_formula(formula, state) for state in states
+        ]
+        assert all(a is b for a, b in zip(first, second))
+        assert kernel.hits > hits_before
+
+    @given(formula=ptl_formulas(), states=state_seqs)
+    @settings(max_examples=200, deadline=None)
+    def test_replay_matches_reference_sequence(self, formula, states):
+        # progress_replay distributes over top-level conjuncts (DESIGN.md
+        # §10, "Replay distribution"); the final remainder must be the
+        # very object the reference stepwise sequence produces.
+        kernel = ProgressionKernel()
+        oid = kernel.intern(formula)
+        masks = [kernel.encode_state(state) for state in states]
+        replayed = kernel.formula(kernel.progress_replay(oid, masks))
+        assert replayed is progress_sequence(formula, states)
+
+    @given(formulas=st.lists(ptl_formulas(), min_size=1, max_size=5),
+           state=prop_states())
+    @settings(max_examples=100, deadline=None)
+    def test_batch_matches_individual(self, formulas, state):
+        kernel = ProgressionKernel()
+        ids = [kernel.intern(f) for f in formulas]
+        mask = kernel.encode_state(state)
+        batch = kernel.progress_batch(ids, mask)
+        individual = [kernel.progress_id(oid, mask) for oid in ids]
+        assert batch == individual
+        assert [kernel.formula(i) for i in batch] == [
+            progress(f, state) for f in formulas
+        ]
+
+
+class TestConjunctionDecomposition:
+    def test_ground_conjunction_goes_through_conjunct_rows(self):
+        # The monitoring shape: a big conjunction of G-obligations whose
+        # conjuncts repeat across instants.
+        conjuncts = [
+            palways(pand(prop(f"p{i}"), pnext(prop(f"q{i}"))))
+            for i in range(4)
+        ]
+        formula = pand(*conjuncts)
+        kernel = ProgressionKernel()
+        # Every guard holds, so no conjunct collapses to FALSE and the
+        # decomposition visits every conjunct row (a falsified conjunct
+        # legitimately short-circuits the reassembly).
+        state = frozenset(prop(f"p{i}") for i in range(4))
+        assert kernel.progress_formula(formula, state) is progress(
+            formula, state
+        )
+        stats = kernel.stats()
+        # The top-level miss recursed into one row per distinct conjunct.
+        assert stats["transitions"] > len(conjuncts)
+
+    def test_constants_are_fixed_points(self):
+        kernel = ProgressionKernel()
+        mask = kernel.encode_state(frozenset({prop("p0")}))
+        assert kernel.progress_id(kernel.true_id, mask) == kernel.true_id
+        assert kernel.progress_id(kernel.false_id, mask) == kernel.false_id
+
+
+class TestEviction:
+    @given(formula=ptl_formulas(), states=state_seqs)
+    @settings(max_examples=50, deadline=None)
+    def test_tiny_table_stays_exact(self, formula, states):
+        # max_transitions=1 forces an eviction on nearly every step; ids
+        # and letter bits survive, so results must be unchanged.
+        kernel = ProgressionKernel(max_transitions=1)
+        expected = formula
+        for state in states:
+            expected = progress(expected, state)
+            assert kernel.progress_formula(formula, state) is progress(
+                formula, state
+            )
+        kernel2 = ProgressionKernel(max_transitions=1)
+        out = formula
+        for state in states:
+            out = kernel2.progress_formula(out, state)
+        assert out is expected
+
+    def test_eviction_counter_and_bound(self):
+        kernel = ProgressionKernel(max_transitions=1)
+        f = puntil(prop("p0"), prop("p1"))
+        kernel.progress_formula(f, frozenset({prop("p0")}))
+        kernel.progress_formula(f, frozenset({prop("p1")}))
+        assert kernel.evictions >= 1
+        assert kernel.stats()["transitions"] <= 1
+
+    def test_rejects_nonpositive_bound(self):
+        try:
+            ProgressionKernel(max_transitions=0)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("max_transitions=0 must be rejected")
+
+
+class TestModuleLevelFunctions:
+    @given(formula=ptl_formulas(), state=prop_states())
+    @settings(max_examples=100, deadline=None)
+    def test_progress_compiled(self, formula, state):
+        assert progress_compiled(formula, state) is progress(formula, state)
+
+    @given(formula=ptl_formulas(), states=state_seqs)
+    @settings(max_examples=100, deadline=None)
+    def test_sequence_parity(self, formula, states):
+        assert progress_sequence_compiled(
+            formula, states
+        ) is progress_sequence(formula, states)
+
+    @given(formula=ptl_formulas(), states=state_seqs)
+    @settings(max_examples=100, deadline=None)
+    def test_trace_parity(self, formula, states):
+        compiled = progress_trace_compiled(formula, states)
+        reference = progress_trace(formula, states)
+        assert len(compiled) == len(reference)
+        assert all(a is b for a, b in zip(compiled, reference))
+
+    @given(formula=ptl_formulas(), states=state_seqs)
+    @settings(max_examples=50, deadline=None)
+    def test_engine_dispatch(self, formula, states):
+        # progression's engine= axis routes to the compiled functions.
+        assert progress_sequence(
+            formula, states, engine="compiled"
+        ) is progress_sequence(formula, states, engine="reference")
+        compiled = progress_trace(formula, states, engine="compiled")
+        reference = progress_trace(formula, states, engine="reference")
+        assert all(a is b for a, b in zip(compiled, reference))
+
+    def test_engine_validation(self):
+        try:
+            progress_sequence(PTRUE, [], engine="vectorized")
+        except ValueError as error:
+            assert "engine" in str(error)
+        else:
+            raise AssertionError("bad engine must be rejected")
+
+    def test_cache_clear_resets_default_kernel(self):
+        progress_compiled(
+            puntil(prop("p0"), prop("p1")), frozenset({prop("p0")})
+        )
+        assert progkernel_cache_info()["obligations"] > 2
+        progkernel_cache_clear()
+        info = progkernel_cache_info()
+        # Only the constants remain interned.
+        assert info["obligations"] == 2
+        assert info["transitions"] == 0
+        assert info["hits"] == 0
+
+
+class TestDiagnostics:
+    def test_stats_shape(self):
+        kernel = ProgressionKernel()
+        kernel.progress_formula(
+            palways(prop("p0")), frozenset({prop("p0")})
+        )
+        stats = kernel.stats()
+        assert set(stats) == {
+            "obligations",
+            "letters",
+            "transitions",
+            "hits",
+            "misses",
+            "evictions",
+        }
+        assert stats["misses"] >= 1
+        assert stats["letters"] >= 1
+
+    def test_constants_short_circuit_sequences(self):
+        # PFALSE after one step: the sequence must stop progressing.
+        f = prop("p0")
+        out = progress_sequence_compiled(
+            f, [frozenset(), frozenset({prop("p0")})]
+        )
+        assert out is PFALSE
+        trace = progress_trace_compiled(
+            f, [frozenset(), frozenset({prop("p0")})]
+        )
+        assert trace == [f, PFALSE, PFALSE]
