@@ -24,6 +24,7 @@ the same script can measure a pre-interning checkout to record a baseline.
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import platform
 import sys
@@ -50,7 +51,7 @@ from repro.workloads.orders import (  # noqa: E402
     submit_once,
 )
 
-SCHEMA = "repro-bench-core/v5"
+SCHEMA = "repro-bench-core/v6"
 
 #: Schemas ``--validate`` accepts: v2 added the ``sat_*`` engine-comparison
 #: and ``parallel_triggers`` shapes (with their extra record keys); v3 adds
@@ -59,14 +60,19 @@ SCHEMA = "repro-bench-core/v5"
 #: ``idle_steps`` counters); v5 adds the ``e6_monitoring_compiled`` shape
 #: (table-driven progression kernel + shared obligation ledger, with its
 #: compiled-vs-reference cross-validation fields) and the
-#: ``progress_cache_hit_rate`` field on the monitoring records.  Each
-#: version is otherwise backward compatible, so v1-v4 reports stay usable
+#: ``progress_cache_hit_rate`` field on the monitoring records; v6 splits
+#: compiled-kernel row hits out of ``progress_cache_hits`` into
+#: ``kernel_row_hits`` on every record and adds the native-rule kernel
+#: fields (``misses_by_rule``, ``reference_delegations`` — asserted zero —
+#: and ``kernel_transitions``) to ``e6_monitoring_compiled``.  Each
+#: version is otherwise backward compatible, so v1-v5 reports stay usable
 #: as baselines.
 ACCEPTED_SCHEMAS = (
     "repro-bench-core/v1",
     "repro-bench-core/v2",
     "repro-bench-core/v3",
     "repro-bench-core/v4",
+    "repro-bench-core/v5",
     SCHEMA,
 )
 
@@ -88,12 +94,20 @@ RESULT_KEYS = frozenset(
 
 def _clear_caches() -> None:
     """Reset the PTL-core caches (when the core has them) so each benchmark
-    starts cold and numbers are comparable run to run."""
+    starts cold and numbers are comparable run to run.
+
+    Also collects garbage: clearing the caches strands the predecessor
+    benchmark's formula graph as cycles the collector would otherwise
+    keep re-tracing mid-benchmark, charging one shape's allocations with
+    another shape's heap (measured at ~0.8s on E6 compiled after the
+    reference run).
+    """
     try:
         from repro.ptl import caches
     except ImportError:
         return
     caches.clear_all_caches()
+    gc.collect()
 
 
 def _sum_stats(monitor: IntegrityMonitor) -> dict[str, Any]:
@@ -103,6 +117,7 @@ def _sum_stats(monitor: IntegrityMonitor) -> dict[str, Any]:
         "sat_calls": 0,
         "sat_cache_hits": 0,
         "progress_cache_hits": 0,
+        "kernel_row_hits": 0,
         "regrounds": 0,
         "skipped_constraints": 0,
         "idle_steps": 0,
@@ -119,6 +134,7 @@ def _sum_stats(monitor: IntegrityMonitor) -> dict[str, Any]:
         totals["progress_cache_hits"] += getattr(
             stats, "progress_cache_hits", 0
         )
+        totals["kernel_row_hits"] += getattr(stats, "kernel_row_hits", 0)
         totals["skipped_constraints"] += getattr(
             stats, "skipped_constraints", 0
         )
@@ -153,6 +169,7 @@ def _result(
         "sat_calls": totals["sat_calls"],
         "sat_cache_hits": totals["sat_cache_hits"],
         "progress_cache_hits": totals["progress_cache_hits"],
+        "kernel_row_hits": totals.get("kernel_row_hits", 0),
         "sat_time_s": round(totals["sat_time_s"], 6),
         "progress_time_s": round(totals["progress_time_s"], 6),
     }
@@ -320,13 +337,27 @@ def bench_e6_monitoring_compiled(smoke: bool) -> dict[str, dict[str, Any]]:
     record is this one's in-run reference: violations must be identical
     and the final remainders pointer-identical (hash-consing makes the
     comparison exact), which the harness asserts before writing the
-    report.  ``progress_speedup`` is this PR's headline number: the
-    reference engine's cumulative progression seconds over the compiled
-    engine's, on the identical workload.
+    report.  ``progress_speedup`` is the headline number: the reference
+    engine's cumulative progression seconds over the compiled engine's,
+    on the identical workload.
+
+    The kernel runs every rewrite rule natively on ids, so the harness
+    also asserts ``reference_delegations == 0`` — the compiled run never
+    fell back to the recursive engine — and records the per-rule miss
+    split (``misses_by_rule``).  ``kernel_row_hits`` counts satisfied
+    transition-row probes; ``progress_cache_hits`` counts reference
+    formula-memo hits and is zero here, the two engines' caches being
+    fully isolated.
     """
     wall, length, monitor = _run_e6(smoke, prune=False, engine="compiled")
     totals = _sum_stats(monitor)
     assert _E6_REFERENCE, "bench_e6_monitoring must run first"
+    kernel_info = monitor.progression_kernel_info()
+    assert kernel_info is not None
+    assert kernel_info.reference_delegations == 0, (
+        "compiled kernel fell back to the reference engine "
+        f"{kernel_info.reference_delegations} times"
+    )
     violations = dict(monitor.violations())
     assert violations == _E6_REFERENCE["violations"], (
         "compiled and reference engines disagree on violations: "
@@ -353,6 +384,13 @@ def bench_e6_monitoring_compiled(smoke: bool) -> dict[str, dict[str, Any]]:
             shared_obligations=totals["shared_obligations"],
             fanout=totals["fanout"],
             remainders_match=remainders_match,
+            reference_delegations=kernel_info.reference_delegations,
+            misses_by_rule={
+                rule: count
+                for rule, count in kernel_info.misses_by_rule.items()
+                if count
+            },
+            kernel_transitions=kernel_info.transitions,
             reference_progress_time_s=round(reference_progress, 6),
             progress_speedup=round(
                 reference_progress / compiled_progress, 2
@@ -441,6 +479,7 @@ def _zero_totals() -> dict[str, Any]:
         "sat_calls": 0,
         "sat_cache_hits": 0,
         "progress_cache_hits": 0,
+        "kernel_row_hits": 0,
         "regrounds": 0,
         "skipped_constraints": 0,
         "idle_steps": 0,

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from dataclasses import fields as _dataclass_fields
-from typing import Any, Hashable, Iterable, Iterator
+from typing import Any, ClassVar, Hashable, Iterable, Iterator
 from weakref import WeakValueDictionary
 
 #: The hash-consing table: (class, *field values) -> the canonical node.
@@ -93,6 +93,10 @@ class _InternMeta(type):
 @dataclass(frozen=True, eq=False)
 class PTLFormula(metaclass=_InternMeta):
     """Abstract base class of PTL formulas (interned, see module docs)."""
+
+    # Instance attribute set by the interning metaclass (ClassVar keeps it
+    # out of the dataclass fields); absent only on constructor bypasses.
+    _hash: ClassVar[int]
 
     @property
     def children(self) -> tuple["PTLFormula", ...]:
@@ -163,11 +167,15 @@ class PTLFormula(metaclass=_InternMeta):
         return self._identity() == other._identity()
 
     def __hash__(self) -> int:
-        cached = self.__dict__.get("_hash")
-        if cached is None:  # un-interned instance (constructor bypass)
+        # Plain attribute access: this is the hottest method in the tree
+        # (every memo probe hashes operand tuples), and the EAFP read is
+        # measurably cheaper than ``self.__dict__.get``.
+        try:
+            return self._hash
+        except AttributeError:  # un-interned instance (constructor bypass)
             cached = hash((self.__class__, *self._identity()))
             object.__setattr__(self, "_hash", cached)
-        return cached
+            return cached
 
     def __reduce__(self) -> tuple:
         # Route pickle/copy through the constructor so deserialized

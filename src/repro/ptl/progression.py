@@ -44,7 +44,10 @@ accept ``engine="compiled"`` to route whole-sequence progression through
 the table-driven :class:`repro.ptl.progkernel.ProgressionKernel`;
 ``engine="reference"`` (the default) is this module's recursive rewriting,
 kept as the cross-validation oracle exactly like the satisfiability
-engines' ``engine="reference"``.
+engines' ``engine="reference"``.  The kernel runs every rewrite rule
+natively on integer ids, so compiled-engine traffic never consults nor
+populates this module's memo — the two engines' caches are fully isolated
+(regression-tested), and this LRU sees only reference-engine traffic.
 """
 
 from __future__ import annotations

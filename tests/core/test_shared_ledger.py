@@ -16,6 +16,7 @@ from repro.core.monitor import MonitorStats
 from repro.core.triggers import Trigger, TriggerManager
 from repro.database import DatabaseState, History, vocabulary
 from repro.logic import parse
+from repro.ptl.progression import progress_cache_clear, progress_cache_info
 
 V = vocabulary({"Sub": 1, "Fill": 1})
 SUBMIT_ONCE = parse("forall x . G (Sub(x) -> X G !Sub(x))")
@@ -147,6 +148,55 @@ class TestLedgerCounters:
         restored = MonitorStats.from_dict(data)
         assert restored.progressions == 3
         assert not hasattr(restored, "future_counter")
+
+
+class TestKernelCounters:
+    """The compiled engine's counters are kept apart from the reference
+    memo's, and the monitor exposes its kernel's per-rule split."""
+
+    @given(trace=traces)
+    @settings(max_examples=50, deadline=None)
+    def test_compiled_run_leaves_reference_lru_cold(self, trace):
+        # Regression (cross-engine cache isolation): the PR 6 kernel
+        # delegated non-conjunction misses to the reference `progress`,
+        # polluting — and evicting from — the LRU the bitset/reference
+        # engines rely on.  Native rules must leave it untouched.
+        progress_cache_clear()
+        monitor = monitor_with(CONSTRAINTS, engine="compiled", lint="off")
+        replay(monitor, trace)
+        info = progress_cache_info()
+        assert info.hits == 0
+        assert info.misses == 0
+        assert info.currsize == 0
+
+    def test_compiled_counts_row_hits_not_memo_hits(self):
+        monitor = monitor_with(CONSTRAINTS, engine="compiled")
+        replay(
+            monitor,
+            [[("Sub", (1,))], [("Fill", (1,))], [], []],
+        )
+        stats = monitor.stats()
+        assert sum(s.kernel_row_hits for s in stats.values()) > 0
+        assert all(s.progress_cache_hits == 0 for s in stats.values())
+        assert "kernel_row_hits" in next(iter(stats.values())).as_dict()
+
+    def test_reference_engines_count_memo_hits_not_row_hits(self):
+        monitor = monitor_with(CONSTRAINTS, engine="bitset")
+        replay(monitor, [[("Sub", (1,))], [], []])
+        for s in monitor.stats().values():
+            assert s.kernel_row_hits == 0
+
+    def test_progression_kernel_info_exposure(self):
+        compiled = monitor_with(CONSTRAINTS, engine="compiled")
+        replay(compiled, [[("Sub", (1,))], [("Fill", (1,))]])
+        info = compiled.progression_kernel_info()
+        assert info is not None
+        assert info.reference_delegations == 0
+        assert info.hits + info.misses > 0
+        assert sum(info.misses_by_rule.values()) == info.misses
+        assert monitor_with(
+            CONSTRAINTS, engine="bitset"
+        ).progression_kernel_info() is None
 
 
 class TestEngineSelection:

@@ -8,10 +8,29 @@ pointer identity, not mere equality — the strongest form the faithfulness
 argument of DESIGN.md §10 admits.
 """
 
-from hypothesis import given, settings
+import pytest
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.ptl import PFALSE, PTRUE, palways, pand, pnext, prop, puntil
+from repro.ptl.formulas import (
+    PAlways,
+    PEventually,
+    PImplies,
+    PNext,
+    PNot,
+    POr,
+    PRelease,
+    PUntil,
+    PWeakUntil,
+    Prop,
+    peventually,
+    pimplies,
+    pnot,
+    por,
+    prelease,
+    pweak_until,
+)
 from repro.ptl.progkernel import (
     ProgressionKernel,
     progkernel_cache_clear,
@@ -22,6 +41,8 @@ from repro.ptl.progkernel import (
 )
 from repro.ptl.progression import (
     progress,
+    progress_cache_clear,
+    progress_cache_info,
     progress_sequence,
     progress_trace,
 )
@@ -78,6 +99,23 @@ class TestKernelMatchesReference:
         masks = [kernel.encode_state(state) for state in states]
         replayed = kernel.formula(kernel.progress_replay(oid, masks))
         assert replayed is progress_sequence(formula, states)
+
+    @given(formula=ptl_formulas(), states=state_seqs, cut=st.integers(0, 6))
+    @settings(max_examples=200, deadline=None)
+    def test_resumed_replay_matches_fresh_replay(self, formula, states, cut):
+        # The finals cache lets a later replay of an extended sequence
+        # resume mid-prefix; the result must be the exact object a fresh
+        # full replay (and the reference sequence) produces.
+        cut = min(cut, len(states))
+        kernel = ProgressionKernel()
+        oid = kernel.intern(formula)
+        masks = [kernel.encode_state(state) for state in states]
+        finals: dict[int, int] = {}
+        kernel.progress_replay(oid, masks[:cut], finals=finals)
+        resumed = kernel.progress_replay(
+            oid, masks, finals=finals, resume_from=cut
+        )
+        assert kernel.formula(resumed) is progress_sequence(formula, states)
 
     @given(formulas=st.lists(ptl_formulas(), min_size=1, max_size=5),
            state=prop_states())
@@ -225,9 +263,14 @@ class TestDiagnostics:
             "hits",
             "misses",
             "evictions",
+            "reference_delegations",
+            "misses_by_rule",
         }
         assert stats["misses"] >= 1
         assert stats["letters"] >= 1
+        assert stats["reference_delegations"] == 0
+        assert stats["misses_by_rule"]["always"] >= 1
+        assert sum(stats["misses_by_rule"].values()) == stats["misses"]
 
     def test_constants_short_circuit_sequences(self):
         # PFALSE after one step: the sequence must stop progressing.
@@ -240,3 +283,133 @@ class TestDiagnostics:
             f, [frozenset(), frozenset({prop("p0")})]
         )
         assert trace == [f, PFALSE, PFALSE]
+
+
+#: One entry per native rewrite rule: (constructor over random operand
+#: formulas, the node type the constructed formula must keep for the rule
+#: to be the one exercised, the rule's ``misses_by_rule`` key).
+_RULE_SHAPES = [
+    ("always", lambda ops: palways(ops[0]), PAlways, "always"),
+    ("until", lambda ops: puntil(ops[0], ops[1]), PUntil, "until"),
+    (
+        "weak_until",
+        lambda ops: pweak_until(ops[0], ops[1]),
+        PWeakUntil,
+        "weak_until",
+    ),
+    ("release", lambda ops: prelease(ops[0], ops[1]), PRelease, "release"),
+    (
+        "eventually",
+        lambda ops: peventually(ops[0]),
+        PEventually,
+        "eventually",
+    ),
+    ("next", lambda ops: pnext(ops[0]), PNext, "next"),
+    ("or", lambda ops: por(ops[0], ops[1]), POr, "or"),
+    ("implies", lambda ops: pimplies(ops[0], ops[1]), PImplies, "implies"),
+    ("not", lambda ops: pnot(ops[0]), PNot, "not"),
+    ("literal", lambda ops: prop("p0"), Prop, "literal"),
+]
+
+
+class TestPerRuleOracle:
+    """Each native id-space rewrite rule pinned, in isolation, to the
+    reference engine on random operands — pointer identity, the rule's
+    own miss counter bumped, and zero reference delegations."""
+
+    @pytest.mark.parametrize(
+        "build,node_type,rule",
+        [shape[1:] for shape in _RULE_SHAPES],
+        ids=[shape[0] for shape in _RULE_SHAPES],
+    )
+    @given(operands=st.lists(ptl_formulas(), min_size=2, max_size=2),
+           state=prop_states())
+    @settings(max_examples=60, deadline=None)
+    def test_rule_matches_reference(
+        self, build, node_type, rule, operands, state
+    ):
+        formula = build(operands)
+        # The smart constructors may simplify the shape away (e.g. G of a
+        # constant); the rule is only exercised when the node survives.
+        assume(isinstance(formula, node_type))
+        kernel = ProgressionKernel()
+        assert kernel.progress_formula(formula, state) is progress(
+            formula, state
+        )
+        info = kernel.info()
+        assert info.misses_by_rule[rule] >= 1
+        assert info.reference_delegations == 0
+
+    @given(formula=ptl_formulas(), states=state_seqs)
+    @settings(max_examples=100, deadline=None)
+    def test_negated_literal_and_deep_chains(self, formula, states):
+        # ¬literal has a dedicated mask-test fast path; wrap random
+        # formulas in ¬ and chain to cover it alongside the generic rule.
+        wrapped = pnot(formula)
+        kernel = ProgressionKernel()
+        expected = wrapped
+        oid = kernel.intern(wrapped)
+        for state in states:
+            expected = progress(expected, state)
+            oid = kernel.progress_id(oid, kernel.encode_state(state))
+            assert kernel.formula(oid) is expected
+        assert kernel.reference_delegations == 0
+
+
+class TestNoDelegation:
+    """The reference engine is oracle-only: the supported fragment never
+    reaches it, and a warmed table answers every repeat from rows."""
+
+    @given(formulas=st.lists(ptl_formulas(), min_size=1, max_size=6),
+           states=state_seqs)
+    @settings(max_examples=100, deadline=None)
+    def test_random_run_never_delegates(self, formulas, states):
+        kernel = ProgressionKernel()
+        for formula in formulas:
+            oid = kernel.intern(formula)
+            for state in states:
+                oid = kernel.progress_id(oid, kernel.encode_state(state))
+        info = kernel.info()
+        assert info.reference_delegations == 0
+        assert info.misses_by_rule["reference"] == 0
+        assert sum(info.misses_by_rule.values()) == info.misses
+
+    @given(formula=ptl_formulas(), states=state_seqs)
+    @settings(max_examples=100, deadline=None)
+    def test_second_pass_records_zero_misses(self, formula, states):
+        kernel = ProgressionKernel()
+        masks = [kernel.encode_state(state) for state in states]
+        oid = kernel.intern(formula)
+        first = oid
+        for mask in masks:
+            first = kernel.progress_id(first, mask)
+        misses_before = kernel.misses
+        second = oid
+        for mask in masks:
+            second = kernel.progress_id(second, mask)
+        assert second == first
+        assert kernel.misses == misses_before
+
+
+class TestCacheIsolation:
+    """Compiled-kernel traffic must not consult nor populate the
+    reference engine's formula-level LRU (regression: the PR 6 kernel
+    delegated case-(b) misses to ``progress``, churning that memo)."""
+
+    @given(formulas=st.lists(ptl_formulas(), min_size=1, max_size=4),
+           states=state_seqs)
+    @settings(max_examples=60, deadline=None)
+    def test_compiled_traffic_leaves_reference_lru_cold(
+        self, formulas, states
+    ):
+        progress_cache_clear()
+        kernel = ProgressionKernel()
+        for formula in formulas:
+            oid = kernel.intern(formula)
+            for state in states:
+                oid = kernel.progress_id(oid, kernel.encode_state(state))
+            kernel.formula(oid)
+        info = progress_cache_info()
+        assert info.hits == 0
+        assert info.misses == 0
+        assert info.currsize == 0
