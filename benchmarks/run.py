@@ -51,7 +51,7 @@ from repro.workloads.orders import (  # noqa: E402
     submit_once,
 )
 
-SCHEMA = "repro-bench-core/v6"
+SCHEMA = "repro-bench-core/v7"
 
 #: Schemas ``--validate`` accepts: v2 added the ``sat_*`` engine-comparison
 #: and ``parallel_triggers`` shapes (with their extra record keys); v3 adds
@@ -64,15 +64,20 @@ SCHEMA = "repro-bench-core/v6"
 #: compiled-kernel row hits out of ``progress_cache_hits`` into
 #: ``kernel_row_hits`` on every record and adds the native-rule kernel
 #: fields (``misses_by_rule``, ``reference_delegations`` — asserted zero —
-#: and ``kernel_transitions``) to ``e6_monitoring_compiled``.  Each
-#: version is otherwise backward compatible, so v1-v5 reports stay usable
-#: as baselines.
+#: and ``kernel_transitions``) to ``e6_monitoring_compiled``; v7 adds the
+#: ``e6_monitoring_planned`` shape (temporal-hierarchy backend dispatch
+#: through ``PlannedMonitor``, with ``routed_off_full`` / ``backends`` /
+#: ``planned_fast_decisions`` / ``planned_fallbacks`` / ``retired_steps``
+#: and the asserted-zero ``tic131`` cross-check count).  Each version is
+#: otherwise backward compatible, so v1-v6 reports stay usable as
+#: baselines.
 ACCEPTED_SCHEMAS = (
     "repro-bench-core/v1",
     "repro-bench-core/v2",
     "repro-bench-core/v3",
     "repro-bench-core/v4",
     "repro-bench-core/v5",
+    "repro-bench-core/v6",
     SCHEMA,
 )
 
@@ -112,20 +117,7 @@ def _clear_caches() -> None:
 
 def _sum_stats(monitor: IntegrityMonitor) -> dict[str, Any]:
     """Aggregate MonitorStats across constraints, tolerating old cores."""
-    totals = {
-        "progressions": 0,
-        "sat_calls": 0,
-        "sat_cache_hits": 0,
-        "progress_cache_hits": 0,
-        "kernel_row_hits": 0,
-        "regrounds": 0,
-        "skipped_constraints": 0,
-        "idle_steps": 0,
-        "shared_obligations": 0,
-        "fanout": 0,
-        "sat_time_s": 0.0,
-        "progress_time_s": 0.0,
-    }
+    totals = _zero_totals()
     for stats in monitor.stats().values():
         totals["progressions"] += stats.progressions
         totals["sat_calls"] += stats.sat_calls
@@ -143,6 +135,14 @@ def _sum_stats(monitor: IntegrityMonitor) -> dict[str, Any]:
             stats, "shared_obligations", 0
         )
         totals["fanout"] += getattr(stats, "fanout", 0)
+        totals["planned_fast_decisions"] += getattr(
+            stats, "planned_fast_decisions", 0
+        )
+        totals["planned_fallbacks"] += getattr(
+            stats, "planned_fallbacks", 0
+        )
+        totals["retired_steps"] += getattr(stats, "retired_steps", 0)
+        totals["past_updates"] += getattr(stats, "past_updates", 0)
         totals["sat_time_s"] += getattr(stats, "sat_time", 0.0)
         totals["progress_time_s"] += getattr(stats, "progress_time", 0.0)
     return totals
@@ -401,6 +401,89 @@ def bench_e6_monitoring_compiled(smoke: bool) -> dict[str, dict[str, Any]]:
     }
 
 
+def bench_e6_monitoring_planned(smoke: bool) -> dict[str, dict[str, Any]]:
+    """E6 through the temporal-hierarchy dispatch planner
+    (``PlannedMonitor`` over the compiled kernel).
+
+    Same trace and constraints as ``e6_monitoring`` — that record is the
+    in-run reference: violations must be identical (the planner may only
+    change the cost of a verdict, never the verdict) and at least one
+    constraint must be routed off the full ``progression-full`` pipeline,
+    or the plan did nothing.  Before running, every constraint passes the
+    TIC13x hierarchy lint and the harness asserts the TIC131
+    classifier-vs-automaton cross-check count is zero — the static side
+    of the dispatch soundness argument (DESIGN.md section 11).
+    """
+    from repro.core.plan import PlannedMonitor
+    from repro.lint import hierarchy_passes, lint_formula
+
+    length = 12 if smoke else 200
+    spare = 4 if smoke else 16
+    constraints = standard_constraints()
+    named = tuple(constraints.items())
+    tic131 = 0
+    for index, (_name, formula) in enumerate(named):
+        report = lint_formula(
+            formula,
+            mode="constraint",
+            passes=hierarchy_passes(),
+            constraint_set=named,
+            set_index=index,
+        )
+        tic131 += len(report.by_code("TIC131"))
+    assert tic131 == 0, (
+        "hierarchy classifier disagrees with the closure-automaton "
+        "safety analysis on the order constraints"
+    )
+    trace = generate_orders(
+        OrderWorkloadConfig(length=length, arrival_probability=0.3, seed=13)
+    )
+    _clear_caches()
+    monitor = PlannedMonitor(
+        constraints,
+        History.empty(ORDER_VOCABULARY),
+        strategy="spare",
+        spare=spare,
+        prune=False,
+        engine="compiled",
+    )
+    plan = monitor.plan
+    assert plan.routed_off_full() >= 1, (
+        "no constraint routed off the full pipeline: the plan is a no-op"
+    )
+    start = time.perf_counter()
+    for state in trace.states():
+        monitor.append_state(state)
+    wall = time.perf_counter() - start
+    totals = _sum_stats(monitor)
+    assert _E6_REFERENCE, "bench_e6_monitoring must run first"
+    violations = dict(monitor.violations())
+    assert violations == _E6_REFERENCE["violations"], (
+        "planned and unplanned monitors disagree on violations: "
+        f"{violations} vs {_E6_REFERENCE['violations']}"
+    )
+    return {
+        "e6_monitoring_planned": _result(
+            wall,
+            length,
+            totals,
+            ms_per_update=round(1e3 * wall / length, 3),
+            regrounds=totals["regrounds"],
+            violations=len(violations),
+            routed_off_full=plan.routed_off_full(),
+            backends={
+                entry.name: entry.backend for entry in plan.entries
+            },
+            planned_fast_decisions=totals["planned_fast_decisions"],
+            planned_fallbacks=totals["planned_fallbacks"],
+            retired_steps=totals["retired_steps"],
+            past_updates=totals["past_updates"],
+            tic131=tic131,
+            progress_cache_hit_rate=_progress_hit_rate(),
+        )
+    }
+
+
 def bench_e7_detection(smoke: bool) -> dict[str, dict[str, Any]]:
     """E7-shaped: the detection-latency monitoring loop at history ≥200.
 
@@ -485,6 +568,10 @@ def _zero_totals() -> dict[str, Any]:
         "idle_steps": 0,
         "shared_obligations": 0,
         "fanout": 0,
+        "planned_fast_decisions": 0,
+        "planned_fallbacks": 0,
+        "retired_steps": 0,
+        "past_updates": 0,
         "sat_time_s": 0.0,
         "progress_time_s": 0.0,
     }
@@ -699,6 +786,7 @@ BENCHMARKS: tuple[Callable[[bool], dict[str, dict[str, Any]]], ...] = (
     bench_e6_monitoring,
     bench_e6_monitoring_pruned,
     bench_e6_monitoring_compiled,
+    bench_e6_monitoring_planned,
     bench_e7_detection,
     bench_sat_micro,
     bench_parallel_triggers,

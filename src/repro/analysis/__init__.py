@@ -15,6 +15,15 @@ from .affect import (
     affect_set,
     index_for,
 )
+from .hierarchy import (
+    RETIRABLE_CLASSES,
+    SAFE_CLASSES,
+    HierarchyClass,
+    HierarchyInfo,
+    backend_for,
+    classify_hierarchy,
+    classify_ptl_hierarchy,
+)
 from .idle import IdleClass, idle_class, ptl_idle_class, static_verdict
 
 __all__ = [
@@ -24,6 +33,13 @@ __all__ = [
     "UpdateDependencyIndex",
     "affect_set",
     "index_for",
+    "HierarchyClass",
+    "HierarchyInfo",
+    "SAFE_CLASSES",
+    "RETIRABLE_CLASSES",
+    "backend_for",
+    "classify_hierarchy",
+    "classify_ptl_hierarchy",
     "IdleClass",
     "idle_class",
     "ptl_idle_class",

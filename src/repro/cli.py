@@ -5,13 +5,18 @@ Subcommands:
 * ``check``    — decide potential satisfaction of a constraint on a history
   stored as JSON (see :mod:`repro.database.serialize` for the format).
 * ``classify`` — report a formula's class (biquantified / universal /
-  safety) and which results of the paper apply to it.
+  safety, plus the temporal-hierarchy class) and which results of the
+  paper apply to it; ``--json`` for a machine-readable report.
 * ``lint``     — run the static analysis passes of :mod:`repro.lint` over
   one constraint or a file of constraints; ``--json`` for machine-readable
   reports, ``--strict`` to fail on warnings too, ``--deps`` for the TIC12x
-  dependence passes (with ``--vocabulary`` to compare against a schema).
+  dependence passes (with ``--vocabulary`` to compare against a schema),
+  ``--hierarchy`` for the TIC13x temporal-hierarchy passes.
 * ``analyze-deps`` — emit the static update–constraint dependence matrix
   (:mod:`repro.analysis`) of a constraint set as JSON.
+* ``plan``     — classify a constraint set in the temporal hierarchy and
+  emit the backend-dispatch plan (:mod:`repro.core.plan`) with the TIC13x
+  diagnostics as JSON; ``--strict`` fails on warnings too.
 * ``monitor``  — replay a history state by state through the online monitor
   and report violations with their detection instants (``--no-prune``
   disables the static dependence pruning).
@@ -33,13 +38,21 @@ import os
 import sys
 
 from .analysis import UpdateDependencyIndex, idle_class, static_verdict
+from .analysis.hierarchy import backend_for, classify_hierarchy
 from .core.checker import check_extension
 from .core.parallel import run_monitor
+from .core.plan import plan_constraints
 from .database.history import History
 from .database.serialize import load_history
 from .database.vocabulary import Vocabulary, vocabulary
 from .errors import ParseError, ReproError
-from .lint import lint_constraint_set, lint_formula, lint_source
+from .lint import (
+    SetAnalyzer,
+    hierarchy_passes,
+    lint_constraint_set,
+    lint_formula,
+    lint_source,
+)
 from .lint.diagnostics import LintReport
 from .logic.classify import classify
 from .logic.formulas import Formula
@@ -52,6 +65,9 @@ LINT_JSON_VERSION = 2
 
 #: Schema version of the ``analyze-deps`` JSON output.
 DEPS_JSON_VERSION = 1
+
+#: Schema version of the ``plan`` JSON output.
+PLAN_JSON_VERSION = 1
 
 
 def _parse_vocabulary_spec(spec: str) -> Vocabulary:
@@ -112,6 +128,32 @@ def _cmd_check(args: argparse.Namespace) -> int:
 def _cmd_classify(args: argparse.Namespace) -> int:
     formula = parse(args.constraint)
     info = classify(formula)
+    safe = is_syntactically_safe(formula)
+    decidable = info.is_universal and safe
+    hierarchy = classify_hierarchy(formula)
+    if args.json:
+        payload = {
+            "formula": str(formula),
+            "closed": formula.is_closed(),
+            "external_universals": len(info.external_universals),
+            "biquantified": info.is_biquantified,
+            "universal": info.is_universal,
+            "internal_quantifiers": info.internal_quantifiers,
+            "has_past": info.has_past,
+            "has_future": info.has_future,
+            "syntactically_safe": safe,
+            "why_not_safe": None if safe else why_not_safe(formula),
+            "hierarchy": {
+                "class": hierarchy.cls.value,
+                "backend": backend_for(hierarchy.cls),
+                "lookahead": hierarchy.lookahead,
+                "reason": hierarchy.reason,
+            },
+            "decidable": decidable,
+        }
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+        return 1 if args.strict and not decidable else 0
     print(f"formula: {formula}")
     print(f"closed sentence:      {formula.is_closed()}")
     print(f"external universals:  {len(info.external_universals)}")
@@ -119,11 +161,16 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     print(f"universal:            {info.is_universal}")
     print(f"internal quantifiers: {info.internal_quantifiers}")
     print(f"uses past / future:   {info.has_past} / {info.has_future}")
-    safe = is_syntactically_safe(formula)
     print(f"syntactically safe:   {safe}")
     if not safe:
         print(f"  reason: {why_not_safe(formula)}")
-    decidable = info.is_universal and safe
+    depth = (
+        f", lookahead {hierarchy.lookahead}"
+        if hierarchy.lookahead is not None
+        else ""
+    )
+    print(f"temporal hierarchy:   {hierarchy.cls.value}{depth} "
+          f"(backend: {backend_for(hierarchy.cls)})")
     if decidable:
         print("=> decidable: extension checking in exponential time "
               "(Theorem 4.2)")
@@ -186,6 +233,7 @@ def _semantic_lint_reports(
     names = getattr(args, "lint_names", None) or [None] * len(sources)
     vocab = getattr(args, "lint_vocabulary", None)
     deps = bool(getattr(args, "deps", False))
+    hierarchy = bool(getattr(args, "hierarchy", False))
     reports: list[LintReport | None] = [None] * len(sources)
     parsed: list[tuple[int, str]] = []
     for index, source in enumerate(sources):
@@ -211,6 +259,7 @@ def _semantic_lint_reports(
             semantic=bool(args.semantic),
             sources=[source for _index, source in parsed],
             deps=deps,
+            hierarchy=hierarchy,
         )
         for (index, _source), report in zip(parsed, set_reports):
             reports[index] = report
@@ -251,9 +300,11 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         _parse_vocabulary_spec(args.vocabulary) if args.vocabulary else None
     )
     mode = "trigger" if args.trigger else "constraint"
-    if args.semantic or args.deps:
-        # The set-aware path: semantic passes share one analyzer, and the
-        # TIC12x set-level dependence passes see the whole constraint set.
+    if args.semantic or args.deps or args.hierarchy:
+        # The set-aware path: semantic passes share one analyzer, the
+        # TIC12x set-level dependence passes see the whole constraint
+        # set, and the TIC13x hierarchy passes share its analyzer for
+        # the safety cross-check.
         reports = _semantic_lint_reports(sources, mode, args)
     else:
         reports = [
@@ -340,6 +391,73 @@ def _cmd_analyze_deps(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_plan(args: argparse.Namespace) -> int:
+    """Emit the backend-dispatch plan of a constraint set as JSON.
+
+    Each constraint is classified in the temporal hierarchy
+    (:mod:`repro.analysis.hierarchy`), assigned the cheapest sound
+    backend (:func:`repro.core.plan.plan_constraints`), and vetted by the
+    TIC13x lint passes — sharing one grounded analyzer so the TIC131
+    safety cross-check and TIC132 vacuity check ground the set once.
+    """
+    named_inputs = _named_lint_inputs(args.target)
+    constraints: dict[str, Formula] = {}
+    for index, (name, source) in enumerate(named_inputs):
+        label = name or f"c{index}"
+        if label in constraints:
+            label = f"{label}_{index}"
+        constraints[label] = parse(source)
+    if not constraints:
+        raise ReproError(f"no constraints found in {args.target!r}")
+    plan = plan_constraints(constraints)
+    named = tuple(constraints.items())
+    analyzer = SetAnalyzer(
+        constraints=named, engine=args.engine, jobs=args.jobs
+    )
+    errors = warnings_ = infos = 0
+    constraint_block: dict[str, dict[str, object]] = {}
+    for index, (label, formula) in enumerate(named):
+        report = lint_formula(
+            formula,
+            mode="constraint",
+            passes=hierarchy_passes(),
+            constraint_set=named,
+            set_index=index,
+            engine=args.engine,
+            jobs=args.jobs,
+            analyzer=analyzer,
+        )
+        errors += len(report.errors)
+        warnings_ += len(report.warnings)
+        infos += len(report.infos)
+        entry = plan[label]
+        constraint_block[label] = {
+            "hierarchy": entry.hierarchy,
+            "backend": entry.backend,
+            "lookahead": entry.lookahead,
+            "reason": entry.reason,
+            "diagnostics": [d.to_dict() for d in report.diagnostics],
+        }
+    document = {
+        "version": PLAN_JSON_VERSION,
+        "constraints": constraint_block,
+        "plan": plan.to_dict(),
+        "summary": {
+            "constraints": len(named),
+            "by_class": dict(sorted(plan.by_class().items())),
+            "by_backend": dict(sorted(plan.by_backend().items())),
+            "routed_off_full": plan.routed_off_full(),
+            "error": errors,
+            "warning": warnings_,
+            "info": infos,
+        },
+    }
+    json.dump(document, sys.stdout, indent=2)
+    print()
+    failed = errors > 0 or (args.strict and warnings_ > 0)
+    return 1 if failed else 0
+
+
 def _cmd_monitor(args: argparse.Namespace) -> int:
     history = load_history(args.history)
     constraints = {
@@ -407,6 +525,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     cls = sub.add_parser("classify", help="classify a formula")
     cls.add_argument("constraint")
+    cls.add_argument("--json", action="store_true",
+                     help="machine-readable classification report "
+                     "(includes the temporal-hierarchy class and "
+                     "dispatch backend)")
     cls.add_argument("--strict", action="store_true",
                      help="exit 1 when the formula is outside the "
                      "decidable universal-safety class")
@@ -453,6 +575,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="also run the TIC12x dependence passes (dead "
                       "constraints, unmonitored relations, polarity "
                       "monotonicity, statically idle constraints)")
+    lint.add_argument("--hierarchy", action="store_true",
+                      help="also run the TIC13x temporal-hierarchy "
+                      "passes (class report, safety cross-check, "
+                      "retired vacuity, lookahead bound, dispatch "
+                      "summary)")
     lint.add_argument("--vocabulary", metavar="SPEC",
                       help="database schema as 'Name:arity,Name:arity' — "
                       "enables the vocabulary-aware passes")
@@ -474,6 +601,28 @@ def build_parser() -> argparse.ArgumentParser:
                       help="exit 1 when dead constraints or unmonitored "
                       "relations are found (requires --vocabulary)")
     deps.set_defaults(func=_cmd_analyze_deps)
+
+    plan = sub.add_parser(
+        "plan",
+        help="emit the temporal-hierarchy backend-dispatch plan of a "
+        "constraint set as JSON",
+    )
+    plan.add_argument(
+        "target",
+        help="a constraint expression, or a path to a file with one "
+        "constraint per line ('#' comments allowed)",
+    )
+    plan.add_argument("--strict", action="store_true",
+                      help="also fail (exit 1) on warning-severity "
+                      "diagnostics (e.g. TIC132 retired-at-birth)")
+    plan.add_argument("--engine", choices=("bitset", "reference"),
+                      default="bitset",
+                      help="satisfiability kernel for the TIC131/TIC132 "
+                      "semantic cross-checks (default bitset)")
+    plan.add_argument("--jobs", type=int, default=1,
+                      help="worker processes for the set analysis "
+                      "(1 = serial, 0 = one per CPU)")
+    plan.set_defaults(func=_cmd_plan)
 
     mon = sub.add_parser("monitor", help="replay a history through the "
                          "online monitor")

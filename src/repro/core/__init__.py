@@ -39,6 +39,12 @@ from .parallel import (
     run_monitor,
     split_chunks,
 )
+from .plan import (
+    ConstraintPlan,
+    MonitorPlan,
+    PlannedMonitor,
+    plan_constraints,
+)
 from .reduction import (
     Reduction,
     constraint_relevant_elements,
@@ -61,14 +67,17 @@ __all__ = [
     "AnalysisResult",
     "Anon",
     "CheckResult",
+    "ConstraintPlan",
     "EqAtom",
     "Firing",
     "GroundAtom",
     "GroundContext",
     "GroundElement",
     "IntegrityMonitor",
+    "MonitorPlan",
     "MonitorRun",
     "MonitorStats",
+    "PlannedMonitor",
     "Reduction",
     "RelAtom",
     "Trigger",
@@ -90,6 +99,7 @@ __all__ = [
     "ground_domain",
     "implies_universal",
     "parallel_map",
+    "plan_constraints",
     "potentially_satisfied",
     "redundant_constraints",
     "reduce_universal",

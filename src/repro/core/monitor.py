@@ -59,6 +59,14 @@ from .reduction import (
 
 _STRATEGIES = ("scratch", "incremental", "spare")
 _ENGINES = ("compiled", "bitset", "reference")
+# Progression-side backends a dispatch plan may assign to an entry of
+# this monitor ("pasteval" never reaches IntegrityMonitor — the planner
+# routes past-closed constraints to repro.pasteval before construction).
+_BACKENDS = (
+    "progression-full",
+    "progression-safety",
+    "progression-cosafety",
+)
 
 
 @dataclass
@@ -92,6 +100,19 @@ class MonitorStats:
     (``shared_obligations``), and the entry that did the work counts how
     many sharers it served (``fanout``) — so the two totals are equal
     across a monitor.
+
+    The dispatch-planner counters (see :mod:`repro.core.plan`) stay zero
+    on unplanned monitors: ``planned_fast_decisions`` counts decisions a
+    non-default backend resolved without the Büchi fairness machinery
+    (constant-true/false remainder or the linear quick model check);
+    ``planned_fallbacks`` counts decisions that did reach the full
+    satisfiability engine despite the plan; ``retired_steps`` counts
+    instants a discharged co-safety constraint skipped entirely.
+    ``past_updates``/``past_memory`` are filled by the
+    :class:`repro.pasteval.monitor.PastMonitor` backend — updates
+    evaluated by the incremental past evaluator and its current table
+    footprint (entries, not bytes) — so planned runs report one coherent
+    stats object across engines.
     """
 
     progressions: int = 0
@@ -105,6 +126,11 @@ class MonitorStats:
     idle_steps: int = 0
     shared_obligations: int = 0
     fanout: int = 0
+    planned_fast_decisions: int = 0
+    planned_fallbacks: int = 0
+    retired_steps: int = 0
+    past_updates: int = 0
+    past_memory: int = 0
     sat_time: float = 0.0
     progress_time: float = 0.0
 
@@ -132,6 +158,7 @@ class _ConstraintEntry:
     name: str
     constraint: Formula
     info: FormulaInfo
+    backend: str = "progression-full"
     reduction: Reduction | None = None
     remainder: PTLFormula | None = None
     known_elements: frozenset[int] = frozenset()
@@ -215,6 +242,18 @@ class IntegrityMonitor:
     three produce identical verdicts, violations and remainders
     (property-tested).
 
+    ``backends`` (optional) carries per-constraint assignments from a
+    dispatch plan (:func:`repro.core.plan.plan_constraints`):
+    ``"progression-safety"`` marks decisions that should resolve without
+    the Büchi fairness search (counted via ``planned_fast_decisions`` /
+    ``planned_fallbacks``), ``"progression-cosafety"`` additionally
+    *retires* the constraint once its remainder is discharged to ``true``
+    — quiet bookkeeping only, no progression or decision — un-retiring
+    (by reground) when a fresh element introduces a new obligation.
+    Verdicts, violations and remainders are identical with and without a
+    plan (property-tested): progression of ``true`` is ``true``, so the
+    retired fast path only skips provably idempotent work.
+
     >>> from ..logic import parse
     >>> from ..database import History, Update, vocabulary
     >>> v = vocabulary({"Sub": 1})
@@ -241,6 +280,7 @@ class IntegrityMonitor:
         lint: str = "warn",
         engine: str = "bitset",
         prune: bool = True,
+        backends: Mapping[str, str] | None = None,
     ) -> None:
         if strategy not in _STRATEGIES:
             raise ValueError(
@@ -250,6 +290,11 @@ class IntegrityMonitor:
             raise ValueError(
                 f"engine must be one of {_ENGINES}, got {engine!r}"
             )
+        for backend in (backends or {}).values():
+            if backend not in _BACKENDS:
+                raise ValueError(
+                    f"backend must be one of {_BACKENDS}, got {backend!r}"
+                )
         if strategy == "spare" and not fold:
             raise ValueError(
                 "the spare-element strategy requires the folded grounding"
@@ -298,7 +343,12 @@ class IntegrityMonitor:
                 formula, assume_safety=assume_safety, lint=lint
             )
             self._entries.append(
-                _ConstraintEntry(name=name, constraint=formula, info=info)
+                _ConstraintEntry(
+                    name=name,
+                    constraint=formula,
+                    info=info,
+                    backend=(backends or {}).get(name, "progression-full"),
+                )
             )
         for entry in self._entries:
             self._reground(entry)
@@ -395,6 +445,17 @@ class IntegrityMonitor:
                 continue
             active.append((entry, entry.remainder))
             if (
+                entry.backend == "progression-cosafety"
+                and self._strategy != "scratch"
+                and isinstance(entry.remainder, PTLTrue)
+            ):
+                # Discharged co-safety constraint: the remainder is the
+                # absorbing true, so progression could not move it.  Only
+                # the strategy bookkeeping (spare claims, fresh-element
+                # detection) still runs; a fresh element regrounds and
+                # thereby un-retires the entry.
+                self._advance_retired(entry)
+            elif (
                 touched is not None
                 and entry.name not in touched
                 and entry.last_props is not None
@@ -522,6 +583,44 @@ class IntegrityMonitor:
                 entry.stats.progress_cache_hits += 1
         entry.stats.idle_steps += 1
         entry.remainder = cached
+
+    def _advance_retired(self, entry: _ConstraintEntry) -> None:
+        """Pass an instant through a discharged co-safety entry.
+
+        ``progress(true, s) = true`` for every state ``s``, so the
+        remainder provably cannot move; what must still run is the
+        strategy bookkeeping of :meth:`_prepare_advance` — spare-slot
+        claiming and fresh-element detection — because a fresh element
+        introduces a brand-new ground obligation that the collapsed
+        remainder no longer represents.  A fresh element is renamed onto
+        an unused spare when possible (sound for the same reason as the
+        live path: before its first appearance the fresh element is
+        interchangeable with a spare whose fact letters were false
+        throughout, so its instance progressed to the same discharged
+        ``true``), and regrounds otherwise, which un-retires the entry.
+        """
+        assert entry.reduction is not None
+        new_state = self._history.current
+        visible = self._entry_domain(entry, new_state)
+        if self._strategy == "spare":
+            taken = set(entry.spare_map.values())
+            for element in visible:
+                if element in entry.spare_pool and (
+                    element not in entry.spare_map
+                ):
+                    if element in taken:
+                        self._reground(entry)
+                        return
+                    entry.spare_map[element] = element
+        fresh = visible - entry.known_elements
+        fresh -= entry.reduction.relevant
+        if fresh and not (
+            self._strategy == "spare" and self._try_rename(entry, fresh)
+        ):
+            self._reground(entry)
+            return
+        entry.known_elements |= visible
+        entry.stats.retired_steps += 1
 
     def _entry_domain(
         self, entry: _ConstraintEntry, state: DatabaseState
@@ -727,9 +826,21 @@ class IntegrityMonitor:
     def _decide(self, entry: _ConstraintEntry, instant: int) -> bool:
         assert entry.remainder is not None
         remainder = entry.remainder
+        # Plan accounting: a non-default backend promises most decisions
+        # resolve on the constant-remainder test or the linear quick
+        # model check (planned_fast_decisions); reaching the full
+        # satisfiability engine anyway is a planned_fallback.  The
+        # decision logic itself is identical across backends — that is
+        # what makes planned and unplanned verdicts equal by
+        # construction.
+        planned = entry.backend != "progression-full"
         if isinstance(remainder, PTLTrue):
+            if planned:
+                entry.stats.planned_fast_decisions += 1
             return True
         if isinstance(remainder, PTLFalse):
+            if planned:
+                entry.stats.planned_fast_decisions += 1
             entry.violated_at = instant
             return False
         cached = self._sat_cache.get(remainder)
@@ -741,21 +852,27 @@ class IntegrityMonitor:
             start = time.perf_counter()
             if quick_model_check(remainder):
                 ok = True
-            elif self._kernel is not None:
-                ok = self._kernel.is_satisfiable(remainder)
+                if planned:
+                    entry.stats.planned_fast_decisions += 1
             else:
-                # The satisfiability facade knows "bitset"/"reference";
-                # "compiled" (a progression-side distinction) decides
-                # through the bitset engine.
-                ok = is_satisfiable(
-                    remainder,
-                    method=self._method,
-                    engine=(
-                        "bitset"
-                        if self._engine == "compiled"
-                        else self._engine
-                    ),
-                )
+                if planned:
+                    entry.stats.planned_fallbacks += 1
+                if self._kernel is not None:
+                    ok = self._kernel.is_satisfiable(remainder)
+                else:
+                    # The satisfiability facade knows
+                    # "bitset"/"reference"; "compiled" (a
+                    # progression-side distinction) decides through the
+                    # bitset engine.
+                    ok = is_satisfiable(
+                        remainder,
+                        method=self._method,
+                        engine=(
+                            "bitset"
+                            if self._engine == "compiled"
+                            else self._engine
+                        ),
+                    )
             entry.stats.sat_time += time.perf_counter() - start
             self._sat_cache[remainder] = ok
         if not ok:

@@ -1,0 +1,379 @@
+"""Backend-dispatch planning over the temporal hierarchy.
+
+The monitor treats every constraint identically: ground, progress,
+decide satisfiability after each update.  But the paper's feasibility
+results are fragment-by-fragment, and the fragment a constraint lives in
+is a *static, syntactic* question (:mod:`repro.analysis.hierarchy`).
+This module turns the classification into an executable dispatch plan:
+
+========================  =========================  ======================
+hierarchy class           backend                    what it saves
+========================  =========================  ======================
+``past-closed``           ``pasteval``               everything: no
+                                                     grounding, no
+                                                     progression, no
+                                                     satisfiability calls
+                                                     (Proposition 2.1 /
+                                                     Section 6)
+``safety``                ``progression-safety``     the Büchi fairness
+                                                     search: decisions
+                                                     resolve on the
+                                                     constant-remainder
+                                                     test or the linear
+                                                     quick model check
+                                                     (counted, with
+                                                     fallbacks)
+``bounded-future`` /      ``progression-cosafety``   like safety, plus the
+``co-safety``                                        whole per-update step
+                                                     once discharged: a
+                                                     ``true`` remainder
+                                                     retires the entry
+``general``               ``progression-full``       nothing — the full
+                                                     compiled kernel
+========================  =========================  ======================
+
+:class:`PlannedMonitor` executes a plan: past-closed constraints go to
+the :class:`repro.pasteval.monitor.PastMonitor` incremental evaluator
+(which accepts constraints the Theorem 4.1 pipeline *rejects* — past
+connectives raise ``NotUniversalError`` there), everything else to one
+:class:`repro.core.monitor.IntegrityMonitor` carrying the per-entry
+backend assignments.  Verdicts and violations are identical to an
+unplanned monitor on the shared fragment (hypothesis-tested over
+strategies × prune, like bitset and compiled were pinned to reference);
+DESIGN.md section 11 carries the soundness argument per backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
+
+from ..analysis.hierarchy import backend_for, classify_hierarchy
+from ..database.history import History
+from ..database.state import DatabaseState
+from ..database.updates import Update
+from ..logic.formulas import Formula
+from ..ptl.formulas import PTLFormula
+from .monitor import IntegrityMonitor, MonitorStats, UpdateReport
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..pasteval.monitor import PastMonitor
+
+__all__ = [
+    "ConstraintPlan",
+    "MonitorPlan",
+    "PlannedMonitor",
+    "plan_constraints",
+]
+
+
+@dataclass(frozen=True)
+class ConstraintPlan:
+    """The dispatch decision for one constraint."""
+
+    name: str
+    hierarchy: str
+    backend: str
+    lookahead: int | None
+    reason: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "hierarchy": self.hierarchy,
+            "backend": self.backend,
+            "lookahead": self.lookahead,
+            "reason": self.reason,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ConstraintPlan":
+        return cls(
+            name=data["name"],
+            hierarchy=data["hierarchy"],
+            backend=data["backend"],
+            lookahead=data["lookahead"],
+            reason=data["reason"],
+        )
+
+
+@dataclass(frozen=True)
+class MonitorPlan:
+    """A full dispatch plan: one :class:`ConstraintPlan` per constraint.
+
+    >>> from ..logic import parse
+    >>> plan = plan_constraints({
+    ...     "audit": parse("forall x . G (Fill(x) -> Y O Sub(x))"),
+    ...     "once": parse("forall x . G (Sub(x) -> X G !Sub(x))"),
+    ... })
+    >>> [(p.name, p.backend) for p in plan.entries]
+    [('audit', 'pasteval'), ('once', 'progression-safety')]
+    >>> plan.routed_off_full()
+    2
+    """
+
+    entries: tuple[ConstraintPlan, ...]
+
+    def __getitem__(self, name: str) -> ConstraintPlan:
+        for entry in self.entries:
+            if entry.name == name:
+                return entry
+        raise KeyError(name)
+
+    def by_class(self) -> dict[str, int]:
+        """Constraint counts per hierarchy class."""
+        out: dict[str, int] = {}
+        for entry in self.entries:
+            out[entry.hierarchy] = out.get(entry.hierarchy, 0) + 1
+        return out
+
+    def by_backend(self) -> dict[str, int]:
+        """Constraint counts per assigned backend."""
+        out: dict[str, int] = {}
+        for entry in self.entries:
+            out[entry.backend] = out.get(entry.backend, 0) + 1
+        return out
+
+    def routed_off_full(self) -> int:
+        """How many constraints avoid the full compiled pipeline."""
+        return sum(
+            1
+            for entry in self.entries
+            if entry.backend != "progression-full"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (``repro-tic plan`` emits this)."""
+        return {
+            "version": 1,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MonitorPlan":
+        """Inverse of :meth:`to_dict` (hypothesis-tested round trip)."""
+        version = data.get("version")
+        if version != 1:
+            raise ValueError(
+                f"unsupported MonitorPlan version: {version!r}"
+            )
+        return cls(
+            entries=tuple(
+                ConstraintPlan.from_dict(entry)
+                for entry in data["entries"]
+            )
+        )
+
+
+def plan_constraints(
+    constraints: Mapping[str, Formula] | Sequence[Formula],
+) -> MonitorPlan:
+    """Classify every constraint and assign the cheapest sound backend.
+
+    Purely static — no history, no automata, no satisfiability calls —
+    so planning is free relative to monitoring.  Sequences get the same
+    ``constraint_{i}`` names the monitor would assign.
+    """
+    if not isinstance(constraints, Mapping):
+        constraints = {
+            f"constraint_{index}": formula
+            for index, formula in enumerate(constraints)
+        }
+    entries = []
+    for name, formula in constraints.items():
+        info = classify_hierarchy(formula)
+        entries.append(
+            ConstraintPlan(
+                name=name,
+                hierarchy=info.cls.value,
+                backend=backend_for(info.cls),
+                lookahead=info.lookahead,
+                reason=info.reason,
+            )
+        )
+    return MonitorPlan(entries=tuple(entries))
+
+
+class PlannedMonitor:
+    """An :class:`IntegrityMonitor` drop-in that executes a dispatch plan.
+
+    Constraints are planned at construction: past-closed ones go to the
+    history-less :class:`repro.pasteval.monitor.PastMonitor` (no
+    grounding, no satisfiability engine), the rest to one shared
+    :class:`IntegrityMonitor` whose entries carry their planned backend
+    (safety fast-decision accounting, co-safety retirement).  Reports
+    merge both engines in registration order, so callers see a single
+    monitor.
+
+    Because past-closed constraints bypass the Theorem 4.1 pipeline,
+    a :class:`PlannedMonitor` accepts mixed sets that
+    :class:`IntegrityMonitor` rejects outright:
+
+    >>> from ..logic import parse
+    >>> from ..database import History, Update, vocabulary
+    >>> v = vocabulary({"Sub": 1, "Fill": 1})
+    >>> monitor = PlannedMonitor(
+    ...     {
+    ...         "audit": parse("forall x . G (Fill(x) -> Y O Sub(x))"),
+    ...         "once": parse("forall x . G (Sub(x) -> X G !Sub(x))"),
+    ...     },
+    ...     History.empty(v),
+    ... )
+    >>> monitor.plan["audit"].backend
+    'pasteval'
+    >>> monitor.apply(Update.insert(("Fill", (7,)))).new_violations
+    ('audit',)
+
+    The lint pre-flight gate applies to the progression-monitored
+    constraints exactly as in :class:`IntegrityMonitor`; pasteval-routed
+    constraints are validated by shape instead
+    (:func:`repro.pasteval.monitor.past_body`) — the TIC004 reduction
+    lint does not apply to an engine that never grounds.
+    """
+
+    def __init__(
+        self,
+        constraints: Mapping[str, Formula] | Sequence[Formula],
+        initial: History,
+        assume_safety: bool = False,
+        method: str = "buchi",
+        strategy: str = "incremental",
+        spare: int = 2,
+        fold: bool = True,
+        lint: str = "warn",
+        engine: str = "bitset",
+        prune: bool = True,
+    ) -> None:
+        from ..pasteval.monitor import PastMonitor
+
+        if not isinstance(constraints, Mapping):
+            constraints = {
+                f"constraint_{index}": formula
+                for index, formula in enumerate(constraints)
+            }
+        self._plan = plan_constraints(constraints)
+        self._order = tuple(constraints)
+        self._history = initial
+        past_names = tuple(
+            entry.name
+            for entry in self._plan.entries
+            if entry.backend == "pasteval"
+        )
+        self._past: PastMonitor | None = None
+        if past_names:
+            self._past = PastMonitor(
+                {name: constraints[name] for name in past_names},
+                initial.vocabulary,
+                constant_bindings=initial.constant_bindings,
+            )
+            # PastMonitor starts before instant 0; replay the initial
+            # history so both engines agree on "now".
+            for state in initial.states:
+                self._past.append_state(state)
+        self._full: IntegrityMonitor | None = None
+        full = {
+            name: formula
+            for name, formula in constraints.items()
+            if name not in past_names
+        }
+        if full:
+            self._full = IntegrityMonitor(
+                full,
+                initial,
+                assume_safety=assume_safety,
+                method=method,
+                strategy=strategy,
+                spare=spare,
+                fold=fold,
+                lint=lint,
+                engine=engine,
+                prune=prune,
+                backends={
+                    entry.name: entry.backend
+                    for entry in self._plan.entries
+                    if entry.backend != "pasteval"
+                },
+            )
+
+    # -- public surface ------------------------------------------------------
+
+    @property
+    def plan(self) -> MonitorPlan:
+        """The static dispatch plan this monitor executes."""
+        return self._plan
+
+    @property
+    def history(self) -> History:
+        return self._history
+
+    @property
+    def now(self) -> int:
+        return self._history.now
+
+    def violations(self) -> dict[str, int]:
+        """Violated constraints and the instant each was first violated,
+        merged across backends in registration order."""
+        merged: dict[str, int] = {}
+        if self._full is not None:
+            merged.update(self._full.violations())
+        if self._past is not None:
+            merged.update(self._past.violations())
+        return {
+            name: merged[name] for name in self._order if name in merged
+        }
+
+    def stats(self) -> dict[str, MonitorStats]:
+        """Per-constraint work counters — one coherent
+        :class:`MonitorStats` shape across both engines."""
+        merged: dict[str, MonitorStats] = {}
+        if self._full is not None:
+            merged.update(self._full.stats())
+        if self._past is not None:
+            merged.update(self._past.stats())
+        return {name: merged[name] for name in self._order}
+
+    def remainders(self) -> dict[str, PTLFormula]:
+        """Progressed remainders of the progression-monitored
+        constraints.  Pasteval-routed constraints keep no remainder —
+        that is the point of the history-less regime — so they do not
+        appear here."""
+        if self._full is None:
+            return {}
+        return self._full.remainders()
+
+    def reset(self) -> None:
+        """Zero every per-constraint work counter (state untouched)."""
+        if self._full is not None:
+            self._full.reset()
+        if self._past is not None:
+            self._past.reset()
+
+    def is_satisfied(self, name: str) -> bool:
+        if name not in self._order:
+            raise KeyError(name)
+        return name not in self.violations()
+
+    def apply(self, update: Update) -> UpdateReport:
+        """Apply an update and re-check every constraint."""
+        return self.append_state(update.apply(self._history.current))
+
+    def append_state(self, state: DatabaseState) -> UpdateReport:
+        """Append a full next state (alternative to delta updates)."""
+        self._history = self._history.extended(state)
+        satisfied: dict[str, bool] = {}
+        fresh: set[str] = set()
+        if self._full is not None:
+            report = self._full.append_state(state)
+            satisfied.update(report.satisfied)
+            fresh.update(report.new_violations)
+        if self._past is not None:
+            past_report = self._past.append_state(state)
+            satisfied.update(past_report.satisfied)
+            fresh.update(past_report.new_violations)
+        return UpdateReport(
+            instant=self._history.now,
+            satisfied={name: satisfied[name] for name in self._order},
+            new_violations=tuple(
+                name for name in self._order if name in fresh
+            ),
+        )

@@ -35,6 +35,7 @@ from ..logic.formulas import Formula
 from .diagnostics import Diagnostic, LintReport, LintWarning, Severity
 from .engine import (
     DEPS_PASS_REGISTRY,
+    HIERARCHY_PASS_REGISTRY,
     MODES,
     LintContext,
     LintPass,
@@ -42,10 +43,12 @@ from .engine import (
     SEMANTIC_PASS_REGISTRY,
     all_passes,
     deps_passes,
+    hierarchy_passes,
     lint_formula,
     lint_source,
     register,
     register_deps,
+    register_hierarchy,
     register_semantic,
     semantic_passes,
 )
@@ -64,6 +67,7 @@ def _cached_report(
     vocabulary: Vocabulary | None = None,
     semantic: bool = False,
     deps: bool = False,
+    hierarchy: bool = False,
 ) -> LintReport:
     # Formulas and vocabularies are immutable and hashable, so reports
     # can be memoized on the full argument tuple; the hot path (triggers
@@ -76,6 +80,7 @@ def _cached_report(
         vocabulary=vocabulary,
         semantic=semantic,
         deps=deps,
+        hierarchy=hierarchy,
     )
 
 
@@ -102,6 +107,7 @@ def preflight(
     domain_size: int = 8,
     semantic: bool = False,
     deps: bool = False,
+    hierarchy: bool = False,
 ) -> LintReport:
     """Lint a constraint as a deploy-time gate.
 
@@ -124,6 +130,11 @@ def preflight(
         Run the TIC12x dependence passes as well (dead constraints,
         unmonitored relations, polarity monotonicity, statically idle
         constraints) — the static update-dependence gate.
+    hierarchy:
+        Run the TIC13x temporal-hierarchy passes as well (class report,
+        safety cross-check, retired vacuity, lookahead bound, dispatch
+        summary) — the backend-dispatch gate of
+        :func:`repro.core.plan.plan_constraints`.
 
     Returns the report (an empty one when ``gate="off"``).
     """
@@ -132,7 +143,7 @@ def preflight(
     if gate == "off":
         return LintReport(diagnostics=(), mode=mode)
     report = _cached_report(
-        formula, mode, domain_size, vocabulary, semantic, deps
+        formula, mode, domain_size, vocabulary, semantic, deps, hierarchy
     )
     errors = [
         d
@@ -155,6 +166,7 @@ __all__ = [
     "DEPS_PASS_REGISTRY",
     "Diagnostic",
     "GATE_MODES",
+    "HIERARCHY_PASS_REGISTRY",
     "LintContext",
     "LintError",
     "LintPass",
@@ -170,6 +182,7 @@ __all__ = [
     "cache_clear",
     "cache_info",
     "deps_passes",
+    "hierarchy_passes",
     "lint_constraint_set",
     "lint_formula",
     "lint_source",
@@ -177,6 +190,7 @@ __all__ = [
     "preflight",
     "register",
     "register_deps",
+    "register_hierarchy",
     "register_semantic",
     "semantic_passes",
 ]

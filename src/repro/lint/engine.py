@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Iterable, Protocol
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..analysis.affect import AffectSet
+    from ..analysis.hierarchy import HierarchyInfo
     from .setanalysis import SetAnalyzer
 
 from ..database.vocabulary import Vocabulary
@@ -75,6 +76,7 @@ class LintContext:
     _info: FormulaInfo | None = field(default=None, repr=False)
     _analyzer: object | None = field(default=None, repr=False)
     _affect: "AffectSet | None" = field(default=None, repr=False)
+    _hierarchy: "HierarchyInfo | None" = field(default=None, repr=False)
 
     @property
     def info(self) -> FormulaInfo:
@@ -82,6 +84,15 @@ class LintContext:
         if self._info is None:
             self._info = classify(self.formula)
         return self._info
+
+    @property
+    def hierarchy(self) -> "HierarchyInfo":
+        """The (cached) temporal-hierarchy classification (TIC13x)."""
+        from ..analysis.hierarchy import classify_hierarchy
+
+        if self._hierarchy is None:
+            self._hierarchy = classify_hierarchy(self.formula)
+        return self._hierarchy
 
     @property
     def affect(self) -> "AffectSet":
@@ -202,6 +213,11 @@ SEMANTIC_PASS_REGISTRY: dict[str, LintPass] = {}
 #: update-dependence analysis (:mod:`repro.analysis`), opt-in via ``deps=``.
 DEPS_PASS_REGISTRY: dict[str, LintPass] = {}
 
+#: Registry of the *hierarchy* (TIC13x) passes: temporal-hierarchy
+#: classification and backend-dispatch report
+#: (:mod:`repro.analysis.hierarchy`), opt-in via ``hierarchy=``.
+HIERARCHY_PASS_REGISTRY: dict[str, LintPass] = {}
+
 
 def register(lint_pass: LintPass) -> LintPass:
     """Add a pass to the default registry (class decorator friendly)."""
@@ -234,6 +250,17 @@ def register_deps(lint_pass: LintPass) -> LintPass:
     return lint_pass
 
 
+def register_hierarchy(lint_pass: LintPass) -> LintPass:
+    """Add a pass to the hierarchy (TIC13x) registry."""
+    instance = lint_pass() if isinstance(lint_pass, type) else lint_pass
+    if instance.name in HIERARCHY_PASS_REGISTRY:
+        raise ValueError(
+            f"duplicate hierarchy lint pass name {instance.name!r}"
+        )
+    HIERARCHY_PASS_REGISTRY[instance.name] = instance
+    return lint_pass
+
+
 def all_passes() -> tuple[LintPass, ...]:
     """Every registered syntactic pass, in execution order."""
     _ensure_loaded()
@@ -252,9 +279,16 @@ def deps_passes() -> tuple[LintPass, ...]:
     return tuple(DEPS_PASS_REGISTRY.values())
 
 
+def hierarchy_passes() -> tuple[LintPass, ...]:
+    """Every registered hierarchy (TIC13x) pass, in execution order."""
+    _ensure_loaded()
+    return tuple(HIERARCHY_PASS_REGISTRY.values())
+
+
 def _ensure_loaded() -> None:
     # Importing the modules populates the registries via the decorators.
     from . import deps as _deps  # noqa: F401
+    from . import hierarchy as _hierarchy  # noqa: F401
     from . import passes as _passes  # noqa: F401
     from . import semantic as _semantic  # noqa: F401
 
@@ -273,6 +307,7 @@ def lint_formula(
     jobs: int = 1,
     analyzer: "SetAnalyzer | None" = None,
     deps: bool = False,
+    hierarchy: bool = False,
 ) -> LintReport:
     """Run every applicable pass over one formula and collect the report.
 
@@ -282,7 +317,8 @@ def lint_formula(
     one grounded analysis across a whole set (see
     :func:`repro.lint.semantic.lint_constraint_set`).  With ``deps=True``
     the TIC12x dependence passes run as well (vocabulary-aware ones stay
-    silent without a ``vocabulary``).
+    silent without a ``vocabulary``).  With ``hierarchy=True`` the TIC13x
+    temporal-hierarchy / dispatch passes run as well.
 
     >>> from repro.logic import parse
     >>> report = lint_formula(parse("forall x . G (Sub(x) -> X G !Sub(x))"))
@@ -311,6 +347,8 @@ def lint_formula(
             selected += semantic_passes()
         if deps:
             selected += deps_passes()
+        if hierarchy:
+            selected += hierarchy_passes()
     findings: list[Diagnostic] = []
     for lint_pass in selected:
         if mode not in lint_pass.modes:
@@ -333,6 +371,7 @@ def lint_source(
     engine: str = "bitset",
     jobs: int = 1,
     deps: bool = False,
+    hierarchy: bool = False,
 ) -> LintReport:
     """Parse a constraint from text and lint it.
 
@@ -377,4 +416,5 @@ def lint_source(
         engine=engine,
         jobs=jobs,
         deps=deps,
+        hierarchy=hierarchy,
     )

@@ -471,6 +471,7 @@ def lint_constraint_set(
     semantic: bool = True,
     sources: Sequence[str | None] | None = None,
     deps: bool = False,
+    hierarchy: bool = False,
 ) -> list[LintReport]:
     """Lint a whole constraint set, sharing one semantic analyzer.
 
@@ -505,6 +506,7 @@ def lint_constraint_set(
                 jobs=jobs,
                 analyzer=analyzer,
                 deps=deps,
+                hierarchy=hierarchy,
             )
         )
     return reports

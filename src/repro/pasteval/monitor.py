@@ -26,9 +26,11 @@ Relation to potential satisfaction (documented, and tested):
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from ..core.monitor import MonitorStats
 from ..database.history import History
 from ..database.state import DatabaseState
 from ..database.updates import Update
@@ -108,6 +110,7 @@ class PastMonitor:
         self._vocabulary = vocabulary
         self._evaluators: dict[str, IncrementalPastEvaluator] = {}
         self._violated_at: dict[str, int] = {}
+        self._stats: dict[str, MonitorStats] = {}
         self._instant = -1
         for name, constraint in constraints.items():
             body = past_body(constraint)
@@ -115,6 +118,7 @@ class PastMonitor:
             for symbol, value in (constant_bindings or {}).items():
                 evaluator.bind_constant(symbol, value)
             self._evaluators[name] = evaluator
+            self._stats[name] = MonitorStats()
 
     @property
     def now(self) -> int:
@@ -132,13 +136,35 @@ class PastMonitor:
             for evaluator in self._evaluators.values()
         )
 
+    def stats(self) -> dict[str, MonitorStats]:
+        """Per-constraint work counters, in the shared
+        :class:`~repro.core.monitor.MonitorStats` shape.
+
+        Only the past-evaluator fields move: ``past_updates`` counts
+        consumed states, ``past_memory`` tracks the evaluator's current
+        table footprint, and ``progress_time`` carries the evaluation
+        seconds.  Everything progression- or satisfiability-related stays
+        zero — this backend makes no satisfiability calls at all.
+        """
+        return dict(self._stats)
+
+    def reset(self) -> None:
+        """Zero every per-constraint work counter (state untouched)."""
+        for stats in self._stats.values():
+            stats.reset()
+
     def append_state(self, state: DatabaseState) -> PastReport:
         """Consume the next database state; evaluate every body there."""
         self._instant += 1
         satisfied: dict[str, bool] = {}
         new_violations: list[str] = []
         for name, evaluator in self._evaluators.items():
+            stats = self._stats[name]
+            start = time.perf_counter()
             holds = evaluator.advance(state)
+            stats.progress_time += time.perf_counter() - start
+            stats.past_updates += 1
+            stats.past_memory = evaluator.memory_size
             if name in self._violated_at:
                 satisfied[name] = False
                 continue

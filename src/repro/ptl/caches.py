@@ -26,6 +26,7 @@ from .formulas import intern_cache_info
 from .nnf import _nnf, nnf_cache_clear
 from .progkernel import progkernel_cache_clear, progkernel_cache_info
 from .progression import progress_cache_clear, progress_cache_info
+from .safety import safety_cache_clear, safety_cache_info
 from .sat import _quick_cache, quick_cache_clear
 from .tableau import (
     _is_satisfiable_tableau_reference,
@@ -43,6 +44,7 @@ def clear_all_caches() -> None:
     tableau_cache_clear()
     bitset_cache_clear()
     quick_cache_clear()
+    safety_cache_clear()
 
 
 def cache_info() -> dict[str, Any]:
@@ -68,4 +70,5 @@ def cache_info() -> dict[str, Any]:
         ),
         "bitset": bitset_cache_info(),
         "quick": {"currsize": len(_quick_cache)},
+        "safety": safety_cache_info(),
     }

@@ -27,6 +27,7 @@ power experiment E9.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from itertools import chain, combinations
 
 from .buchi import GeneralizedBuchi, build_automaton, product
@@ -76,12 +77,18 @@ def trim(automaton: GeneralizedBuchi) -> GeneralizedBuchi:
     )
 
 
+@lru_cache(maxsize=512)
 def closure_automaton(formula: PTLFormula) -> GeneralizedBuchi:
     """A Büchi automaton for the safety closure of the formula's property.
 
     The trimmed automaton with the trivial acceptance condition: an infinite
     word is accepted iff it has an infinite run through live states, which
     (König) happens iff each of its prefixes is a prefix of some model.
+
+    Memoized on the interned formula (identity hash): the trim is a
+    whole-automaton SCC analysis, and the hierarchy cross-validation and
+    TIC131 query the same formulas repeatedly.  Registered with
+    :func:`repro.ptl.caches.clear_all_caches`.
     """
     trimmed = trim(build_automaton(formula))
     return GeneralizedBuchi(
@@ -93,8 +100,12 @@ def closure_automaton(formula: PTLFormula) -> GeneralizedBuchi:
     )
 
 
+@lru_cache(maxsize=1024)
 def is_safety(formula: PTLFormula) -> bool:
     """Semantic safety check: does the formula define a safety property?
+
+    Memoized (see :func:`closure_automaton`); cleared through
+    :func:`repro.ptl.caches.clear_all_caches`.
 
     >>> from .convert import parse_ptl
     >>> is_safety(parse_ptl("G (p -> X q)"))
@@ -107,6 +118,7 @@ def is_safety(formula: PTLFormula) -> bool:
     return product(closure, negation).is_empty()
 
 
+@lru_cache(maxsize=1024)
 def is_liveness(formula: PTLFormula) -> bool:
     """Semantic liveness check: can every finite sequence be extended to a
     model of the formula?
@@ -114,6 +126,9 @@ def is_liveness(formula: PTLFormula) -> bool:
     Decided by subset construction: read every concrete letter (over the
     formula's own letters) through the trimmed automaton; the formula is
     liveness iff no reachable subset is empty.
+
+    Memoized (see :func:`closure_automaton`); cleared through
+    :func:`repro.ptl.caches.clear_all_caches`.
 
     >>> from .convert import parse_ptl
     >>> is_liveness(parse_ptl("F p"))
@@ -154,6 +169,22 @@ def is_liveness(formula: PTLFormula) -> bool:
             if successors not in seen:
                 worklist.append(successors)
     return True
+
+
+def safety_cache_clear() -> None:
+    """Empty the memoized safety/liveness analyses (cache registry hook)."""
+    closure_automaton.cache_clear()
+    is_safety.cache_clear()
+    is_liveness.cache_clear()
+
+
+def safety_cache_info() -> dict[str, dict[str, int]]:
+    """Hit/size counters of the three memoized analyses."""
+    return {
+        "closure_automaton": closure_automaton.cache_info()._asdict(),
+        "is_safety": is_safety.cache_info()._asdict(),
+        "is_liveness": is_liveness.cache_info()._asdict(),
+    }
 
 
 def _alphabet(formula: PTLFormula) -> list[frozenset[Prop]]:

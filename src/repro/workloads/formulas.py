@@ -46,10 +46,20 @@ def random_ptl(config: PTLConfig) -> P.PTLFormula:
 
     def build(budget: int) -> P.PTLFormula:
         if budget <= 1:
-            return rng.choice(props)
-        choices = ["not", "and", "or", "next", "always", "eventually"]
+            leaf = rng.choice(props)
+            if not config.allow_until and rng.random() < 0.3:
+                return P.pnot(leaf)
+            return leaf
         if config.allow_until:
-            choices += ["until", "release", "weak_until"]
+            choices = ["not", "and", "or", "next", "always", "eventually",
+                       "until", "release", "weak_until"]
+        else:
+            # The documented safety fragment: no strong until/eventually,
+            # and negation only at the leaves — anything else (e.g.
+            # ``!G p``) would turn strong under NNF and leave the
+            # fragment repro.logic.safety.is_syntactically_safe accepts.
+            choices = ["and", "or", "next", "always", "release",
+                       "weak_until"]
         kind = rng.choice(choices)
         if kind == "not":
             return P.pnot(build(budget - 1))

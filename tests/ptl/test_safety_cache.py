@@ -1,0 +1,62 @@
+"""Memoization of the safety/liveness analysis (cache health).
+
+``closure_automaton`` builds a Büchi automaton per query — by far the
+most expensive step of :func:`is_safety` — and the hierarchy corpus
+tests plus the TIC131 lint cross-check hammer the same formulas
+repeatedly.  The analyses are pure functions of interned (identity-
+hashable) formulas, so ``lru_cache`` memoization is sound; these tests
+pin the cache plumbing and its integration with the central registry.
+"""
+
+from repro.ptl import (
+    closure_automaton,
+    is_liveness,
+    is_safety,
+    parse_ptl,
+    safety_cache_clear,
+    safety_cache_info,
+)
+from repro.ptl.caches import cache_info, clear_all_caches
+
+
+class TestSafetyCache:
+    def test_repeat_query_hits_cache(self):
+        safety_cache_clear()
+        formula = parse_ptl("G (p -> X q)")
+        assert is_safety(formula)
+        before = safety_cache_info()["is_safety"]["hits"]
+        assert is_safety(formula)
+        after = safety_cache_info()["is_safety"]["hits"]
+        assert after == before + 1
+
+    def test_closure_automaton_memoized(self):
+        safety_cache_clear()
+        formula = parse_ptl("p U q")
+        assert closure_automaton(formula) is closure_automaton(formula)
+        assert safety_cache_info()["closure_automaton"]["hits"] >= 1
+
+    def test_liveness_memoized(self):
+        safety_cache_clear()
+        formula = parse_ptl("F p")
+        assert is_liveness(formula)
+        assert is_liveness(formula)
+        assert safety_cache_info()["is_liveness"]["hits"] >= 1
+
+    def test_clear_resets_counters(self):
+        is_safety(parse_ptl("G p"))
+        safety_cache_clear()
+        info = safety_cache_info()
+        for entry in info.values():
+            assert entry["currsize"] == 0
+            assert entry["hits"] == 0
+
+    def test_info_covers_all_three_analyses(self):
+        assert set(safety_cache_info()) == {
+            "closure_automaton", "is_safety", "is_liveness",
+        }
+
+    def test_registered_in_central_cache_registry(self):
+        is_safety(parse_ptl("G (p -> X q)"))
+        assert cache_info()["safety"]["is_safety"]["currsize"] >= 1
+        clear_all_caches()
+        assert cache_info()["safety"]["is_safety"]["currsize"] == 0
