@@ -51,7 +51,7 @@ from repro.workloads.orders import (  # noqa: E402
     submit_once,
 )
 
-SCHEMA = "repro-bench-core/v7"
+SCHEMA = "repro-bench-core/v8"
 
 #: Schemas ``--validate`` accepts: v2 added the ``sat_*`` engine-comparison
 #: and ``parallel_triggers`` shapes (with their extra record keys); v3 adds
@@ -68,9 +68,14 @@ SCHEMA = "repro-bench-core/v7"
 #: ``e6_monitoring_planned`` shape (temporal-hierarchy backend dispatch
 #: through ``PlannedMonitor``, with ``routed_off_full`` / ``backends`` /
 #: ``planned_fast_decisions`` / ``planned_fallbacks`` / ``retired_steps``
-#: and the asserted-zero ``tic131`` cross-check count).  Each version is
-#: otherwise backward compatible, so v1-v6 reports stay usable as
-#: baselines.
+#: and the asserted-zero ``tic131`` cross-check count); v8 adds the
+#: ``e6_monitoring_resumed`` shape (kill/checkpoint/restore through the
+#: monitor snapshot codec: the run is snapshotted mid-trace, caches are
+#: cleared and garbage collected to simulate a fresh process, and the
+#: restored monitor finishes the trace — with ``snapshot_bytes`` /
+#: ``restore_latency_s`` and the asserted ``resumed_match`` /
+#: ``remainders_identical`` equality fields).  Each version is otherwise
+#: backward compatible, so v1-v7 reports stay usable as baselines.
 ACCEPTED_SCHEMAS = (
     "repro-bench-core/v1",
     "repro-bench-core/v2",
@@ -78,6 +83,7 @@ ACCEPTED_SCHEMAS = (
     "repro-bench-core/v4",
     "repro-bench-core/v5",
     "repro-bench-core/v6",
+    "repro-bench-core/v7",
     SCHEMA,
 )
 
@@ -484,6 +490,90 @@ def bench_e6_monitoring_planned(smoke: bool) -> dict[str, dict[str, Any]]:
     }
 
 
+def bench_e6_monitoring_resumed(smoke: bool) -> dict[str, dict[str, Any]]:
+    """E6 with a mid-stream kill: checkpoint, simulated process death,
+    restore, finish — asserted equal to the uninterrupted run.
+
+    Same trace, constraints, strategy and engine as ``e6_monitoring`` —
+    that record is the in-run reference.  The run is snapshotted through
+    the monitor snapshot codec at the trace midpoint and serialized to
+    JSON text; the live monitor is then dropped and every derived cache
+    cleared (plus a full ``gc.collect()``), the closest in-process
+    stand-in for a fresh interpreter.  ``restore_latency_s`` times
+    ``monitor_from_dict`` alone — the Lemma 4.2 resume cost, independent
+    of how much history precedes the cut — and ``snapshot_bytes`` the
+    serialized size (O(t) for the history log, O(1) live state per
+    constraint).  The harness asserts ``resumed_match`` (violation map
+    equality with the uninterrupted reference) and
+    ``remainders_identical`` (pointer identity of final remainders,
+    exact via hash-consing) before writing the report; a stale memo
+    surviving the simulated kill would break either.  ``wall_s`` covers
+    only the resumed tail, so ``updates`` is the tail length.
+    """
+    from repro.database.serialize import monitor_from_dict, monitor_to_dict
+
+    length = 12 if smoke else 200
+    spare = 4 if smoke else 16
+    cut = length // 2
+    trace = generate_orders(
+        OrderWorkloadConfig(length=length, arrival_probability=0.3, seed=13)
+    )
+    states = trace.states()
+    _clear_caches()
+    monitor = IntegrityMonitor(
+        standard_constraints(),
+        History.empty(ORDER_VOCABULARY),
+        strategy="spare",
+        spare=spare,
+        prune=False,
+    )
+    for state in states[:cut]:
+        monitor.append_state(state)
+    blob = json.dumps(monitor_to_dict(monitor), sort_keys=True)
+    del monitor
+    _clear_caches()  # simulated process death: drop every derived cache
+    start = time.perf_counter()
+    resumed = monitor_from_dict(json.loads(blob))
+    restore_latency = time.perf_counter() - start
+    start = time.perf_counter()
+    for state in states[cut:]:
+        resumed.append_state(state)
+    wall = time.perf_counter() - start
+    totals = _sum_stats(resumed)
+    assert _E6_REFERENCE, "bench_e6_monitoring must run first"
+    violations = dict(resumed.violations())
+    resumed_match = violations == _E6_REFERENCE["violations"]
+    assert resumed_match, (
+        "resumed and uninterrupted runs disagree on violations: "
+        f"{violations} vs {_E6_REFERENCE['violations']}"
+    )
+    remainders = resumed.remainders()
+    remainders_identical = all(
+        remainders[name] is formula
+        for name, formula in _E6_REFERENCE["remainders"].items()
+    )
+    assert remainders_identical, (
+        "resumed and uninterrupted runs disagree on final remainders"
+    )
+    tail = length - cut
+    return {
+        "e6_monitoring_resumed": _result(
+            wall,
+            tail,
+            totals,
+            ms_per_update=round(1e3 * wall / tail, 3),
+            regrounds=totals["regrounds"],
+            violations=len(violations),
+            snapshot_instant=cut,
+            snapshot_bytes=len(blob.encode("utf-8")),
+            restore_latency_s=round(restore_latency, 6),
+            resumed_match=resumed_match,
+            remainders_identical=remainders_identical,
+            progress_cache_hit_rate=_progress_hit_rate(),
+        )
+    }
+
+
 def bench_e7_detection(smoke: bool) -> dict[str, dict[str, Any]]:
     """E7-shaped: the detection-latency monitoring loop at history ≥200.
 
@@ -787,6 +877,7 @@ BENCHMARKS: tuple[Callable[[bool], dict[str, dict[str, Any]]], ...] = (
     bench_e6_monitoring_pruned,
     bench_e6_monitoring_compiled,
     bench_e6_monitoring_planned,
+    bench_e6_monitoring_resumed,
     bench_e7_detection,
     bench_sat_micro,
     bench_parallel_triggers,

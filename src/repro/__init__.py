@@ -37,7 +37,7 @@ from .core.checker import (
     potentially_satisfied,
     validate_constraint,
 )
-from .core.monitor import IntegrityMonitor, MonitorStats, UpdateReport
+from .core.monitor import EntrySnapshot, IntegrityMonitor, MonitorStats, UpdateReport
 from .core.reduction import Reduction, reduce_universal
 from .core.triggers import Firing, Trigger, TriggerManager, fires, firings
 from .database.history import History
@@ -75,6 +75,7 @@ from .logic.printer import to_str
 from .logic.safety import is_syntactically_safe
 from .pasteval.baseline import WeakTruncationChecker
 from .pasteval.incremental import IncrementalPastEvaluator
+from .service import MonitorService
 
 __version__ = "1.0.0"
 
@@ -84,13 +85,14 @@ __all__ = [
     "CheckResult",
     "ClassificationError",
     "DatabaseState",
-    "IdleClass",
     "Diagnostic",
+    "EntrySnapshot",
     "EvaluationError",
     "Firing",
     "FormulaError",
     "FormulaInfo",
     "History",
+    "IdleClass",
     "IncrementalPastEvaluator",
     "IntegrityMonitor",
     "LassoDatabase",
@@ -98,6 +100,7 @@ __all__ = [
     "LintReport",
     "LintWarning",
     "MachineError",
+    "MonitorService",
     "MonitorStats",
     "NotSafetyError",
     "NotUniversalError",

@@ -20,6 +20,10 @@ Subcommands:
 * ``monitor``  — replay a history state by state through the online monitor
   and report violations with their detection instants (``--no-prune``
   disables the static dependence pruning).
+* ``serve``    — stream a history through the sharded
+  :class:`repro.service.MonitorService`; ``--stop-at``/``--snapshot-out``
+  checkpoint mid-stream and ``--resume-from`` resumes a killed run with
+  identical verdicts (DESIGN.md §12).
 * ``experiment`` — run one of the paper-claim experiments (E1..E9, A1..A3)
   and print its table.
 
@@ -32,6 +36,7 @@ errors, unknown experiment, malformed history files).
 from __future__ import annotations
 
 import argparse
+import asyncio
 import inspect
 import json
 import os
@@ -58,6 +63,7 @@ from .logic.classify import classify
 from .logic.formulas import Formula
 from .logic.parser import parse
 from .logic.safety import is_syntactically_safe, why_not_safe
+from .service import MonitorService
 
 #: Schema version of the ``lint --json`` output; bump on breaking change.
 #: v2: added the top-level ``semantic`` marker (TIC100+ passes opt-in).
@@ -490,6 +496,76 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    history = load_history(args.history)
+    if args.resume_from:
+        if args.constraint:
+            print("--constraint conflicts with --resume-from: the "
+                  "constraint set comes from the snapshot", file=sys.stderr)
+            return 2
+        service = MonitorService.load(args.resume_from)
+        if service.now >= len(history) - 1:
+            print(f"snapshot is already at instant {service.now}; "
+                  "nothing left to replay")
+        states = history.states[service.now + 1:]
+    else:
+        if not args.constraint:
+            print("--constraint is required unless --resume-from is given",
+                  file=sys.stderr)
+            return 2
+        constraints = {
+            f"c{index}": parse(text)
+            for index, text in enumerate(args.constraint)
+        }
+        initial = History(
+            vocabulary=history.vocabulary,
+            states=history.states[:1],
+            constant_bindings=history.constant_bindings,
+        )
+        service = MonitorService(
+            constraints,
+            initial,
+            shards=args.shards,
+            jobs=max(args.jobs, 1),
+            assume_safety=args.assume_safety,
+            strategy=args.strategy,
+            engine=args.engine,
+            prune=not args.no_prune,
+        )
+        states = history.states[1:]
+    names = {}
+    if not args.resume_from:
+        names = {f"c{i}": text for i, text in enumerate(args.constraint)}
+
+    async def run() -> None:
+        await service.start()
+        try:
+            for state in states:
+                report = await service.submit_state(
+                    state, session=args.session
+                )
+                for name in report.new_violations:
+                    source = f" ({names[name]})" if name in names else ""
+                    print(f"t={report.instant}: constraint {name!r} "
+                          f"violated{source}")
+                if args.stop_at is not None and report.instant >= args.stop_at:
+                    break
+        finally:
+            await service.stop()
+
+    asyncio.run(run())
+    if args.snapshot_out:
+        service.save(args.snapshot_out)
+        print(f"snapshot written to {args.snapshot_out} "
+              f"(instant {service.now}, {service.shard_count} shard(s))")
+    violations = service.violations()
+    if not violations:
+        print(f"no violations through instant {service.now}")
+        return 0
+    print(f"{len(violations)} constraint(s) violated")
+    return 1
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from . import experiments
 
@@ -647,6 +723,43 @@ def build_parser() -> argparse.ArgumentParser:
                      help="disable static dependence pruning (exhaustive "
                      "per-instant progression and decisions)")
     mon.set_defaults(func=_cmd_monitor)
+
+    serve = sub.add_parser(
+        "serve",
+        help="stream a history through the sharded monitor service "
+        "with checkpoint/resume",
+    )
+    serve.add_argument("history", help="path to a history JSON file")
+    serve.add_argument("--constraint", action="append", default=[],
+                       help="constraint (repeatable; not allowed with "
+                       "--resume-from)")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="max relation-disjoint constraint shards "
+                       "(default 1)")
+    serve.add_argument("--jobs", type=int, default=1,
+                       help="worker threads fanning each update across "
+                       "shards (default 1 = serial)")
+    serve.add_argument("--session", default="cli",
+                       help="session name for the stream counters "
+                       "(default 'cli')")
+    serve.add_argument("--strategy",
+                       choices=("scratch", "incremental", "spare"),
+                       default="incremental")
+    serve.add_argument("--assume-safety", action="store_true")
+    serve.add_argument("--engine",
+                       choices=("compiled", "bitset", "reference"),
+                       default="bitset")
+    serve.add_argument("--no-prune", action="store_true")
+    serve.add_argument("--stop-at", type=int, metavar="T",
+                       help="stop after instant T (simulates a kill; "
+                       "combine with --snapshot-out)")
+    serve.add_argument("--snapshot-out", metavar="PATH",
+                       help="write a resumable service snapshot after "
+                       "the replay (or after --stop-at)")
+    serve.add_argument("--resume-from", metavar="PATH",
+                       help="restore the service from a snapshot and "
+                       "replay only the remaining states")
+    serve.set_defaults(func=_cmd_serve)
 
     exp = sub.add_parser("experiment", help="run a paper-claim experiment")
     exp.add_argument("name", help="experiment id, e.g. e1 or a2")

@@ -31,7 +31,7 @@ from .grounding import (
     ground,
     rel_prop,
 )
-from .monitor import IntegrityMonitor, MonitorStats, UpdateReport
+from .monitor import EntrySnapshot, IntegrityMonitor, MonitorStats, UpdateReport
 from .parallel import (
     MonitorRun,
     parallel_map,
@@ -40,9 +40,11 @@ from .parallel import (
     split_chunks,
 )
 from .plan import (
+    PLANNED_SNAPSHOT_FORMAT,
     ConstraintPlan,
     MonitorPlan,
     PlannedMonitor,
+    partition_constraints,
     plan_constraints,
 )
 from .reduction import (
@@ -64,10 +66,12 @@ from .triggers import (
 )
 
 __all__ = [
+    "PLANNED_SNAPSHOT_FORMAT",
     "AnalysisResult",
     "Anon",
     "CheckResult",
     "ConstraintPlan",
+    "EntrySnapshot",
     "EqAtom",
     "Firing",
     "GroundAtom",
@@ -99,10 +103,11 @@ __all__ = [
     "ground_domain",
     "implies_universal",
     "parallel_map",
+    "partition_constraints",
     "plan_constraints",
     "potentially_satisfied",
-    "redundant_constraints",
     "reduce_universal",
+    "redundant_constraints",
     "rel_prop",
     "resolve_jobs",
     "run_monitor",

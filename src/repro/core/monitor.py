@@ -113,6 +113,14 @@ class MonitorStats:
     evaluated by the incremental past evaluator and its current table
     footprint (entries, not bytes) — so planned runs report one coherent
     stats object across engines.
+
+    ``stream_updates`` is filled by :class:`repro.service.MonitorService`:
+    per-session counts of the updates this stats object's owner has
+    ingested from each stream.  It is the one mapping-valued counter, and
+    the reason :meth:`reset` builds a fresh instance instead of reading
+    ``spec.default`` — a ``default_factory`` field has no usable
+    ``spec.default`` (it is the ``MISSING`` sentinel), so the old
+    per-field loop would silently corrupt the dataclass.
     """
 
     progressions: int = 0
@@ -133,13 +141,16 @@ class MonitorStats:
     past_memory: int = 0
     sat_time: float = 0.0
     progress_time: float = 0.0
+    stream_updates: dict[str, int] = field(default_factory=dict)
 
-    def as_dict(self) -> dict[str, int | float]:
+    def as_dict(self) -> dict[str, int | float | dict[str, int]]:
         """A plain-dict view (benchmark shapes, JSON round-trips)."""
         return asdict(self)
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, int | float]) -> "MonitorStats":
+    def from_dict(
+        cls, data: Mapping[str, int | float | dict[str, int]]
+    ) -> "MonitorStats":
         """Inverse of :meth:`as_dict`; unknown keys (from older or newer
         cores) are ignored, missing ones default."""
         names = {spec.name for spec in fields(cls)}
@@ -148,9 +159,17 @@ class MonitorStats:
         )  # type: ignore[arg-type]
 
     def reset(self) -> None:
-        """Zero every counter in place."""
+        """Zero every counter in place.
+
+        Copies from a freshly constructed instance rather than from
+        ``spec.default``: fields declared with ``default_factory`` (such as
+        ``stream_updates``) have no ``spec.default`` — it is the dataclass
+        ``MISSING`` sentinel — and the old per-field loop would assign that
+        sentinel as the "zero" value.
+        """
+        fresh = type(self)()
         for spec in fields(self):
-            setattr(self, spec.name, spec.default)
+            setattr(self, spec.name, getattr(fresh, spec.name))
 
 
 @dataclass
@@ -183,6 +202,54 @@ class _ConstraintEntry:
     # assumption about grounding stability is baked in.
     replay_finals: dict[int, int] = field(default_factory=dict)
     replay_masks: list[int] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class EntrySnapshot:
+    """The complete resume state of one monitored constraint.
+
+    The paper's Lemma 4.2 monitoring loop keeps the progressed remainder
+    as the *only* history-dependent state, so this record — remainder plus
+    the strategy bookkeeping around it — is a full checkpoint: restoring
+    it (:meth:`IntegrityMonitor.from_snapshot`) and continuing produces
+    the same verdicts as never having stopped (property-tested).
+
+    Everything here is engine-independent: formulas are actual (interned)
+    nodes, and the compiled engine's replay caches are decoded from
+    monitor-local kernel ids/masks into formulas and letter sets
+    (:meth:`~repro.ptl.progkernel.ProgressionKernel.formula` /
+    :meth:`~repro.ptl.progkernel.ProgressionKernel.decode_state`), so a
+    snapshot taken under one engine can be restored under the same engine
+    in a process whose kernel assigns different ids.  JSON encoding lives
+    in :mod:`repro.database.serialize` (``monitor_to_dict`` /
+    ``monitor_from_dict``).
+
+    The grounding fields (``domain``/``relevant``/``assignment_count``/
+    ``scope``) are carried verbatim rather than recomputed: under the
+    spare strategy the reduction's relevant set reflects the *last
+    reground's* history, not the current one, so rebuilding it at restore
+    time would change which elements count as fresh and diverge from the
+    uninterrupted run.  Pure caches (the idle-transition memo and the
+    monitor-wide satisfiability memo) are deliberately absent — dropping
+    them cannot change any verdict, only cache-hit counters.
+    """
+
+    name: str
+    constraint: Formula
+    backend: str
+    remainder: PTLFormula
+    domain: tuple[GroundElement, ...]
+    relevant: frozenset[int]
+    assignment_count: int
+    scope: str
+    known_elements: frozenset[int]
+    spare_pool: tuple[int, ...]
+    spare_map: dict[int, int]
+    violated_at: int | None
+    stats: MonitorStats
+    last_props: frozenset[Prop] | None
+    replay_finals: tuple[tuple[PTLFormula, PTLFormula], ...]
+    replay_masks: tuple[frozenset[Prop], ...]
 
 
 @dataclass(frozen=True)
@@ -309,6 +376,7 @@ class IntegrityMonitor:
         self._spare = spare
         self._fold = fold
         self._engine = engine
+        self._assume_safety = assume_safety
         self._history = initial
         # Static dependence pruning (see repro.analysis and DESIGN.md §9):
         # instants whose delta touches none of a constraint's relations go
@@ -408,6 +476,191 @@ class IntegrityMonitor:
     def dependency_index(self) -> UpdateDependencyIndex:
         """The static update-dependence index built at construction."""
         return self._index
+
+    # -- snapshot / restore --------------------------------------------------
+
+    def snapshot_config(self) -> dict[str, object]:
+        """The constructor settings a restore must be performed with.
+
+        ``prune`` reports the *effective* flag (always ``False`` under the
+        scratch strategy), which restores to identical behaviour either
+        way.
+        """
+        return {
+            "assume_safety": self._assume_safety,
+            "method": self._method,
+            "strategy": self._strategy,
+            "spare": self._spare,
+            "fold": self._fold,
+            "engine": self._engine,
+            "prune": self._prune,
+        }
+
+    def snapshot_entries(self) -> list[EntrySnapshot]:
+        """Export every constraint's resume state (see
+        :class:`EntrySnapshot`).
+
+        The compiled engine's replay caches are decoded out of the
+        monitor-local kernel id/mask space here; everything else is
+        carried as-is.  The monitor itself is left untouched — taking a
+        snapshot is observationally free.
+        """
+        kernel = self._progkernel
+        out: list[EntrySnapshot] = []
+        for entry in self._entries:
+            assert entry.remainder is not None
+            assert entry.reduction is not None
+            finals: tuple[tuple[PTLFormula, PTLFormula], ...] = ()
+            masks: tuple[frozenset[Prop], ...] = ()
+            if kernel is not None and entry.replay_masks:
+                finals = tuple(
+                    (kernel.formula(cid), kernel.formula(fid))
+                    for cid, fid in sorted(entry.replay_finals.items())
+                )
+                masks = tuple(
+                    kernel.decode_state(mask) for mask in entry.replay_masks
+                )
+            out.append(
+                EntrySnapshot(
+                    name=entry.name,
+                    constraint=entry.constraint,
+                    backend=entry.backend,
+                    remainder=entry.remainder,
+                    domain=entry.reduction.domain,
+                    relevant=entry.reduction.relevant,
+                    assignment_count=entry.reduction.assignment_count,
+                    scope=entry.reduction.scope,
+                    known_elements=entry.known_elements,
+                    spare_pool=entry.spare_pool,
+                    spare_map=dict(entry.spare_map),
+                    violated_at=entry.violated_at,
+                    stats=MonitorStats.from_dict(entry.stats.as_dict()),
+                    last_props=entry.last_props,
+                    replay_finals=finals,
+                    replay_masks=masks,
+                )
+            )
+        return out
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        history: History,
+        entries: Sequence[EntrySnapshot],
+        *,
+        assume_safety: bool = False,
+        method: str = "buchi",
+        strategy: str = "incremental",
+        spare: int = 2,
+        fold: bool = True,
+        engine: str = "bitset",
+        prune: bool = True,
+    ) -> "IntegrityMonitor":
+        """Rebuild a monitor from snapshot state, resuming mid-history.
+
+        This is the restart path the paper's incremental evaluation makes
+        O(1): the remainder set *is* the evaluation (DESIGN.md §12), so
+        no constraint is regrounded, no history prefix is re-progressed
+        and no satisfiability call is made here — unlike ``__init__``,
+        which ends with a reground-and-decide sweep.  Violated entries
+        come back frozen at their recorded instant; live entries carry
+        exactly the remainder the interrupted run held, re-interned (hash
+        consing makes the restored nodes pointer-identical to what an
+        uninterrupted run would hold, which the resume-equivalence
+        property test asserts with ``is``).
+
+        Pure caches are rebuilt empty: the satisfiability memo, the idle
+        memo and the compiled kernel's transition rows refill on demand,
+        so only cache-hit counters — never verdicts, violations or
+        remainders — can differ from the uninterrupted run.
+        """
+        if strategy not in _STRATEGIES:
+            raise ValueError(
+                f"strategy must be one of {_STRATEGIES}, got {strategy!r}"
+            )
+        if engine not in _ENGINES:
+            raise ValueError(
+                f"engine must be one of {_ENGINES}, got {engine!r}"
+            )
+        monitor = cls.__new__(cls)
+        monitor._method = method
+        monitor._strategy = strategy
+        monitor._spare = spare
+        monitor._fold = fold
+        monitor._engine = engine
+        monitor._assume_safety = assume_safety
+        monitor._history = history
+        monitor._prune = prune and strategy != "scratch"
+        monitor._index = UpdateDependencyIndex(
+            {snap.name: snap.constraint for snap in entries}
+        )
+        monitor._sat_cache = {}
+        monitor._kernel = (
+            BuchiKernel()
+            if engine in ("compiled", "bitset") and method == "buchi"
+            else None
+        )
+        monitor._progkernel = (
+            ProgressionKernel() if engine == "compiled" else None
+        )
+        monitor._entries = []
+        for snap in entries:
+            if snap.backend not in _BACKENDS:
+                raise ValueError(
+                    f"backend must be one of {_BACKENDS}, "
+                    f"got {snap.backend!r}"
+                )
+            info = validate_constraint(
+                snap.constraint, assume_safety=assume_safety, lint="off"
+            )
+            reduction = Reduction(
+                # phi_D is never read back after a reground (only the
+                # grounding bookkeeping below is); the next reground
+                # builds a fresh Reduction, so a constant placeholder is
+                # safe and keeps snapshots small.
+                formula=PTLTrue(),
+                prefix=(),
+                domain=snap.domain,
+                relevant=snap.relevant,
+                assignment_count=snap.assignment_count,
+                fold=fold,
+                history=history,
+                scope=snap.scope,
+            )
+            replay_finals: dict[int, int] = {}
+            replay_masks: list[int] = []
+            progkernel = monitor._progkernel
+            if progkernel is not None and snap.replay_masks:
+                # Re-encode the replay cache into *this* kernel's id and
+                # bit space; encode_state is also what the next reground
+                # uses, so the resume check compares like with like.
+                replay_finals = {
+                    progkernel.intern(conjunct): progkernel.intern(final)
+                    for conjunct, final in snap.replay_finals
+                }
+                replay_masks = [
+                    progkernel.encode_state(props)
+                    for props in snap.replay_masks
+                ]
+            monitor._entries.append(
+                _ConstraintEntry(
+                    name=snap.name,
+                    constraint=snap.constraint,
+                    info=info,
+                    backend=snap.backend,
+                    reduction=reduction,
+                    remainder=snap.remainder,
+                    known_elements=snap.known_elements,
+                    spare_pool=snap.spare_pool,
+                    spare_map=dict(snap.spare_map),
+                    violated_at=snap.violated_at,
+                    stats=MonitorStats.from_dict(snap.stats.as_dict()),
+                    last_props=snap.last_props,
+                    replay_finals=replay_finals,
+                    replay_masks=replay_masks,
+                )
+            )
+        return monitor
 
     def is_satisfied(self, name: str) -> bool:
         for entry in self._entries:

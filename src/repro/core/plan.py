@@ -60,11 +60,16 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..pasteval.monitor import PastMonitor
 
 __all__ = [
+    "PLANNED_SNAPSHOT_FORMAT",
     "ConstraintPlan",
     "MonitorPlan",
     "PlannedMonitor",
+    "partition_constraints",
     "plan_constraints",
 ]
+
+#: Format tag stamped into :meth:`PlannedMonitor.snapshot` payloads.
+PLANNED_SNAPSHOT_FORMAT = "repro-planned-snapshot/v1"
 
 
 @dataclass(frozen=True)
@@ -194,6 +199,76 @@ def plan_constraints(
     return MonitorPlan(entries=tuple(entries))
 
 
+def partition_constraints(
+    constraints: Mapping[str, Formula] | Sequence[Formula],
+    shards: int,
+) -> list[dict[str, Formula]]:
+    """Split a constraint set into at most ``shards`` relation-disjoint
+    groups for parallel monitoring.
+
+    Two constraints that mention a common database relation are kept in
+    the same group (union-find over relation names), so an update to any
+    relation touches exactly one group and per-group monitors never
+    disagree about a shared domain.  Built-in arithmetic predicates
+    (``leq``/``succ``/``Zero``) are rigid and history-independent, so
+    they do not force a merge.  Connected components are packed
+    largest-first into the emptiest bin; registration order is preserved
+    inside each group and groups are ordered by their earliest
+    constraint.  Purely static, like :func:`plan_constraints`.
+
+    >>> from ..logic import parse
+    >>> parts = partition_constraints({
+    ...     "a": parse("forall x . G !Sub(x)"),
+    ...     "b": parse("forall x . G !Fill(x)"),
+    ...     "c": parse("forall x . G (Fill(x) -> X !Fill(x))"),
+    ... }, 2)
+    >>> [sorted(part) for part in parts]
+    [['a'], ['b', 'c']]
+    """
+    from ..database.vocabulary import BUILTIN_PREDICATES
+
+    if shards < 1:
+        raise ValueError(f"shard count must be positive, got {shards}")
+    if not isinstance(constraints, Mapping):
+        constraints = {
+            f"constraint_{index}": formula
+            for index, formula in enumerate(constraints)
+        }
+    names = list(constraints)
+    parent = list(range(len(names)))
+
+    def find(index: int) -> int:
+        root = index
+        while parent[root] != root:
+            root = parent[root]
+        while parent[index] != root:
+            parent[index], index = root, parent[index]
+        return root
+
+    owner: dict[str, int] = {}
+    for index, name in enumerate(names):
+        for pred, _arity in constraints[name].predicates():
+            if pred in BUILTIN_PREDICATES:
+                continue
+            if pred in owner:
+                parent[find(index)] = find(owner[pred])
+            else:
+                owner[pred] = index
+    components: dict[int, list[int]] = {}
+    for index in range(len(names)):
+        components.setdefault(find(index), []).append(index)
+    ordered = sorted(components.values(), key=lambda comp: (-len(comp), comp))
+    bins: list[list[int]] = [[] for _ in range(min(shards, len(ordered)))]
+    for component in ordered:
+        target = min(range(len(bins)), key=lambda b: (len(bins[b]), b))
+        bins[target].extend(component)
+    bins.sort(key=min)
+    return [
+        {names[index]: constraints[names[index]] for index in sorted(group)}
+        for group in bins
+    ]
+
+
 class PlannedMonitor:
     """An :class:`IntegrityMonitor` drop-in that executes a dispatch plan.
 
@@ -251,6 +326,16 @@ class PlannedMonitor:
                 f"constraint_{index}": formula
                 for index, formula in enumerate(constraints)
             }
+        self._constraints = dict(constraints)
+        self._config: dict[str, Any] = {
+            "assume_safety": assume_safety,
+            "method": method,
+            "strategy": strategy,
+            "spare": spare,
+            "fold": fold,
+            "engine": engine,
+            "prune": prune,
+        }
         self._plan = plan_constraints(constraints)
         self._order = tuple(constraints)
         self._history = initial
@@ -356,6 +441,103 @@ class PlannedMonitor:
     def apply(self, update: Update) -> UpdateReport:
         """Apply an update and re-check every constraint."""
         return self.append_state(update.apply(self._history.current))
+
+    # -- checkpoint / resume -------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready checkpoint of this planned monitor.
+
+        The progression side delegates to
+        :func:`repro.database.serialize.monitor_to_dict` (structural
+        remainders, grounding bookkeeping, replay caches); the pasteval
+        side needs no state beyond the shared history — its evaluators
+        are rebuilt by replaying it, which is history-less table updates
+        with no grounding or satisfiability calls.  Restoring with
+        :meth:`from_snapshot` yields a monitor whose future verdicts are
+        identical to the uninterrupted run (property-tested).
+        """
+        from ..database.serialize import history_to_dict, monitor_to_dict
+        from ..logic import to_str
+
+        return {
+            "format": PLANNED_SNAPSHOT_FORMAT,
+            "config": dict(self._config),
+            "order": list(self._order),
+            "constraints": {
+                name: to_str(self._constraints[name])
+                for name in self._order
+            },
+            "history": history_to_dict(self._history),
+            "full": (
+                monitor_to_dict(self._full)
+                if self._full is not None
+                else None
+            ),
+        }
+
+    @classmethod
+    def from_snapshot(cls, data: Mapping[str, Any]) -> "PlannedMonitor":
+        """Rebuild a :class:`PlannedMonitor` from :meth:`snapshot` output."""
+        from ..database.serialize import (
+            history_from_dict,
+            monitor_from_dict,
+        )
+        from ..errors import StateError
+        from ..logic import parse
+        from ..pasteval.monitor import PastMonitor
+
+        if not isinstance(data, Mapping):
+            raise StateError(
+                f"planned snapshot must be a mapping, got {type(data).__name__}"
+            )
+        tag = data.get("format")
+        if tag != PLANNED_SNAPSHOT_FORMAT:
+            raise StateError(
+                f"unsupported planned-snapshot format {tag!r} "
+                f"(expected {PLANNED_SNAPSHOT_FORMAT!r})"
+            )
+        try:
+            config = dict(data["config"])
+            order = tuple(data["order"])
+            texts = data["constraints"]
+            history_data = data["history"]
+            full_data = data["full"]
+        except KeyError as exc:
+            raise StateError(
+                f"planned snapshot is missing the {exc.args[0]!r} key"
+            ) from None
+        missing = [name for name in order if name not in texts]
+        if missing:
+            raise StateError(
+                "planned snapshot order lists constraints with no "
+                f"source text: {missing}"
+            )
+        constraints = {name: parse(texts[name]) for name in order}
+        history = history_from_dict(history_data)
+        monitor = cls.__new__(cls)
+        monitor._constraints = constraints
+        monitor._config = config
+        monitor._plan = plan_constraints(constraints)
+        monitor._order = order
+        monitor._history = history
+        past_names = tuple(
+            entry.name
+            for entry in monitor._plan.entries
+            if entry.backend == "pasteval"
+        )
+        monitor._past = None
+        if past_names:
+            monitor._past = PastMonitor(
+                {name: constraints[name] for name in past_names},
+                history.vocabulary,
+                constant_bindings=history.constant_bindings,
+            )
+            for state in history.states:
+                monitor._past.append_state(state)
+        monitor._full = (
+            monitor_from_dict(full_data) if full_data is not None else None
+        )
+        return monitor
 
     def append_state(self, state: DatabaseState) -> UpdateReport:
         """Append a full next state (alternative to delta updates)."""

@@ -16,12 +16,19 @@ from .relevant import (
     restricted_to_relevant,
 )
 from .serialize import (
+    MONITOR_SNAPSHOT_FORMAT,
     dump_history,
+    dump_monitor,
     history_from_dict,
     history_to_dict,
     lasso_from_dict,
     lasso_to_dict,
     load_history,
+    load_monitor,
+    monitor_from_dict,
+    monitor_to_dict,
+    ptl_from_jsonable,
+    ptl_to_jsonable,
     state_from_dict,
     state_to_dict,
     vocabulary_from_dict,
@@ -37,12 +44,14 @@ __all__ = [
     "Fact",
     "History",
     "LassoDatabase",
+    "MONITOR_SNAPSHOT_FORMAT",
     "Update",
     "UpdateLog",
     "Vocabulary",
     "canonical_form",
     "diff_states",
     "dump_history",
+    "dump_monitor",
     "fresh_elements",
     "history_from_dict",
     "history_to_dict",
@@ -50,6 +59,11 @@ __all__ = [
     "lasso_from_dict",
     "lasso_to_dict",
     "load_history",
+    "load_monitor",
+    "monitor_from_dict",
+    "monitor_to_dict",
+    "ptl_from_jsonable",
+    "ptl_to_jsonable",
     "relevant_elements",
     "restricted_to_relevant",
     "state_from_dict",

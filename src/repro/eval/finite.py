@@ -174,7 +174,12 @@ class _FiniteEvaluator:
             raise EvaluationError(
                 f"unbound variable {missing.args[0].name!r}"
             ) from None
-        key = (id(formula), instant, weak, bindings)
+        # Key on the formula object itself, not id(formula): FOTL nodes
+        # are plain (non-interned) values, so nothing pins a node alive
+        # for the memo's lifetime — after a collection a recycled id
+        # could satisfy a lookup for a different formula.  Holding the
+        # node as the key both pins it and makes the lookup structural.
+        key = (formula, instant, weak, bindings)
         cached = self._memo.get(key)
         if cached is not None:
             return cached

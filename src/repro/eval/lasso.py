@@ -135,8 +135,13 @@ class _LassoEvaluator:
 
     def table(self, formula: Formula, env: dict[Variable, int]) -> list[bool]:
         free = formula.free_variables()
+        # Keyed on the formula node, not id(formula) (see the matching
+        # note in repro.eval.finite): nothing keeps an evaluated node
+        # alive on behalf of the memo, so a recycled id would alias two
+        # different formulas.  The annotation on ``_memo`` always said
+        # ``Formula`` — this makes the code agree with it.
         key = (
-            id(formula),
+            formula,
             tuple(sorted((v.name, env[v]) for v in free)),
         )
         cached = self._memo.get(key)

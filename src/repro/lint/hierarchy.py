@@ -29,6 +29,15 @@ TIC133    warning   lookahead-depth bound: a bounded-future constraint
                     progression must carry.
 TIC134    info      dispatch summary: the backend the planner assigns
                     (``repro-tic plan`` aggregates these per set).
+TIC140    error     zero-width staleness window: the matrix is
+                    ``G (A -> false)`` / ``G !A`` over a single
+                    database atom — the shape a zero staleness budget
+                    compiles to (:mod:`repro.workloads.staleness`),
+                    banning the relation outright.
+TIC140    warning   vacuous staleness window: the antecedent atom
+                    recurs un-nested in its own consequent window
+                    (``A -> (A | ...)``), so the implication is a
+                    tautology and the budget enforces nothing.
 ========  ========  =====================================================
 
 Codes are append-only, continuing the TIC12x sequence at 130.  The
@@ -49,6 +58,16 @@ from ..analysis.hierarchy import (
     HierarchyClass,
     backend_for,
 )
+from ..logic.formulas import (
+    Always,
+    Atom,
+    FalseFormula,
+    Formula,
+    Implies,
+    Not,
+    Or,
+)
+from ..logic.transform import strip_universal_prefix
 from .diagnostics import Diagnostic, Severity
 from .engine import LintContext, register_hierarchy
 
@@ -224,3 +243,95 @@ class DispatchSummaryPass:
             node=ctx.formula,
             pass_name=self.name,
         )
+
+
+def _banned_atom(matrix: Formula) -> Atom | None:
+    """The atom a ``G (A -> false)`` / ``G !A`` matrix bans, if any.
+
+    This is exactly the shape a zero staleness budget compiles to
+    (:func:`repro.workloads.staleness.refresh_deadline` with ``Δ = 0``;
+    the parser folds ``A -> false`` into ``!A``, so both spellings are
+    recognized).
+    """
+    if not isinstance(matrix, Always):
+        return None
+    body = matrix.body
+    if isinstance(body, Not) and isinstance(body.operand, Atom):
+        return body.operand
+    if (
+        isinstance(body, Implies)
+        and isinstance(body.antecedent, Atom)
+        and isinstance(body.consequent, FalseFormula)
+    ):
+        return body.antecedent
+    return None
+
+
+def _vacuous_window_atom(matrix: Formula) -> Atom | None:
+    """The antecedent of a ``G (A -> (A | ...))`` matrix, if any.
+
+    A staleness window that re-admits its own trigger at depth zero is a
+    tautology: the obligation is discharged at the very instant that
+    raised it, so the budget enforces nothing.
+    """
+    if not isinstance(matrix, Always):
+        return None
+    body = matrix.body
+    if not isinstance(body, Implies) or not isinstance(
+        body.antecedent, Atom
+    ):
+        return None
+    consequent = body.consequent
+    window = (
+        consequent.operands
+        if isinstance(consequent, Or)
+        else (consequent,)
+    )
+    if body.antecedent in window:
+        return body.antecedent
+    return None
+
+
+@register_hierarchy
+class StalenessBudgetPass:
+    """TIC140: degenerate staleness budgets (zero-width or vacuous
+    windows)."""
+
+    name = "hierarchy-staleness-budget"
+    codes = ("TIC140",)
+    description = "degenerate staleness-budget window"
+    paper = "Section 2 (safety constraints); Lemma 4.2"
+    modes = ("constraint",)
+
+    def run(self, ctx: LintContext) -> Iterable[Diagnostic]:
+        _prefix, matrix = strip_universal_prefix(ctx.formula)
+        banned = _banned_atom(matrix)
+        if banned is not None:
+            yield ctx.diagnostic(
+                "TIC140",
+                Severity.ERROR,
+                f"zero-width staleness window: the matrix reduces to "
+                f"'G ({banned.pred}(...) -> false)', which bans the "
+                f"relation '{banned.pred}' outright — a zero budget "
+                "compiles to this shape; give the field a positive "
+                "validity interval (or drop the relation from the "
+                "schema if the ban is intended)",
+                paper=self.paper,
+                node=ctx.formula,
+                pass_name=self.name,
+            )
+            return
+        vacuous = _vacuous_window_atom(matrix)
+        if vacuous is not None:
+            yield ctx.diagnostic(
+                "TIC140",
+                Severity.WARNING,
+                f"vacuous staleness window: the antecedent "
+                f"'{vacuous.pred}(...)' recurs un-nested in its own "
+                "consequent window, so the implication is a tautology "
+                "and the budget enforces nothing — nest the window "
+                "under X (future form) or Y (past form)",
+                paper=self.paper,
+                node=ctx.formula,
+                pass_name=self.name,
+            )

@@ -433,6 +433,18 @@ class ProgressionKernel:
             self._state_masks[props] = mask
         return mask
 
+    def decode_state(self, state_mask: int) -> frozenset[Prop]:
+        """Inverse of :meth:`encode_state`: a state mask back as letters.
+
+        Kernel ids and letter bits are monitor-local, so checkpointing
+        code (:meth:`repro.core.IntegrityMonitor.snapshot_entries`) uses
+        this to export cached mask sequences in a kernel-independent
+        form; the restoring monitor re-encodes them through its own
+        kernel's :meth:`encode_state`.
+        """
+        members = self._letters.members
+        return frozenset(members[i] for i in _iter_bits(state_mask))
+
     def sliced(self, oid: int, state_mask: int) -> int:
         """The state restricted to obligation ``oid``'s letters (the
         transition-row key, and the ledger's sharing key)."""

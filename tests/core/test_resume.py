@@ -1,0 +1,206 @@
+"""Checkpoint/resume: kill-and-restore must not change any verdict.
+
+Lemma 4.2's whole point is that the progressed remainder is a sufficient
+statistic for the history prefix, so a monitor serialized mid-stream and
+restored (even in a fresh process) must produce the exact verdict stream
+of the uninterrupted run.  The hypothesis sweep below pins that over
+engines × strategies × prune at a random cut point, with every derived
+cache cleared and a forced GC between snapshot and restore; a subprocess
+test covers the genuinely-fresh-interpreter case.
+"""
+
+import gc
+import json
+import subprocess
+import sys
+from dataclasses import fields
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import IntegrityMonitor, MonitorStats, PlannedMonitor
+from repro.database import (
+    DatabaseState,
+    History,
+    monitor_from_dict,
+    monitor_to_dict,
+    vocabulary,
+)
+from repro.errors import StateError
+from repro.logic import parse
+from repro.ptl.caches import clear_all_caches
+
+V = vocabulary({"Sub": 1, "Fill": 1})
+SUBMIT_ONCE = parse("forall x . G (Sub(x) -> X G !Sub(x))")
+NO_FILL_FIRST = parse("forall x . G !(Fill(x) & (!Sub(x) U Sub(x)))")
+CONSTRAINTS = {
+    "once": SUBMIT_ONCE,
+    "order": NO_FILL_FIRST,
+}
+
+traces = st.lists(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["Sub", "Fill"]),
+            st.tuples(st.integers(0, 2)),
+        ),
+        max_size=2,
+    ),
+    min_size=2,
+    max_size=5,
+)
+
+
+def _states(trace):
+    return [DatabaseState.from_facts(V, facts) for facts in trace]
+
+
+def _run(monitor, states):
+    return [
+        (r.instant, r.satisfied, r.new_violations)
+        for r in map(monitor.append_state, states)
+    ]
+
+
+class TestResumeEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        trace=traces,
+        cut=st.integers(0, 5),
+        engine=st.sampled_from(["reference", "bitset", "compiled"]),
+        strategy=st.sampled_from(["scratch", "incremental", "spare"]),
+        prune=st.booleans(),
+    )
+    def test_kill_and_restore_matches_uninterrupted(
+        self, trace, cut, engine, strategy, prune
+    ):
+        cut = min(cut, len(trace))
+        states = _states(trace)
+        ref = IntegrityMonitor(
+            CONSTRAINTS, History.empty(V),
+            engine=engine, strategy=strategy, prune=prune,
+        )
+        live = IntegrityMonitor(
+            CONSTRAINTS, History.empty(V),
+            engine=engine, strategy=strategy, prune=prune,
+        )
+        for state in states[:cut]:
+            ref.append_state(state)
+            live.append_state(state)
+        blob = json.dumps(monitor_to_dict(live))
+        del live
+        clear_all_caches()
+        gc.collect()
+        resumed = monitor_from_dict(json.loads(blob))
+        assert _run(resumed, states[cut:]) == _run(ref, states[cut:])
+        assert resumed.violations() == ref.violations()
+        # The remainder IS the resumed state: hash-consing makes the
+        # equality an identity.
+        for name, remainder in resumed.remainders().items():
+            assert remainder is ref.remainders()[name]
+
+    @settings(max_examples=15, deadline=None)
+    @given(trace=traces, cut=st.integers(0, 5))
+    def test_planned_monitor_resume_covers_pasteval(self, trace, cut):
+        constraints = {
+            "once": SUBMIT_ONCE,
+            "audit": parse("forall x . G (Fill(x) -> Y O Sub(x))"),
+        }
+        cut = min(cut, len(trace))
+        states = _states(trace)
+        ref = PlannedMonitor(constraints, History.empty(V))
+        live = PlannedMonitor(constraints, History.empty(V))
+        for state in states[:cut]:
+            ref.append_state(state)
+            live.append_state(state)
+        blob = json.dumps(live.snapshot())
+        del live
+        clear_all_caches()
+        gc.collect()
+        resumed = PlannedMonitor.from_snapshot(json.loads(blob))
+        assert _run(resumed, states[cut:]) == _run(ref, states[cut:])
+        assert resumed.violations() == ref.violations()
+
+    def test_fresh_interpreter_round_trip(self, tmp_path):
+        monitor = IntegrityMonitor(CONSTRAINTS, History.empty(V))
+        monitor.append_state(DatabaseState.from_facts(V, [("Sub", (1,))]))
+        monitor.append_state(DatabaseState.from_facts(V, [("Sub", (1,))]))
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps(monitor_to_dict(monitor)))
+        expected = monitor.append_state(DatabaseState.empty(V))
+        script = (
+            "import json, sys\n"
+            "from repro.database import monitor_from_dict, DatabaseState\n"
+            "m = monitor_from_dict(json.load(open(sys.argv[1])))\n"
+            "r = m.append_state(DatabaseState.empty(m.history.vocabulary))\n"
+            "print(json.dumps([r.instant, r.satisfied, "
+            "list(r.new_violations), m.violations()]))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script, str(path)],
+            capture_output=True, text=True, check=True,
+        )
+        instant, satisfied, fresh, violations = json.loads(out.stdout)
+        assert instant == expected.instant
+        assert satisfied == expected.satisfied
+        assert tuple(fresh) == expected.new_violations
+        assert violations == monitor.violations()
+
+    def test_restored_stats_round_trip(self):
+        monitor = IntegrityMonitor(CONSTRAINTS, History.empty(V))
+        monitor.append_state(DatabaseState.from_facts(V, [("Sub", (1,))]))
+        before = {
+            name: stats.as_dict() for name, stats in monitor.stats().items()
+        }
+        resumed = monitor_from_dict(monitor_to_dict(monitor))
+        after = {
+            name: stats.as_dict() for name, stats in resumed.stats().items()
+        }
+        assert after == before
+
+
+class TestSnapshotValidation:
+    def test_rejects_wrong_format_tag(self):
+        monitor = IntegrityMonitor(CONSTRAINTS, History.empty(V))
+        data = monitor_to_dict(monitor)
+        data["format"] = "repro-monitor-snapshot/v0"
+        with pytest.raises(StateError, match="format"):
+            monitor_from_dict(data)
+
+    def test_planned_rejects_missing_key(self):
+        monitor = PlannedMonitor(CONSTRAINTS, History.empty(V))
+        data = monitor.snapshot()
+        del data["history"]
+        with pytest.raises(StateError, match="history"):
+            PlannedMonitor.from_snapshot(data)
+
+    def test_planned_rejects_wrong_format(self):
+        with pytest.raises(StateError, match="format"):
+            PlannedMonitor.from_snapshot({"format": "bogus"})
+
+
+class TestMonitorStatsReset:
+    def test_reset_zeroes_every_field(self):
+        stats = MonitorStats()
+        # Poison every field, including the dict-valued session counters.
+        for spec in fields(stats):
+            current = getattr(stats, spec.name)
+            if isinstance(current, dict):
+                setattr(stats, spec.name, {"session": 7})
+            elif isinstance(current, float):
+                setattr(stats, spec.name, 1.5)
+            else:
+                setattr(stats, spec.name, 3)
+        stats.reset()
+        assert all(not value for value in stats.as_dict().values())
+
+    def test_reset_restores_default_factory_fields(self):
+        stats = MonitorStats()
+        stats.stream_updates["alpha"] = 4
+        stats.reset()
+        assert stats.stream_updates == {}
+        # The reset dict must be a fresh instance, not a shared default.
+        other = MonitorStats()
+        stats.stream_updates["beta"] = 1
+        assert other.stream_updates == {}

@@ -31,7 +31,7 @@ class TestHierarchyPasses:
         }
         assert len(hierarchy_passes()) == len(HIERARCHY_PASS_REGISTRY)
         assert registered == {
-            "TIC130", "TIC131", "TIC132", "TIC133", "TIC134",
+            "TIC130", "TIC131", "TIC132", "TIC133", "TIC134", "TIC140",
         }
 
     def test_off_by_default(self):
@@ -92,6 +92,56 @@ class TestHierarchyPasses:
     def test_hierarchy_passes_are_constraint_mode_only(self):
         for pass_ in hierarchy_passes():
             assert pass_.modes == ("constraint",)
+
+
+class TestStalenessBudgetPass:
+    def severities(self, text):
+        report = lint_formula(parse(text), hierarchy=True)
+        return [
+            (d.code, d.severity.value)
+            for d in report.by_code("TIC140")
+        ]
+
+    def test_zero_budget_ban_is_error(self):
+        from repro.workloads import refresh_deadline
+
+        from repro.logic import to_str
+
+        zero = to_str(refresh_deadline("price", 0))
+        assert self.severities(zero) == [("TIC140", "error")]
+
+    def test_explicit_negation_spelling_is_error(self):
+        # The parser folds `A -> false` into `!A`; both spellings of the
+        # ban trip the pass.
+        assert self.severities("forall x . G !Sub(x)") == [
+            ("TIC140", "error")
+        ]
+
+    def test_vacuous_window_is_warning(self):
+        vacuous = "forall x . G (Sub(x) -> (Sub(x) | X Fill(x)))"
+        assert self.severities(vacuous) == [("TIC140", "warning")]
+
+    def test_healthy_budget_is_silent(self):
+        from repro.workloads import fresh_use, refresh_deadline
+
+        from repro.logic import to_str
+
+        for formula in (fresh_use("price", 2), refresh_deadline("price", 2)):
+            assert self.severities(to_str(formula)) == []
+
+    def test_shipped_order_constraints_silent(self):
+        from repro.workloads import standard_constraints
+
+        from repro.logic import to_str
+
+        for formula in standard_constraints().values():
+            assert self.severities(to_str(formula)) == []
+
+    def test_non_atom_negation_silent(self):
+        # G !(compound) is not a staleness ban shape.
+        assert self.severities(
+            "forall x . G !(Sub(x) & Fill(x))"
+        ) == []
 
 
 class TestLintHierarchyFlag:
